@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_fig*.py`` regenerates one table/figure of the paper's
+Section 4: it runs the corresponding driver (timed once under
+pytest-benchmark), prints the same rows/series the paper reports, and
+asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment rows past pytest's output capture.
+
+    The regenerated figure rows are the deliverable of these
+    benchmarks, so they must reach the terminal (and any tee'd log)
+    even on passing runs.
+    """
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(text, flush=True)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The figure drivers are full experiments (many queries / simulated
+    runs), so repeating them for statistical timing would multiply the
+    wall-clock for no benefit; the single-round time is the experiment
+    duration.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

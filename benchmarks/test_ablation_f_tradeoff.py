@@ -1,0 +1,62 @@
+"""Ablation: the F tradeoff under a fixed storage budget (Section 3.2).
+
+The paper: "Given the storage limit UB of VPM, for a query Q, this F
+makes a tradeoff between (a) the probability that VPM can provide some
+partial results to Q, and (b) ... the number of partial result tuples
+that VPM can provide."
+
+Holding UB fixed and sweeping F: entry count L = UB / (1.04 · F · At)
+shrinks as F grows, so the hit probability falls while each hit
+delivers more tuples.  This bench quantifies both sides of the
+tradeoff and asserts their monotonicity — the design rationale for
+keeping F small (the paper's examples use F = 2-5).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import Series, format_series
+from repro.core.view import entries_for_budget
+from repro.sim.hitprob import SimulationConfig, simulate_hit_probability
+
+UB_BYTES = 42_000  # holds ~400 entries at F=2, At=50 (2% of paper's 1MB example)
+AVG_TUPLE_BYTES = 50
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_f_tradeoff_under_fixed_budget(benchmark, report):
+    def sweep():
+        hit_line = Series("hit probability")
+        entries_line = Series("entries L")
+        tuples_line = Series("tuples per hit (=F)")
+        for f in (1, 2, 3, 5, 8):
+            capacity = entries_for_budget(UB_BYTES, f, AVG_TUPLE_BYTES)
+            config = SimulationConfig(
+                universe=20_000,
+                cells_per_query=2,
+                alpha=1.07,
+                policy="clock",
+                capacity=capacity,
+                clock_budget_factor=1.0,  # budget already folded into L
+                warmup_queries=20_000,
+                measured_queries=20_000,
+                seed=7,
+            )
+            hit_line.add(f, simulate_hit_probability(config).hit_probability)
+            entries_line.add(f, float(capacity))
+            tuples_line.add(f, float(f))
+        return hit_line, entries_line, tuples_line
+
+    hit_line, entries_line, tuples_line = run_once(benchmark, sweep)
+    report(f"\n== Ablation: F tradeoff at fixed UB={UB_BYTES}B, At={AVG_TUPLE_BYTES}B ==")
+    report(format_series("F", [hit_line, entries_line, tuples_line]))
+
+    # (a) hit probability strictly falls as F eats the budget...
+    assert all(a > b for a, b in zip(hit_line.y, hit_line.y[1:]))
+    # ...because the entry count falls.
+    assert all(a > b for a, b in zip(entries_line.y, entries_line.y[1:]))
+    # (b) while each hit delivers proportionally more tuples.
+    assert tuples_line.y == [1.0, 2.0, 3.0, 5.0, 8.0]
+    # The paper's operating range (small F) keeps hits useful: F=2
+    # loses only modest probability vs F=1.
+    assert hit_line.y[0] - hit_line.y[1] < 0.15

@@ -1,0 +1,98 @@
+"""Ablation: statistics-aware driver choice in the planner.
+
+The paper runs PostgreSQL's statistics collector before measuring
+(Section 4.2); our engine's equivalent (`Database.analyze()`) feeds
+per-column MCVs/histograms to the planner, which then drives each plan
+from the *most selective* indexed slot instead of the first one in
+template order.  This ablation measures the benefit on a workload
+engineered so template order picks badly: the first slot's predicate
+matches most of its relation, the second slot's almost nothing.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+)
+
+
+def build_skewed_db() -> Database:
+    db = Database(buffer_pool_pages=32)
+    db.create_relation("r", [Column("c", INTEGER), Column("f", INTEGER), Column("pad", INTEGER)])
+    db.create_relation("s", [Column("d", INTEGER), Column("g", INTEGER), Column("pad", INTEGER)])
+    for name, rel, col in (("r_f", "r", "f"), ("r_c", "r", "c"), ("s_d", "s", "d"), ("s_g", "s", "g")):
+        db.create_index(name, rel, [col])
+    # r.f = 1 matches ~everything; s.g values are nearly unique.
+    for i in range(4000):
+        db.insert("r", (i % 200, 1 if i % 20 else 2, i))
+    for j in range(4000):
+        db.insert("s", (j % 200, j, j))
+    return db
+
+
+TEMPLATE = QueryTemplate(
+    "skewed",
+    ("r", "s"),
+    ("r.c", "s.d"),
+    (JoinEquality("r", "c", "s", "d"),),
+    (
+        SelectionSlot("r", "r.f", SlotForm.EQUALITY),   # non-selective
+        SelectionSlot("s", "s.g", SlotForm.EQUALITY),   # highly selective
+    ),
+)
+
+
+def timed_runs(db: Database, query, runs: int = 5) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        db.run(query)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_statistics_aware_planning(benchmark, report):
+    def run():
+        db = build_skewed_db()
+        query = TEMPLATE.bind(
+            [EqualityDisjunction("r.f", [1]), EqualityDisjunction("s.g", [17, 42])]
+        )
+        naive_plan = db.plan(query).explain()
+        naive_time = timed_runs(db, query)
+        naive_rows = sorted(tuple(r.values) for r in db.run(query))
+        db.analyze()
+        informed_plan = db.plan(query).explain()
+        informed_time = timed_runs(db, query)
+        informed_rows = sorted(tuple(r.values) for r in db.run(query))
+        assert naive_rows == informed_rows, "plans must agree on the answer"
+        return naive_plan, naive_time, informed_plan, informed_time
+
+    naive_plan, naive_time, informed_plan, informed_time = run_once(benchmark, run)
+    report("\n== Ablation: planner driver choice with/without ANALYZE ==")
+    report(
+        format_table(
+            ["planner", "driver", "best-of-5 (s)"],
+            [
+                ["template order", naive_plan.splitlines()[-1].strip(), naive_time],
+                ["statistics", informed_plan.splitlines()[-1].strip(), informed_time],
+            ],
+        )
+    )
+    # Template order drives on the non-selective r.f slot...
+    assert "r via r_f" in naive_plan
+    # ...statistics flip the driver to the selective s.g slot...
+    assert "s via s_g" in informed_plan
+    # ...which pays off by a wide margin on this workload.
+    assert informed_time * 5 < naive_time

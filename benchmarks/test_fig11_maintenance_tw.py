@@ -1,0 +1,41 @@
+"""Figure 11: total maintenance workload TW (in I/Os) vs. insert
+fraction p, for the traditional MV and the PMV.
+
+Paper setup: |ΔR| = 1,000 changed tuples, p × |ΔR| inserts and
+(1-p) × |ΔR| deletes; log-scale y from 1 to 10,000.  Expected shape
+(all asserted): both curves decrease in p; the MV curve sits at least
+two orders of magnitude above the PMV curve everywhere; the PMV curve
+hits exactly zero at p = 100 % (inserts are free for PMVs).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import run_fig11
+from repro.bench.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_maintenance_workload(benchmark, report):
+    series = run_once(benchmark, lambda: run_fig11(verbose=False))
+    report("\n== Figure 11: maintenance TW (I/Os) vs p, |dR|=1000 ==")
+    report(format_series("p", series))
+
+    mv, pmv = series
+    assert mv.label.startswith("MV")
+
+    # Both decrease with p (deletes are the expensive case).
+    assert all(a >= b for a, b in zip(mv.y, mv.y[1:]))
+    assert all(a >= b for a, b in zip(pmv.y, pmv.y[1:]))
+
+    # >= 2 orders of magnitude gap wherever PMV work is nonzero.
+    for y_mv, y_pmv in zip(mv.y, pmv.y):
+        if y_pmv > 0:
+            assert y_mv / y_pmv >= 100
+
+    # PMV maintenance is exactly zero at p=100%.
+    assert pmv.y[-1] == 0.0
+    assert mv.y[-1] > 0
+
+    # The MV curve lands in the paper's 10^3-10^4 band at p=0.
+    assert 1_000 <= mv.y[0] <= 100_000

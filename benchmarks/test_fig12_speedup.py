@@ -1,0 +1,38 @@
+"""Figure 12: speedup ratio TW(MV) / TW(PMV) vs. insert fraction p.
+
+Expected shape (all asserted): the ratio increases monotonically with
+p — the more inserts, the bigger the PMV's advantage, because PMVs pay
+nothing at all for inserts — starting around 10² and reaching many
+hundreds as p → 1 (unbounded at exactly p = 1).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import run_fig12
+from repro.bench.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_speedup_ratio(benchmark, report):
+    line = run_once(benchmark, lambda: run_fig12(verbose=False))
+    report("\n== Figure 12: speedup ratio TW(MV)/TW(PMV) vs p ==")
+    report(format_series("p", [line]))
+
+    finite = [(x, y) for x, y in zip(line.x, line.y) if not math.isinf(y)]
+    ys = [y for _, y in finite]
+
+    # Strictly increasing with p.
+    assert all(a < b for a, b in zip(ys, ys[1:]))
+
+    # Starts around two orders of magnitude...
+    assert 50 <= ys[0] <= 500
+    # ...and reaches many hundreds by p=0.9 (the paper's plot tops out
+    # around 500-600).
+    y_at_09 = dict(finite)[0.9]
+    assert y_at_09 >= 300
+
+    # Unbounded at p=1 (PMV maintenance cost is exactly zero there).
+    assert math.isinf(line.y[-1])

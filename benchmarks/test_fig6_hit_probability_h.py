@@ -1,0 +1,49 @@
+"""Figure 6: hit probability vs. number of bcps per query (h).
+
+Paper setup: 1M bcps, N=20K, α ∈ {1.07, 1.01}, h = 1..5, CLOCK vs the
+simplified 2Q, 1M warm-up + 1M measured queries.  We run a linearly
+downscaled configuration (``PMV_BENCH_SCALE``, default 2 %) that keeps
+every ratio.
+
+Expected shape (all asserted): hit probability starts around 50-80 % at
+h=1 and climbs toward 100 % as h grows; larger α gives higher hits;
+2Q dominates CLOCK at every point.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import run_fig6, sim_scale
+from repro.bench.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_hit_probability_vs_h(benchmark, report):
+    series = run_once(benchmark, lambda: run_fig6(verbose=False))
+    report(f"\n== Figure 6: hit probability vs h (sim scale {sim_scale():.2%}) ==")
+    report(format_series("h", series))
+
+    by_label = {line.label: line for line in series}
+    q2_hot = by_label["2Q, alpha=1.07"]
+    q2_mild = by_label["2Q, alpha=1.01"]
+    clock_hot = by_label["CLOCK, alpha=1.07"]
+    clock_mild = by_label["CLOCK, alpha=1.01"]
+
+    for line in series:
+        # Monotone non-decreasing in h (small simulation noise allowed).
+        for a, b in zip(line.y, line.y[1:]):
+            assert b >= a - 0.01, f"{line.label} dipped: {line.y}"
+        # Approaches 100% quickly: by h=5 every configuration is high.
+        assert line.y[-1] > 0.90
+        # Meaningful y-range, as in the paper's 50%-100% axis.
+        assert line.y[0] > 0.40
+
+    # Higher skew -> higher hit probability (fixed policy, fixed h).
+    for hot, mild in ((q2_hot, q2_mild), (clock_hot, clock_mild)):
+        for y_hot, y_mild in zip(hot.y, mild.y):
+            assert y_hot >= y_mild - 0.01
+
+    # 2Q beats CLOCK at every (alpha, h).
+    for q2, clock in ((q2_hot, clock_hot), (q2_mild, clock_mild)):
+        for y_q2, y_clock in zip(q2.y, clock.y):
+            assert y_q2 >= y_clock - 0.005

@@ -1,0 +1,37 @@
+"""Figure 7: hit probability vs. PMV size N.
+
+Paper setup: α=1.07, h=2, N ∈ {10K, 20K, 30K} over 1M bcps.  Expected
+shape: hit probability climbs toward 100 % with N, and 2Q stays above
+CLOCK at every size (the paper's y axis starts at 70 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import run_fig7, sim_scale
+from repro.bench.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_hit_probability_vs_size(benchmark, report):
+    series = run_once(benchmark, lambda: run_fig7(verbose=False))
+    report(f"\n== Figure 7: hit probability vs N (sim scale {sim_scale():.2%}) ==")
+    report(format_series("N", series))
+
+    by_label = {line.label: line for line in series}
+    q2, clock = by_label["2Q"], by_label["CLOCK"]
+
+    for line in series:
+        # Rises with N.
+        for a, b in zip(line.y, line.y[1:]):
+            assert b >= a - 0.01, f"{line.label} dipped: {line.y}"
+        # Within the paper's displayed band at the largest N.
+        assert line.y[-1] > 0.85
+
+    # 2Q >= CLOCK at every N.
+    for y_q2, y_clock in zip(q2.y, clock.y):
+        assert y_q2 >= y_clock - 0.005
+
+    # The smallest PMV already provides a solid hit rate (paper y-axis
+    # starts at 70%).
+    assert min(q2.y[0], clock.y[0]) > 0.55

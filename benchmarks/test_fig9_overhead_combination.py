@@ -1,0 +1,38 @@
+"""Figure 9: PMV overhead vs. combination factor h.
+
+Paper setup: F=3, s=1, h = 1..10 on templates T1 and T2.  Expected
+shape: overhead grows with h (more condition parts to generate, probe,
+and more result tuples to check), staying far below execution time.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import engine_downscale, run_fig9
+from repro.bench.reporting import format_series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_overhead_vs_combination_factor(benchmark, report):
+    series = run_once(benchmark, lambda: run_fig9(verbose=False))
+    report(f"\n== Figure 9: overhead vs h (F=3, s=1, downscale x{engine_downscale()}) ==")
+    report(format_series("h", series))
+
+    by_label = {line.label: line for line in series}
+    t1 = by_label["T1 overhead (s)"]
+    t2 = by_label["T2 overhead (s)"]
+
+    for line in (t1, t2):
+        # Clear overall growth with h: the h=10 point dominates h=1 by
+        # a wide margin, and the sweep is near-monotone.
+        assert line.y[-1] > 2 * line.y[0]
+        dips = sum(1 for a, b in zip(line.y, line.y[1:]) if b < a * 0.8)
+        assert dips <= 2, f"{line.label} not rising with h: {line.y}"
+        # Still sub-10ms everywhere.
+        assert all(y < 0.01 for y in line.y)
+
+    # Per-tuple complexity ordering (see fig8's rationale).
+    t1_per = by_label["T1 per-tuple (s)"]
+    t2_per = by_label["T2 per-tuple (s)"]
+    higher = sum(1 for y1, y2 in zip(t1_per.y, t2_per.y) if y2 > y1)
+    assert higher >= len(t1_per.y) - 2

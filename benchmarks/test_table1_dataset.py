@@ -1,0 +1,66 @@
+"""Table 1: the TPC-R-like test data set (rows and sizes vs. scale s).
+
+Regenerates the paper's Table 1 at ``downscale=1`` arithmetic (exact
+paper numbers) and additionally *materializes* the dataset at the bench
+downscale, verifying the generated relations hit the same ratios.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import engine_downscale, run_table1
+from repro.bench.reporting import format_table
+from repro.engine import Database
+from repro.workload import TPCRConfig, load_tpcr
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset(benchmark, report):
+    rows = run_once(benchmark, lambda: run_table1(verbose=False))
+    report("\n== Table 1: test data set (paper arithmetic, downscale=1) ==")
+    report(
+        format_table(
+            ["s", "relation", "tuples", "MB"],
+            [
+                [r["scale"], r["relation"], r["tuples"], round(r["megabytes"], 1)]
+                for r in rows
+            ],
+        )
+    )
+    by_key = {(r["scale"], r["relation"]): r for r in rows}
+    # Paper's s=1 row: 0.15M/1.5M/6M tuples, 23/114/755 MB.
+    assert by_key[(1.0, "customer")]["tuples"] == 150_000
+    assert by_key[(1.0, "orders")]["tuples"] == 1_500_000
+    assert by_key[(1.0, "lineitem")]["tuples"] == 6_000_000
+    assert by_key[(1.0, "customer")]["megabytes"] == pytest.approx(23, rel=0.05)
+    assert by_key[(1.0, "orders")]["megabytes"] == pytest.approx(114, rel=0.05)
+    assert by_key[(1.0, "lineitem")]["megabytes"] == pytest.approx(755, rel=0.05)
+    # Linear in s.
+    for relation in ("customer", "orders", "lineitem"):
+        assert by_key[(2.0, relation)]["tuples"] == 2 * by_key[(1.0, relation)]["tuples"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_materialized_at_bench_scale(benchmark, report):
+    downscale = engine_downscale()
+
+    def load():
+        db = Database(buffer_pool_pages=256)
+        return load_tpcr(db, TPCRConfig(scale_factor=1.0, downscale=downscale))
+
+    dataset = run_once(benchmark, load)
+    report(f"\n== Table 1 (materialized, downscale x{downscale}, s=1) ==")
+    report(
+        format_table(
+            ["relation", "tuples", "MB"],
+            [
+                [name, dataset.row_counts[name], round(dataset.total_megabytes(name), 3)]
+                for name in ("customer", "orders", "lineitem")
+            ],
+        )
+    )
+    assert dataset.row_counts["orders"] == 10 * dataset.row_counts["customer"]
+    assert dataset.row_counts["lineitem"] == 4 * dataset.row_counts["orders"]
+    # Size ratios track the paper's 23 : 114 : 755.
+    ratio = dataset.byte_sizes["lineitem"] / dataset.byte_sizes["orders"]
+    assert ratio == pytest.approx(755 / 114, rel=0.25)

@@ -1,0 +1,62 @@
+"""Theory vs. simulation: Che's approximation over the Figure 6 grid.
+
+The paper evaluates hit probability purely by simulation; this bench
+overlays the closed-form prediction (see ``repro/sim/analytic.py``) on
+the same grid and asserts agreement: the LRU-class prediction tracks
+the simulated CLOCK curve within a few points at every (α, h), which
+validates both the simulator (it converges to theory) and the choice
+of CLOCK as an LRU stand-in (Section 3.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import sim_scale
+from repro.bench.reporting import Series, format_series
+from repro.sim import SimulationConfig, che_approximation, simulate_hit_probability
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theory_tracks_simulated_clock(benchmark, report):
+    scale = sim_scale()
+    base = SimulationConfig().scaled(scale)
+    clock_capacity = round(base.capacity * base.clock_budget_factor)
+
+    def sweep():
+        series = []
+        for alpha in (1.07, 1.01):
+            theory = Series(f"theory, alpha={alpha}")
+            simulated = Series(f"CLOCK sim, alpha={alpha}")
+            for h in (1, 2, 3, 4, 5):
+                prediction = che_approximation(
+                    base.universe, alpha, clock_capacity, cells_per_query=h
+                )
+                theory.add(h, prediction.query_hit_probability)
+                result = simulate_hit_probability(
+                    SimulationConfig(
+                        universe=base.universe,
+                        capacity=base.capacity,
+                        alpha=alpha,
+                        cells_per_query=h,
+                        warmup_queries=base.warmup_queries,
+                        measured_queries=base.measured_queries,
+                        policy="clock",
+                        seed=base.seed,
+                    )
+                )
+                simulated.add(h, result.hit_probability)
+            series.extend([theory, simulated])
+        return series
+
+    series = run_once(benchmark, sweep)
+    report(f"\n== Theory (Che) vs simulated CLOCK (scale {scale:.2%}) ==")
+    report(format_series("h", series))
+
+    by_label = {line.label: line for line in series}
+    for alpha in (1.07, 1.01):
+        theory = by_label[f"theory, alpha={alpha}"]
+        simulated = by_label[f"CLOCK sim, alpha={alpha}"]
+        for y_theory, y_sim in zip(theory.y, simulated.y):
+            assert abs(y_theory - y_sim) < 0.05, (
+                f"theory {y_theory:.3f} vs sim {y_sim:.3f} at alpha={alpha}"
+            )

@@ -1,0 +1,114 @@
+"""repro — a full reproduction of *Partial Materialized Views*
+(Gang Luo, ICDE 2007).
+
+The package has four layers:
+
+- :mod:`repro.engine` — a from-scratch single-node RDBMS substrate:
+  slotted pages, a simulated disk with I/O accounting, a CLOCK buffer
+  pool, heap relations, hash/ordered secondary indexes, the paper's
+  ``qt`` query-template model, a rule-based planner with Volcano-style
+  operators, and S/X locking;
+- :mod:`repro.core` — the paper's contribution: basic condition parts
+  and discretization, Operation O1 decomposition, the bounded
+  :class:`~repro.core.view.PartialMaterializedView` with pluggable
+  replacement (CLOCK / simplified 2Q / LRU / FIFO), the O1/O2/O3
+  executor returning immediate partial results, deferred maintenance,
+  traditional-MV baselines, and the analytical maintenance cost model;
+- :mod:`repro.workload` — Zipfian distributions, the TPC-R-like data
+  generator of Table 1, and the T1/T2/Eqt templates with controlled
+  and skewed query streams;
+- :mod:`repro.sim` / :mod:`repro.bench` — the Section 4.1 simulation
+  study and one experiment driver per table/figure of Section 4.
+
+Quickstart::
+
+    from repro import (
+        Database, Discretization, PartialMaterializedView, PMVExecutor,
+    )
+    from repro.workload import make_t1, load_tpcr, TPCRConfig
+
+    db = Database()
+    load_tpcr(db, TPCRConfig(scale_factor=1.0, downscale=1000))
+    t1 = make_t1()
+    db.register_template(t1)
+    pmv = PartialMaterializedView(
+        t1, Discretization(t1), tuples_per_entry=3, max_entries=20_000
+    )
+    executor = PMVExecutor(db, pmv)
+    result = executor.execute(some_query)   # result.partial_rows arrive first
+"""
+
+from repro.core import (
+    BasicConditionPart,
+    BasicIntervals,
+    ClockPolicy,
+    ConditionPart,
+    CostParameters,
+    Discretization,
+    DuplicateSuppressor,
+    MaintenanceCostModel,
+    MaintenanceStrategy,
+    MaterializedView,
+    PMVExecutor,
+    PMVMaintainer,
+    PMVQueryResult,
+    PartialMaterializedView,
+    SmallMaterializedView,
+    TwoQueuePolicy,
+    decompose,
+    entries_for_budget,
+    learn_dividing_values,
+    make_policy,
+)
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    Query,
+    QueryTemplate,
+    Row,
+    SelectionSlot,
+    SlotForm,
+)
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BasicConditionPart",
+    "BasicIntervals",
+    "ClockPolicy",
+    "Column",
+    "ConditionPart",
+    "CostParameters",
+    "Database",
+    "Discretization",
+    "DuplicateSuppressor",
+    "EqualityDisjunction",
+    "Interval",
+    "IntervalDisjunction",
+    "JoinEquality",
+    "MaintenanceCostModel",
+    "MaintenanceStrategy",
+    "MaterializedView",
+    "PMVExecutor",
+    "PMVMaintainer",
+    "PMVQueryResult",
+    "PartialMaterializedView",
+    "Query",
+    "QueryTemplate",
+    "ReproError",
+    "Row",
+    "SelectionSlot",
+    "SlotForm",
+    "SmallMaterializedView",
+    "TwoQueuePolicy",
+    "decompose",
+    "entries_for_budget",
+    "learn_dividing_values",
+    "make_policy",
+    "__version__",
+]

@@ -1,0 +1,501 @@
+"""Experiment drivers — one per table/figure of the paper's Section 4.
+
+Every ``run_*`` function regenerates the corresponding figure's series
+(and prints them via :mod:`repro.bench.reporting` when asked), at a
+configurable scale:
+
+- the simulation experiments (Figures 6-7) default to 2 % of the
+  paper's counts (universe, PMV capacity, and query volumes all shrink
+  together, preserving their ratios);
+- the engine experiments (Figures 8-10) default to a ×1,000 downscale
+  of the TPC-R data, with a deliberately small buffer pool so query
+  execution stays I/O-bound like the paper's testbed;
+- the analytical model (Figures 11-12) needs no scaling.
+
+Environment overrides:
+
+- ``PMV_BENCH_SCALE`` — ``paper`` for full-size simulation runs, or a
+  float fraction (default ``0.02``);
+- ``PMV_BENCH_DOWNSCALE`` — TPC-R row-count divisor (default ``1000``;
+  ``1`` is the paper's full size);
+- ``PMV_BENCH_RUNS`` — measured queries per engine data point
+  (default ``20``; the paper averages over "a large number of runs").
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.reporting import Series, format_series, format_table, scale_note
+from repro.core.costmodel import MaintenanceCostModel
+from repro.core.discretize import Discretization
+from repro.core.executor import PMVExecutor
+from repro.core.view import PartialMaterializedView
+from repro.engine.database import Database
+from repro.sim.hitprob import SimulationConfig, simulate_hit_probability
+from repro.workload.queries import ControlledQueryFactory
+from repro.workload.templates import make_t1, make_t2
+from repro.workload.tpcr import TPCRConfig, TPCRDataset, load_tpcr, table1_rows
+
+__all__ = [
+    "sim_scale",
+    "engine_downscale",
+    "engine_runs",
+    "run_table1",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "OverheadMeasurement",
+    "ExperimentDatabase",
+    "build_experiment_database",
+    "measure_overhead",
+]
+
+# -- scale knobs ---------------------------------------------------------------
+
+
+def sim_scale() -> float:
+    """Fraction of the paper's simulation sizes to run at."""
+    raw = os.environ.get("PMV_BENCH_SCALE", "0.02")
+    if raw.lower() == "paper":
+        return 1.0
+    return float(raw)
+
+
+def engine_downscale() -> int:
+    """TPC-R row-count divisor for the engine experiments."""
+    return int(os.environ.get("PMV_BENCH_DOWNSCALE", "1000"))
+
+
+def engine_runs() -> int:
+    """Measured queries per engine data point."""
+    return int(os.environ.get("PMV_BENCH_RUNS", "20"))
+
+
+# -- Table 1 ----------------------------------------------------------------------
+
+
+def run_table1(
+    scale_factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    verbose: bool = True,
+) -> list[dict[str, float]]:
+    """Table 1: tuple counts and sizes of the TPC-R-like relations."""
+    rows = []
+    for s in scale_factors:
+        for entry in table1_rows(s):
+            rows.append({"scale": s, **entry})
+    if verbose:
+        print(
+            format_table(
+                ["s", "relation", "tuples", "MB"],
+                [[r["scale"], r["relation"], r["tuples"], round(r["megabytes"], 1)] for r in rows],
+            )
+        )
+    return rows
+
+
+# -- Figures 6-7: the simulation study ----------------------------------------------
+
+
+def run_fig6(
+    scale: float | None = None,
+    hs: Sequence[int] = (1, 2, 3, 4, 5),
+    alphas: Sequence[float] = (1.07, 1.01),
+    policies: Sequence[str] = ("2q", "clock"),
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 6: hit probability vs. h, for CLOCK/2Q × α∈{1.07, 1.01}."""
+    scale = sim_scale() if scale is None else scale
+    base = SimulationConfig().scaled(scale)
+    series: list[Series] = []
+    for policy in policies:
+        for alpha in alphas:
+            line = Series(label=f"{policy.upper()}, alpha={alpha}")
+            for h in hs:
+                config = SimulationConfig(
+                    universe=base.universe,
+                    cells_per_query=h,
+                    alpha=alpha,
+                    policy=policy,
+                    capacity=base.capacity,
+                    warmup_queries=base.warmup_queries,
+                    measured_queries=base.measured_queries,
+                    seed=base.seed,
+                )
+                line.add(h, simulate_hit_probability(config).hit_probability)
+            series.append(line)
+    if verbose:
+        print(scale_note(f"simulation at {scale:.2%} of paper counts "
+                         f"(universe={base.universe}, N={base.capacity})"))
+        print(format_series("h", series))
+    return series
+
+
+def run_fig7(
+    scale: float | None = None,
+    capacities: Sequence[int] | None = None,
+    alpha: float = 1.07,
+    h: int = 2,
+    policies: Sequence[str] = ("2q", "clock"),
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 7: hit probability vs. PMV size N (10K-30K at paper scale)."""
+    scale = sim_scale() if scale is None else scale
+    base = SimulationConfig().scaled(scale)
+    if capacities is None:
+        # The paper sweeps N = 10K, 20K, 30K; scale them the same way.
+        capacities = [max(1, round(n * scale)) for n in (10_000, 20_000, 30_000)]
+    series: list[Series] = []
+    for policy in policies:
+        line = Series(label=policy.upper())
+        for capacity in capacities:
+            config = SimulationConfig(
+                universe=base.universe,
+                cells_per_query=h,
+                alpha=alpha,
+                policy=policy,
+                capacity=capacity,
+                warmup_queries=base.warmup_queries,
+                measured_queries=base.measured_queries,
+                seed=base.seed,
+            )
+            line.add(capacity, simulate_hit_probability(config).hit_probability)
+        series.append(line)
+    if verbose:
+        print(scale_note(f"simulation at {scale:.2%} of paper counts "
+                         f"(universe={base.universe})"))
+        print(format_series("N", series))
+    return series
+
+
+# -- Figures 8-10: engine overhead experiments ----------------------------------------
+
+
+@dataclass
+class ExperimentDatabase:
+    """A loaded TPC-R database plus the slot domains for query making."""
+
+    database: Database
+    dataset: TPCRDataset
+    dates: list[str]
+    suppliers: list[int]
+    nations: list[int]
+
+
+def build_experiment_database(
+    scale_factor: float = 1.0,
+    downscale: int | None = None,
+    seed: int = 42,
+    buffer_pool_pages: int = 32,
+    distinct_order_dates: int = 120,
+    suppliers: int = 30,
+    nations: int = 3,
+) -> ExperimentDatabase:
+    """Load the TPC-R-like data for the Section 4.2 experiments.
+
+    The buffer pool is deliberately smaller than the data at every
+    scale factor (32 pages vs. ~55+ data pages even at s=0.5) so full
+    execution pays page I/O, as on the paper's 512 MB testbed; the
+    value domains are narrowed at small downscales so basic condition
+    parts hold more than F result tuples, as the paper requires.
+    """
+    downscale = engine_downscale() if downscale is None else downscale
+    config = TPCRConfig(
+        scale_factor=scale_factor,
+        downscale=downscale,
+        seed=seed,
+        distinct_order_dates=distinct_order_dates,
+        suppliers=suppliers,
+        nations=nations,
+    )
+    database = Database(buffer_pool_pages=buffer_pool_pages)
+    dataset = load_tpcr(database, config)
+    # The paper runs the statistics collection program before measuring
+    # (Section 4.2); ours feeds the planner's driver choice.
+    database.analyze()
+    return ExperimentDatabase(
+        database=database,
+        dataset=dataset,
+        dates=config.order_dates(),
+        suppliers=list(range(1, config.suppliers + 1)),
+        nations=list(range(config.nations)),
+    )
+
+
+def find_dense_cell(env: ExperimentDatabase, template_name: str) -> tuple:
+    """The densest basic condition part in the data (the hot cell).
+
+    The paper requires every measured bcp to hold more than F result
+    tuples; picking the densest cell guarantees that at any downscale.
+    """
+    db = env.database
+    orders_by_key = db.catalog.index("orders_orderkey")
+    orders = db.catalog.relation("orders")
+    counts: Counter = Counter()
+    if template_name == "T1":
+        for lineitem in db.catalog.relation("lineitem").scan_rows():
+            for row_id in orders_by_key.probe(lineitem["orderkey"]):
+                order = orders.fetch(row_id)
+                counts[(order["orderdate"], lineitem["suppkey"])] += 1
+    else:
+        customer_by_key = db.catalog.index("customer_custkey")
+        customers = db.catalog.relation("customer")
+        for lineitem in db.catalog.relation("lineitem").scan_rows():
+            for row_id in orders_by_key.probe(lineitem["orderkey"]):
+                order = orders.fetch(row_id)
+                for cust_id in customer_by_key.probe(order["custkey"]):
+                    customer = customers.fetch(cust_id)
+                    counts[
+                        (order["orderdate"], lineitem["suppkey"], customer["nationkey"])
+                    ] += 1
+    cell, _ = counts.most_common(1)[0]
+    return cell
+
+
+@dataclass
+class OverheadMeasurement:
+    """Averages over one engine data point (one (template, h, F, s))."""
+
+    template: str
+    h: int
+    tuples_per_entry: int
+    scale_factor: float
+    runs: int
+    mean_overhead_seconds: float
+    mean_partial_latency_seconds: float
+    mean_execution_seconds: float
+    mean_simulated_execution_seconds: float
+    mean_partial_tuples: float
+    mean_total_tuples: float
+    hit_fraction: float
+
+    @property
+    def overhead_per_tuple_seconds(self) -> float:
+        """Overhead normalized by result tuples processed.
+
+        In the paper's C implementation per-part/per-tuple *complexity*
+        drives the T1-vs-T2 comparison; in Python the absolute overhead
+        also tracks result cardinality, so this normalized view is the
+        comparable quantity (see EXPERIMENTS.md).
+        """
+        if self.mean_total_tuples == 0:
+            return self.mean_overhead_seconds
+        return self.mean_overhead_seconds / self.mean_total_tuples
+
+
+def measure_overhead(
+    env: ExperimentDatabase,
+    template_name: str,
+    h: int,
+    tuples_per_entry: int,
+    runs: int | None = None,
+    pmv_entries: int = 20_000,
+    seed: int = 123,
+) -> OverheadMeasurement:
+    """One engine data point: PMV overhead under the 4.2 protocol.
+
+    The query stream is the controlled construction of Section 4.2 —
+    each query breaks into exactly ``h`` basic condition parts, one of
+    which (the densest cell) is resident in the PMV.  Reported overhead
+    is O1 + O2 + O3's checking; execution time is the full blocking
+    plan, both as wall-clock and with simulated disk latency added to
+    the plan's physical page traffic.
+    """
+    runs = engine_runs() if runs is None else runs
+    db = env.database
+    template = make_t1() if template_name == "T1" else make_t2()
+    if not db.catalog.has_relation(template.relations[0]):
+        raise ValueError("experiment database missing TPC-R relations")
+    discretization = Discretization(template)
+    view = PartialMaterializedView(
+        template,
+        discretization,
+        tuples_per_entry=tuples_per_entry,
+        max_entries=pmv_entries,
+        policy="clock",
+    )
+    executor = PMVExecutor(db, view)
+    domains: list[Sequence] = [env.dates, env.suppliers]
+    if template_name == "T2":
+        domains.append(env.nations)
+    hot = find_dense_cell(env, template_name)
+    factory = ControlledQueryFactory(template, domains, seed=seed)
+    # Warm: make the hot cell resident and filled with F tuples, then
+    # run (and discard) a few protocol queries so interpreter and
+    # buffer-pool warm-up does not pollute the measured averages.
+    executor.execute(factory.query(1, hot))
+    for _ in range(3):
+        executor.execute(factory.query(h, hot))
+
+    overhead = partial_latency = execution = simulated = partial_tuples = 0.0
+    total_tuples = 0.0
+    hits = 0
+    latency = db.latency_model
+    for _ in range(runs):
+        query = factory.query(h, hot)
+        before = db.io_snapshot()
+        result = executor.execute(query)
+        io = db.io_since(before)
+        metrics = result.metrics
+        overhead += metrics.overhead_seconds
+        partial_latency += metrics.partial_latency_seconds
+        execution += metrics.execution_seconds
+        simulated += metrics.execution_seconds + latency.cost(io.reads, io.writes)
+        partial_tuples += metrics.partial_tuples
+        total_tuples += metrics.total_tuples
+        if metrics.hit:
+            hits += 1
+    return OverheadMeasurement(
+        template=template_name,
+        h=h,
+        tuples_per_entry=tuples_per_entry,
+        scale_factor=env.dataset.config.scale_factor,
+        runs=runs,
+        mean_overhead_seconds=overhead / runs,
+        mean_partial_latency_seconds=partial_latency / runs,
+        mean_execution_seconds=execution / runs,
+        mean_simulated_execution_seconds=simulated / runs,
+        mean_partial_tuples=partial_tuples / runs,
+        mean_total_tuples=total_tuples / runs,
+        hit_fraction=hits / runs,
+    )
+
+
+def run_fig8(
+    f_values: Sequence[int] = (1, 2, 3, 4, 5),
+    h: int = 4,
+    scale_factor: float = 1.0,
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 8: PMV overhead vs. F (h=4, s=1), templates T1 and T2."""
+    env = build_experiment_database(scale_factor=scale_factor)
+    series = [
+        Series("T1 overhead (s)"),
+        Series("T2 overhead (s)"),
+        Series("T1 per-tuple (s)"),
+        Series("T2 per-tuple (s)"),
+    ]
+    for f in f_values:
+        for offset, name in ((0, "T1"), (1, "T2")):
+            m = measure_overhead(env, name, h=h, tuples_per_entry=f)
+            series[offset].add(f, m.mean_overhead_seconds)
+            series[offset + 2].add(f, m.overhead_per_tuple_seconds)
+    if verbose:
+        print(scale_note(_engine_scale_text(env)))
+        print(format_series("F", series))
+    return series
+
+
+def run_fig9(
+    h_values: Sequence[int] = tuple(range(1, 11)),
+    tuples_per_entry: int = 3,
+    scale_factor: float = 1.0,
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 9: PMV overhead vs. combination factor h (F=3, s=1)."""
+    env = build_experiment_database(scale_factor=scale_factor)
+    series = [
+        Series("T1 overhead (s)"),
+        Series("T2 overhead (s)"),
+        Series("T1 per-tuple (s)"),
+        Series("T2 per-tuple (s)"),
+    ]
+    for h in h_values:
+        for offset, name in ((0, "T1"), (1, "T2")):
+            m = measure_overhead(env, name, h=h, tuples_per_entry=tuples_per_entry)
+            series[offset].add(h, m.mean_overhead_seconds)
+            series[offset + 2].add(h, m.overhead_per_tuple_seconds)
+    if verbose:
+        print(scale_note(_engine_scale_text(env)))
+        print(format_series("h", series))
+    return series
+
+
+def run_fig10(
+    scale_factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    h: int = 4,
+    tuples_per_entry: int = 3,
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 10: execution time vs. PMV overhead across scale factors.
+
+    Four lines like the paper: execute T1/T2 (with simulated disk
+    latency on the plans' physical page traffic) and PMV T1/T2
+    overhead.  The paper's headline is the many-orders-of-magnitude
+    gap between the two groups.
+    """
+    series = [
+        Series("execute T1 (s)"),
+        Series("PMV T1 (s)"),
+        Series("execute T2 (s)"),
+        Series("PMV T2 (s)"),
+    ]
+    last_env = None
+    for s in scale_factors:
+        env = build_experiment_database(scale_factor=s)
+        last_env = env
+        t1 = measure_overhead(env, "T1", h=h, tuples_per_entry=tuples_per_entry)
+        t2 = measure_overhead(env, "T2", h=h, tuples_per_entry=tuples_per_entry)
+        series[0].add(s, t1.mean_simulated_execution_seconds)
+        series[1].add(s, t1.mean_overhead_seconds)
+        series[2].add(s, t2.mean_simulated_execution_seconds)
+        series[3].add(s, t2.mean_overhead_seconds)
+    if verbose and last_env is not None:
+        print(scale_note(_engine_scale_text(last_env)))
+        print(format_series("s", series))
+    return series
+
+
+def _engine_scale_text(env: ExperimentDatabase) -> str:
+    c = env.dataset.config
+    return (
+        f"TPC-R downscale ×{c.downscale} (s={c.scale_factor}: "
+        f"{env.dataset.row_counts['customer']} customers, "
+        f"{env.dataset.row_counts['orders']} orders, "
+        f"{env.dataset.row_counts['lineitem']} lineitems), "
+        f"{engine_runs()} runs per point"
+    )
+
+
+# -- Figures 11-12: the analytical maintenance model ------------------------------------
+
+DEFAULT_P_GRID = tuple(round(p * 0.1, 1) for p in range(0, 10)) + (0.99, 1.0)
+
+
+def run_fig11(
+    insert_fractions: Sequence[float] = DEFAULT_P_GRID,
+    model: MaintenanceCostModel | None = None,
+    verbose: bool = True,
+) -> list[Series]:
+    """Figure 11: total maintenance workload TW (I/Os) vs. p, MV vs PMV."""
+    model = model or MaintenanceCostModel()
+    mv = Series("MV TW (I/Os)")
+    pmv = Series("PMV TW (I/Os)")
+    for point in model.sweep(insert_fractions):
+        mv.add(point.insert_fraction, point.mv_workload_ios)
+        pmv.add(point.insert_fraction, point.pmv_workload_ios)
+    if verbose:
+        print(format_series("p", [mv, pmv]))
+    return [mv, pmv]
+
+
+def run_fig12(
+    insert_fractions: Sequence[float] = DEFAULT_P_GRID,
+    model: MaintenanceCostModel | None = None,
+    verbose: bool = True,
+) -> Series:
+    """Figure 12: speedup ratio TW(MV)/TW(PMV) vs. p (∞ at p=1)."""
+    model = model or MaintenanceCostModel()
+    line = Series("speedup ratio")
+    for point in model.sweep(insert_fractions):
+        line.add(point.insert_fraction, point.speedup)
+    if verbose:
+        print(format_series("p", [line]))
+    return line

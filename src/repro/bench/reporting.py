@@ -1,0 +1,69 @@
+"""Shared formatting for the benchmark harness.
+
+Each ``benchmarks/test_fig*.py`` prints the same rows/series the paper's
+figure reports, via these helpers, and also returns the raw numbers so
+assertions can check the expected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Series", "format_table", "format_series", "scale_note"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus aligned x/y vectors."""
+
+    label: str
+    x: list[Any] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def as_rows(self) -> list[tuple[Any, float]]:
+        return list(zip(self.x, self.y))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Monospace-aligned table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, series: Sequence[Series]) -> str:
+    """Tabulate several series against a shared x axis."""
+    if not series:
+        return "(no series)"
+    xs = series[0].x
+    for s in series[1:]:
+        if s.x != xs:
+            raise ValueError("all series must share the same x values")
+    headers = [x_label] + [s.label for s in series]
+    rows = [[x] + [s.y[i] for s in series] for i, x in enumerate(xs)]
+    return format_table(headers, rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def scale_note(description: str) -> str:
+    """A standard banner stating what scale a benchmark ran at."""
+    return f"[scale] {description}"

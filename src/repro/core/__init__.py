@@ -1,0 +1,95 @@
+"""``repro.core`` — the partial materialized view method (the paper's
+contribution): condition parts, discretization, Operation O1
+decomposition, the PMV structure with pluggable replacement, the
+O1/O2/O3 executor, deferred maintenance, traditional-MV baselines, and
+the analytical maintenance cost model."""
+
+from repro.core.aggregates import (
+    AggregatePMVExecutor,
+    AggregateResult,
+    AggregateSpec,
+    aggregate_rows,
+)
+from repro.core.condition import (
+    BasicConditionPart,
+    BcpKey,
+    ConditionPart,
+    Dimension,
+    EqualityDim,
+    IntervalDim,
+)
+from repro.core.costmodel import CostParameters, CostPoint, MaintenanceCostModel
+from repro.core.decompose import bcp_of_row, decompose
+from repro.core.discretize import BasicIntervals, Discretization, learn_dividing_values
+from repro.core.duplicates import DuplicateSuppressor
+from repro.core.executor import PMVExecutor, PMVQueryResult
+from repro.core.manager import ManagedView, PMVManager
+from repro.core.maintenance import (
+    MaintenanceStrategy,
+    PMVMaintainer,
+    compute_delta_join,
+    template_result_schema,
+)
+from repro.core.matview import MaterializedView, MVMaintenanceStats, SmallMaterializedView
+from repro.core.metrics import PMVMetrics, QueryMetrics
+from repro.core.nested import ExistsAccelerator, ExistsStats, ExistsVerdictSource
+from repro.core.popularity import PopularityTracker, RankedPMVExecutor
+from repro.core.replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    ReferenceResult,
+    ReplacementPolicy,
+    TwoQueuePolicy,
+    make_policy,
+)
+from repro.core.view import PartialMaterializedView, entries_for_budget
+
+__all__ = [
+    "AggregatePMVExecutor",
+    "AggregateResult",
+    "AggregateSpec",
+    "BasicConditionPart",
+    "BasicIntervals",
+    "BcpKey",
+    "ClockPolicy",
+    "ConditionPart",
+    "CostParameters",
+    "CostPoint",
+    "Dimension",
+    "Discretization",
+    "DuplicateSuppressor",
+    "EqualityDim",
+    "ExistsAccelerator",
+    "ExistsStats",
+    "ExistsVerdictSource",
+    "FIFOPolicy",
+    "IntervalDim",
+    "LRUPolicy",
+    "MaintenanceCostModel",
+    "MaintenanceStrategy",
+    "ManagedView",
+    "PMVManager",
+    "MaterializedView",
+    "MVMaintenanceStats",
+    "PMVExecutor",
+    "PMVMaintainer",
+    "PMVMetrics",
+    "PMVQueryResult",
+    "PartialMaterializedView",
+    "PopularityTracker",
+    "RankedPMVExecutor",
+    "QueryMetrics",
+    "ReferenceResult",
+    "ReplacementPolicy",
+    "SmallMaterializedView",
+    "TwoQueuePolicy",
+    "bcp_of_row",
+    "compute_delta_join",
+    "aggregate_rows",
+    "decompose",
+    "entries_for_budget",
+    "learn_dividing_values",
+    "make_policy",
+    "template_result_schema",
+]

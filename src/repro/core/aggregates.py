@@ -1,0 +1,165 @@
+"""Aggregate queries over PMVs (Section 3.6).
+
+The paper notes that "with minor changes in the user interface, PMVs
+can also be used to handle aggregate queries (e.g., group by)": the
+partial results delivered from the PMV yield *partial aggregates* that
+must be presented as provisional, and the full execution then delivers
+the exact aggregates.  :class:`AggregatePMVExecutor` implements exactly
+that: it runs a template query through the normal O1/O2/O3 pipeline and
+exposes both the provisional group aggregates computed from the O2
+partial tuples and the exact aggregates over the full answer.
+
+Supported aggregate functions: ``count``, ``sum``, ``min``, ``max``,
+``avg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.executor import PMVExecutor, PMVQueryResult
+from repro.engine.row import Row
+from repro.engine.template import Query
+from repro.errors import PMVError
+
+__all__ = ["AggregateSpec", "AggregateResult", "AggregatePMVExecutor", "aggregate_rows"]
+
+_FUNCTIONS = {"count", "sum", "min", "max", "avg"}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the select list: ``function(column) AS alias``.
+
+    ``column=None`` means ``count(*)``.
+    """
+
+    function: str
+    column: str | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in _FUNCTIONS:
+            raise PMVError(
+                f"unsupported aggregate {self.function!r}; "
+                f"choose from {sorted(_FUNCTIONS)}"
+            )
+        if self.function != "count" and self.column is None:
+            raise PMVError(f"{self.function}() needs a column")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        target = self.column if self.column else "*"
+        return f"{self.function}({target})"
+
+
+def aggregate_rows(
+    rows: Sequence[Row],
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> dict[tuple, dict[str, Any]]:
+    """Group ``rows`` by the ``group_by`` columns and aggregate.
+
+    Returns ``{group_key: {output_name: value}}``.  NULL values are
+    skipped by sum/min/max/avg and by count(column), per SQL semantics;
+    count(*) counts every row.
+    """
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row[col] for col in group_by)
+        groups.setdefault(key, []).append(row)
+    out: dict[tuple, dict[str, Any]] = {}
+    for key, members in groups.items():
+        values: dict[str, Any] = {}
+        for spec in aggregates:
+            if spec.function == "count" and spec.column is None:
+                values[spec.output_name] = len(members)
+                continue
+            assert spec.column is not None
+            observed = [row[spec.column] for row in members if row[spec.column] is not None]
+            if spec.function == "count":
+                values[spec.output_name] = len(observed)
+            elif not observed:
+                values[spec.output_name] = None
+            elif spec.function == "sum":
+                values[spec.output_name] = sum(observed)
+            elif spec.function == "min":
+                values[spec.output_name] = min(observed)
+            elif spec.function == "max":
+                values[spec.output_name] = max(observed)
+            else:  # avg
+                values[spec.output_name] = sum(observed) / len(observed)
+        out[key] = values
+    return out
+
+
+@dataclass
+class AggregateResult:
+    """Partial (provisional) and exact group aggregates for one query.
+
+    ``partial_groups`` comes from the tuples the PMV served in O2; the
+    UI contract (the paper's "minor changes in the user interface") is
+    that these are lower-bound/provisional values to show immediately.
+    ``exact_groups`` is computed over the complete answer after O3.
+    """
+
+    query: Query
+    group_by: tuple[str, ...]
+    partial_groups: dict[tuple, dict[str, Any]] = field(default_factory=dict)
+    exact_groups: dict[tuple, dict[str, Any]] = field(default_factory=dict)
+    underlying: PMVQueryResult | None = None
+
+    @property
+    def had_partial_results(self) -> bool:
+        return bool(self.partial_groups)
+
+    def partial_coverage(self) -> float:
+        """Fraction of final groups already visible in the partial
+        aggregates — a UI-facing progress signal."""
+        if not self.exact_groups:
+            return 1.0 if not self.partial_groups else 0.0
+        covered = sum(1 for key in self.exact_groups if key in self.partial_groups)
+        return covered / len(self.exact_groups)
+
+
+class AggregatePMVExecutor:
+    """GROUP-BY execution over a PMV-backed template."""
+
+    def __init__(self, executor: PMVExecutor) -> None:
+        self.executor = executor
+
+    def execute(
+        self,
+        query: Query,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> AggregateResult:
+        """Run ``query`` and aggregate its answer.
+
+        ``group_by`` columns must be in the expanded select list
+        ``Ls'`` (they are attributes of the result tuples).
+        """
+        expanded = set(query.template.expanded_select_list())
+        for column in group_by:
+            if column not in expanded:
+                raise PMVError(
+                    f"group-by column {column!r} is not in the expanded select list"
+                )
+        for spec in aggregates:
+            if spec.column is not None and spec.column not in expanded:
+                raise PMVError(
+                    f"aggregate column {spec.column!r} is not in the expanded select list"
+                )
+        result = self.executor.execute(query)
+        partial = aggregate_rows(result.partial_rows, group_by, aggregates)
+        exact = aggregate_rows(result.all_rows(), group_by, aggregates)
+        return AggregateResult(
+            query=query,
+            group_by=tuple(group_by),
+            partial_groups=partial,
+            exact_groups=exact,
+            underlying=result,
+        )

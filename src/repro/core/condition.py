@@ -1,0 +1,166 @@
+"""Condition parts and basic condition parts (paper Section 3.1).
+
+A *condition part* is an m-tuple ``(d1, …, dm)`` matching the template's
+slot order, where each ``di`` is either an equality dimension
+(``R.a = b``) or an interval dimension (``b < R.a < c``).  A *basic*
+condition part is one whose every interval dimension is exactly a basic
+interval of the template's discretization.
+
+Basic condition parts are stored compactly per the paper: equality
+dimensions store the value itself, interval dimensions store the basic
+interval's *id*.  That compact key (:attr:`BasicConditionPart.key`) is
+what the PMV's bcp index hashes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.engine.predicate import Interval
+from repro.engine.row import Row
+from repro.errors import ConditionError
+
+__all__ = [
+    "EqualityDim",
+    "IntervalDim",
+    "Dimension",
+    "ConditionPart",
+    "BasicConditionPart",
+    "BcpKey",
+]
+
+BcpKey = tuple[Any, ...]
+"""Compact storage form of a basic condition part: one value or basic
+interval id per dimension."""
+
+
+@dataclass(frozen=True)
+class EqualityDim:
+    """``column = value`` — the equality form of a dimension."""
+
+    column: str
+    value: Any
+
+    def contains_value(self, value: Any) -> bool:
+        return value == self.value
+
+    def matches(self, row: Row) -> bool:
+        return row[self.column] == self.value
+
+    def __str__(self) -> str:
+        return f"{self.column}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class IntervalDim:
+    """``column ∈ interval`` — the interval form of a dimension.
+
+    ``basic_id`` identifies the basic interval containing this
+    dimension's interval; for a basic dimension the interval *is* the
+    basic interval.
+    """
+
+    column: str
+    interval: Interval
+    basic_id: int
+
+    def contains_value(self, value: Any) -> bool:
+        return self.interval.contains_value(value)
+
+    def matches(self, row: Row) -> bool:
+        return self.interval.contains_value(row[self.column])
+
+    def __str__(self) -> str:
+        return f"{self.column} in {self.interval} (bi#{self.basic_id})"
+
+
+Dimension = Union[EqualityDim, IntervalDim]
+
+
+@dataclass(frozen=True)
+class BasicConditionPart:
+    """A condition part aligned to the discretization grid.
+
+    ``key`` is the compact storage form: the equality value for
+    equality dimensions, the basic interval id for interval dimensions
+    (Section 3.1's storage rule).
+    """
+
+    dims: tuple[Dimension, ...]
+
+    @property
+    def key(self) -> BcpKey:
+        return tuple(
+            d.value if isinstance(d, EqualityDim) else d.basic_id for d in self.dims
+        )
+
+    @property
+    def arity(self) -> int:
+        return len(self.dims)
+
+    def matches(self, row: Row) -> bool:
+        """Whether a result tuple belongs to this basic condition part."""
+        return all(d.matches(row) for d in self.dims)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(d) for d in self.dims) + ")"
+
+
+@dataclass(frozen=True)
+class ConditionPart:
+    """One non-overlapping piece of a query's ``Cselect`` (Operation O1).
+
+    Every condition part is contained in exactly one basic condition
+    part — its :attr:`containing` bcp.  :attr:`is_basic` tells whether
+    the part *is* that bcp (then cached tuples of the bcp belong to the
+    query with no further checking).
+    """
+
+    dims: tuple[Dimension, ...]
+    containing: BasicConditionPart
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != self.containing.arity:
+            raise ConditionError(
+                "condition part and containing bcp have different arity"
+            )
+
+    @property
+    def is_basic(self) -> bool:
+        """Whether this part coincides with its containing bcp."""
+        for dim, basic_dim in zip(self.dims, self.containing.dims):
+            if isinstance(dim, EqualityDim):
+                continue
+            assert isinstance(basic_dim, IntervalDim)
+            if dim.interval != basic_dim.interval:
+                return False
+        return True
+
+    def matches(self, row: Row) -> bool:
+        """Whether a result tuple belongs to this condition part."""
+        return all(d.matches(row) for d in self.dims)
+
+    def contained_in(self, other: BasicConditionPart) -> bool:
+        """Paper's containment test: whenever our dims hold, other's do.
+
+        Checked dimension-wise: an equality dim must equal the other's
+        value or fall in its interval; an interval dim must be a
+        sub-interval.
+        """
+        if len(self.dims) != other.arity:
+            return False
+        for dim, other_dim in zip(self.dims, other.dims):
+            if isinstance(other_dim, EqualityDim):
+                if not isinstance(dim, EqualityDim) or dim.value != other_dim.value:
+                    return False
+            else:
+                if isinstance(dim, EqualityDim):
+                    if not other_dim.interval.contains_value(dim.value):
+                        return False
+                elif not other_dim.interval.contains_interval(dim.interval):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(d) for d in self.dims) + ")"

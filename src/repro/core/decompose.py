@@ -1,0 +1,93 @@
+"""Operation O1: break a query's ``Cselect`` into condition parts.
+
+Per Section 3.3, each ``Ci`` contributes a set ``Si``:
+
+- equality form: one element per disjunct value;
+- interval form: one element per (query interval × overlapping basic
+  interval) intersection.
+
+``Cselect`` then breaks into the cartesian product ``∏ Si`` of
+non-overlapping condition parts, each contained in exactly one basic
+condition part.  :func:`bcp_of_row` recovers the containing bcp of a
+result tuple from its attribute values (used in Operation O3 and in
+PMV maintenance, where the paper notes bcp "is recovered from ats").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.condition import (
+    BasicConditionPart,
+    ConditionPart,
+    Dimension,
+    EqualityDim,
+    IntervalDim,
+)
+from repro.core.discretize import Discretization
+from repro.engine.predicate import EqualityDisjunction, IntervalDisjunction
+from repro.engine.row import Row
+from repro.engine.template import Query
+from repro.errors import ConditionError
+
+__all__ = ["decompose", "bcp_of_row"]
+
+
+def decompose(query: Query, discretization: Discretization) -> list[ConditionPart]:
+    """Break ``query``'s ``Cselect`` into non-overlapping condition parts.
+
+    Returns the parts in deterministic (cartesian-product) order.  The
+    number of parts is the paper's ``h`` when every part is basic.
+    """
+    if discretization.template is not query.template:
+        raise ConditionError("discretization belongs to a different template")
+    # dimension_choices[i] = list of (dim, containing_dim) for slot i.
+    dimension_choices: list[list[tuple[Dimension, Dimension]]] = []
+    for condition in query.cselect.conditions:
+        choices: list[tuple[Dimension, Dimension]] = []
+        if isinstance(condition, EqualityDisjunction):
+            for value in condition.values:
+                dim = EqualityDim(condition.column, value)
+                choices.append((dim, dim))
+        else:
+            assert isinstance(condition, IntervalDisjunction)
+            grid = discretization.grid(condition.column)
+            for query_interval in condition.intervals:
+                for basic_id in grid.overlapping_ids(query_interval):
+                    basic = grid.interval(basic_id)
+                    piece = basic.intersect(query_interval)
+                    if piece is None:  # pragma: no cover - overlap guaranteed
+                        continue
+                    choices.append(
+                        (
+                            IntervalDim(condition.column, piece, basic_id),
+                            IntervalDim(condition.column, basic, basic_id),
+                        )
+                    )
+        dimension_choices.append(choices)
+
+    parts: list[ConditionPart] = []
+    for combo in itertools.product(*dimension_choices):
+        dims = tuple(pair[0] for pair in combo)
+        containing = BasicConditionPart(tuple(pair[1] for pair in combo))
+        parts.append(ConditionPart(dims=dims, containing=containing))
+    return parts
+
+
+def bcp_of_row(row: Row, query: Query, discretization: Discretization) -> BasicConditionPart:
+    """The containing basic condition part a result tuple belongs to.
+
+    Recovered from the tuple's ``Cselect`` attribute values, which are
+    guaranteed present because the plan projects to the expanded select
+    list ``Ls'``.
+    """
+    dims: list[Dimension] = []
+    for slot in query.template.slots:
+        value = row[slot.column]
+        if discretization.has_grid(slot.column):
+            grid = discretization.grid(slot.column)
+            basic_id = grid.id_for_value(value)
+            dims.append(IntervalDim(slot.column, grid.interval(basic_id), basic_id))
+        else:
+            dims.append(EqualityDim(slot.column, value))
+    return BasicConditionPart(tuple(dims))

@@ -1,0 +1,187 @@
+"""Discretization: dividing values and basic intervals (Section 3.1).
+
+For every interval-form slot of a template, the range of possible
+values ``Ei`` is cut by *dividing values* into non-overlapping *basic
+intervals* that fully cover ``Ei``.  Each basic interval gets an id;
+ids are what basic condition parts store.
+
+Dividing values come from one of three sources the paper names:
+
+1. the form's from/to value lists (pass them straight to
+   :class:`BasicIntervals`);
+2. a person (DBA) defining the PMV;
+3. learning from query traces — :func:`learn_dividing_values`
+   implements an equal-frequency discretizer in the spirit of the
+   continuous-feature-discretization literature the paper cites.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+from repro.engine.datatypes import Infinity, MINUS_INFINITY, PLUS_INFINITY
+from repro.engine.predicate import Interval
+from repro.engine.template import QueryTemplate, SlotForm
+from repro.errors import DiscretizationError
+
+__all__ = ["BasicIntervals", "Discretization", "learn_dividing_values"]
+
+
+class BasicIntervals:
+    """The basic intervals of one interval-form slot.
+
+    ``k`` dividing values ``d1 < … < dk`` over a range ``(low, high)``
+    produce ``k+1`` basic intervals::
+
+        (low, d1)  [d1, d2)  …  [dk, high)
+
+    Half-open on the left boundary so the intervals are pairwise
+    disjoint and fully cover the range, as Section 3.1 requires.  Ids
+    are assigned left to right starting at 0.
+    """
+
+    def __init__(
+        self,
+        dividing_values: Sequence[Any],
+        low: Any = MINUS_INFINITY,
+        high: Any = PLUS_INFINITY,
+    ) -> None:
+        values = list(dividing_values)
+        if not values:
+            raise DiscretizationError("need at least one dividing value")
+        if sorted(values) != values or len(set(values)) != len(values):
+            raise DiscretizationError("dividing values must be strictly increasing")
+        if not isinstance(low, Infinity) and values[0] <= low:
+            raise DiscretizationError("dividing values must lie inside the range")
+        if not isinstance(high, Infinity) and values[-1] >= high:
+            raise DiscretizationError("dividing values must lie inside the range")
+        self.dividing_values = values
+        self.low = low
+        self.high = high
+        self._intervals: list[Interval] = []
+        bounds = [low, *values, high]
+        for i in range(len(bounds) - 1):
+            self._intervals.append(
+                Interval(
+                    bounds[i],
+                    bounds[i + 1],
+                    low_inclusive=i > 0,  # the leftmost interval is open below
+                    high_inclusive=False,
+                )
+            )
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._intervals)
+
+    def interval(self, basic_id: int) -> Interval:
+        """The basic interval with id ``basic_id``."""
+        if not 0 <= basic_id < len(self._intervals):
+            raise DiscretizationError(f"no basic interval #{basic_id}")
+        return self._intervals[basic_id]
+
+    def id_for_value(self, value: Any) -> int:
+        """Id of the basic interval containing ``value``.
+
+        ``bisect_right`` over the dividing values gives the id directly
+        because interval ``i`` covers ``[d_i, d_{i+1})``.
+        """
+        if not isinstance(self.low, Infinity) and value <= self.low:
+            raise DiscretizationError(f"value {value!r} below range")
+        if not isinstance(self.high, Infinity) and value >= self.high:
+            raise DiscretizationError(f"value {value!r} above range")
+        return bisect.bisect_right(self.dividing_values, value)
+
+    def overlapping_ids(self, query_interval: Interval) -> list[int]:
+        """Ids of every basic interval that overlaps ``query_interval``.
+
+        This is Operation O1's ``J_r`` computation for one query
+        interval.
+        """
+        out = [
+            basic_id
+            for basic_id, basic in enumerate(self._intervals)
+            if basic.overlaps(query_interval)
+        ]
+        if not out:
+            raise DiscretizationError(
+                f"query interval {query_interval} falls outside the covered range"
+            )
+        return out
+
+    def all_intervals(self) -> tuple[Interval, ...]:
+        return tuple(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BasicIntervals({self.count} intervals over {self.low!r}..{self.high!r})"
+
+
+class Discretization:
+    """Per-template discretization: one :class:`BasicIntervals` per
+    interval-form slot (equality slots need none — their "cells" are
+    the attribute values themselves)."""
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        interval_grids: dict[str, BasicIntervals] | None = None,
+    ) -> None:
+        grids = dict(interval_grids or {})
+        for slot in template.slots:
+            if slot.form is SlotForm.INTERVAL and slot.column not in grids:
+                raise DiscretizationError(
+                    f"interval slot {slot.column!r} has no basic intervals; "
+                    "supply dividing values"
+                )
+        for column in grids:
+            slot = next((s for s in template.slots if s.column == column), None)
+            if slot is None:
+                raise DiscretizationError(f"no slot on {column!r} in template")
+            if slot.form is not SlotForm.INTERVAL:
+                raise DiscretizationError(
+                    f"slot {column!r} is equality-form; it takes no dividing values"
+                )
+        self.template = template
+        self._grids = grids
+
+    def grid(self, column: str) -> BasicIntervals:
+        try:
+            return self._grids[column]
+        except KeyError:
+            raise DiscretizationError(f"no basic intervals for {column!r}") from None
+
+    def has_grid(self, column: str) -> bool:
+        return column in self._grids
+
+
+def learn_dividing_values(
+    observed_values: Sequence[Any],
+    bins: int,
+) -> list[Any]:
+    """Equal-frequency dividing values learned from a trace.
+
+    Sorts the observed endpoint values from a query trace and picks
+    ``bins - 1`` cut points so each basic interval sees roughly the
+    same number of observations — the unsupervised discretization
+    strategy of the machine-learning literature the paper cites
+    ([11]).  Duplicate cut points collapse, so fewer than ``bins - 1``
+    values can be returned for skewed traces.
+    """
+    if bins < 2:
+        raise DiscretizationError("need at least 2 bins")
+    values = sorted(observed_values)
+    if not values:
+        raise DiscretizationError("cannot learn dividing values from an empty trace")
+    cuts: list[Any] = []
+    for i in range(1, bins):
+        pos = round(i * len(values) / bins)
+        pos = min(max(pos, 0), len(values) - 1)
+        cut = values[pos]
+        if not cuts or cut > cuts[-1]:
+            cuts.append(cut)
+    if not cuts:
+        raise DiscretizationError("trace has too few distinct values to discretize")
+    return cuts

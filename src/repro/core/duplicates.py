@@ -1,0 +1,63 @@
+"""The temporary in-memory structure ``DS`` (Sections 3 and 3.3).
+
+``DS`` records the partial result tuples already delivered to the user
+in Operation O2 so that Operation O3 returns each result tuple exactly
+once.  Query results are multisets — the paper is explicit that a
+delivered tuple must be *removed* from DS when matched, otherwise a
+later duplicate would wrongly be suppressed — so DS is a counting
+multiset, not a set.
+"""
+
+from __future__ import annotations
+
+from repro.engine.row import Row
+from repro.errors import PMVError
+
+__all__ = ["DuplicateSuppressor"]
+
+
+class DuplicateSuppressor:
+    """A counting multiset of rows with O(1) add / consume."""
+
+    def __init__(self) -> None:
+        self._counts: dict[Row, int] = {}
+        self._size = 0
+
+    def add(self, row: Row) -> None:
+        """Record that ``row`` was delivered to the user in O2."""
+        self._counts[row] = self._counts.get(row, 0) + 1
+        self._size += 1
+
+    def consume(self, row: Row) -> bool:
+        """If ``row`` is recorded, remove one occurrence and return True.
+
+        O3 calls this for every result tuple; a True return means the
+        user already has this occurrence and it must not be re-sent.
+        """
+        count = self._counts.get(row, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del self._counts[row]
+        else:
+            self._counts[row] = count - 1
+        self._size -= 1
+        return True
+
+    def contains(self, row: Row) -> bool:
+        return self._counts.get(row, 0) > 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def assert_empty(self) -> None:
+        """Paper invariant: after O3 processes every result tuple, DS
+        must be empty — every O2-delivered tuple was re-derived by the
+        full execution.  A leftover means the PMV served a stale tuple.
+        """
+        if self._size:
+            sample = next(iter(self._counts))
+            raise PMVError(
+                f"DS not empty after O3: {self._size} tuple(s) left, e.g. {sample!r}; "
+                "the PMV delivered results full execution did not produce"
+            )

@@ -1,0 +1,306 @@
+"""Query handling through a PMV: Operations O1, O2, O3 (Section 3.3).
+
+Given a bound query, :class:`PMVExecutor`:
+
+- **O1** breaks ``Cselect`` into non-overlapping condition parts;
+- **O2** takes an S lock on the PMV, probes the bcp index for each
+  part's containing bcp, and returns the cached tuples that satisfy
+  the query as *immediate partial results*, recording them in the
+  duplicate suppressor ``DS``;
+- **O3** runs the full (blocking) plan, suppresses the tuples the user
+  already received, returns the remainder, and opportunistically fills
+  or refreshes the PMV "for free" — at most ``F`` tuples per bcp,
+  guarded by the per-bcp counters ``cj``.
+
+The executor separately measures the *overhead* of the PMV code paths
+(O1 + O2 + O3's checking) and the full execution time, which is what
+Figures 8-10 of the paper report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.decompose import decompose
+from repro.core.duplicates import DuplicateSuppressor
+from repro.core.metrics import QueryMetrics
+from repro.core.view import PartialMaterializedView
+from repro.engine.database import Database
+from repro.engine.row import Row
+from repro.engine.template import Query
+from repro.engine.transactions import Transaction
+from repro.errors import PMVError
+
+__all__ = ["PMVQueryResult", "PMVExecutor"]
+
+
+@dataclass
+class PMVQueryResult:
+    """Everything one PMV-mediated query produced.
+
+    ``partial_rows`` were delivered immediately from the PMV (O2);
+    ``remaining_rows`` came from full execution (O3).  Together they
+    are exactly the query's full answer, each tuple delivered once.
+    Rows carry the expanded select list ``Ls'``; :meth:`user_rows`
+    projects down to the user-visible ``Ls``.
+    """
+
+    query: Query
+    partial_rows: list[Row] = field(default_factory=list)
+    remaining_rows: list[Row] = field(default_factory=list)
+    metrics: QueryMetrics = field(default_factory=QueryMetrics)
+
+    def all_rows(self) -> list[Row]:
+        """Every result tuple, partial results first."""
+        return self.partial_rows + self.remaining_rows
+
+    def user_rows(self) -> list[Row]:
+        """The full answer projected to the original select list Ls."""
+        names = self.query.template.select_list
+        return [row.project(names) for row in self.all_rows()]
+
+    def ordered_rows(
+        self,
+        order_by: Sequence[str],
+        descending: bool = False,
+        partial_first: bool = True,
+    ) -> list[Row]:
+        """The answer sorted by ``order_by`` columns (Section 3.6's
+        ORDER BY handling).
+
+        With ``partial_first`` (the default), the immediately-available
+        partial results are sorted among themselves and presented ahead
+        of the (sorted) remainder — the "minor changes in the user
+        interface" the paper describes: the user sees an ordered
+        prefix right away and an ordered continuation after full
+        execution.  With ``partial_first=False`` the complete answer is
+        globally sorted (available only after O3, like a traditional
+        ORDER BY).
+        """
+
+        def sort_key(row: Row):
+            return tuple(row[column] for column in order_by)
+
+        if partial_first:
+            return sorted(self.partial_rows, key=sort_key, reverse=descending) + sorted(
+                self.remaining_rows, key=sort_key, reverse=descending
+            )
+        return sorted(self.all_rows(), key=sort_key, reverse=descending)
+
+    @property
+    def had_partial_results(self) -> bool:
+        return bool(self.partial_rows)
+
+
+class PMVExecutor:
+    """Executes queries of one template through its PMV."""
+
+    def __init__(
+        self,
+        database: Database,
+        view: PartialMaterializedView,
+        clock=time.perf_counter,
+    ) -> None:
+        self.database = database
+        self.view = view
+        self._clock = clock
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        txn: Transaction | None = None,
+        distinct: bool = False,
+        on_partial: Callable[[list[Row]], None] | None = None,
+    ) -> PMVQueryResult:
+        """Run ``query`` through O1/O2/O3.
+
+        With ``distinct=True`` the Section 3.6 variant is used: only
+        distinct tuples are delivered (from both the PMV and full
+        execution).  ``on_partial`` is invoked with the partial result
+        rows the moment O2 completes — i.e. before full execution
+        starts — which is how an application streams the immediate
+        results to its user.
+        """
+        self._check_template(query)
+        own_txn = txn is None
+        if own_txn:
+            txn = self.database.begin(read_only=True)
+        try:
+            result = self._execute_locked(query, txn, distinct, on_partial)
+        finally:
+            if own_txn:
+                txn.commit()  # releases the S lock (strict 2PL)
+        return result
+
+    def preview(self, query: Query, txn: Transaction | None = None) -> PMVQueryResult:
+        """Operations O1+O2 only: the immediately available partial
+        results, with full execution *skipped entirely*.
+
+        This is the paper's Benefit 2: a user who finds the partial
+        results unsatisfactory (and will refine the query) terminates
+        early, sparing the RDBMS the whole blocking execution.  The
+        preview performs no base-relation I/O and does not refresh the
+        PMV; ``remaining_rows`` stays empty.
+        """
+        self._check_template(query)
+        own_txn = txn is None
+        if own_txn:
+            txn = self.database.begin(read_only=True)
+        try:
+            result = self._preview_locked(query, txn)
+        finally:
+            if own_txn:
+                txn.commit()
+        return result
+
+    def _check_template(self, query: Query) -> None:
+        if query.template is not self.view.template:
+            raise PMVError(
+                f"query is from template {query.template.name!r}, "
+                f"but this executor serves {self.view.template.name!r}"
+            )
+
+    def execute_without_pmv(self, query: Query) -> tuple[list[Row], float]:
+        """Baseline: traditional blocking execution, no PMV involved.
+
+        Returns ``(rows, execution_seconds)``.
+        """
+        start = self._clock()
+        rows = self.database.run(query, blocking=True)
+        return rows, self._clock() - start
+
+    # -- the three operations ------------------------------------------------------
+
+    def _preview_locked(self, query: Query, txn: Transaction) -> PMVQueryResult:
+        clock = self._clock
+        view = self.view
+        result = PMVQueryResult(query=query)
+        start = clock()
+        parts = decompose(query, view.discretization)
+        result.metrics.condition_parts = len(parts)
+        txn.lock_shared(view.name)
+        seen_keys: set[tuple] = set()
+        for part in parts:
+            key = part.containing.key
+            first_sighting = key not in seen_keys
+            seen_keys.add(key)
+            if first_sighting:
+                reference = view.reference(key)
+                if not reference.resident_before:
+                    continue
+                result.metrics.bcp_hits += 1
+            cached = view.lookup(key) or []
+            for row in cached:
+                if part.is_basic or part.matches(row):
+                    result.partial_rows.append(row)
+        result.metrics.partial_tuples = len(result.partial_rows)
+        elapsed = clock() - start
+        result.metrics.partial_latency_seconds = elapsed
+        result.metrics.overhead_seconds = elapsed
+        view.metrics.record_query(result.metrics)
+        return result
+
+    def _execute_locked(
+        self,
+        query: Query,
+        txn: Transaction,
+        distinct: bool,
+        on_partial: Callable[[list[Row]], None] | None = None,
+    ) -> PMVQueryResult:
+        clock = self._clock
+        view = self.view
+        result = PMVQueryResult(query=query)
+        metrics = result.metrics
+
+        # ---- Operation O1: Cselect -> condition parts -------------------
+        overhead_start = clock()
+        parts = decompose(query, view.discretization)
+        metrics.condition_parts = len(parts)
+
+        # ---- Operation O2: return cached partial results -----------------
+        # Section 3.6's locking protocol: hold an S lock on the PMV from
+        # O2 through O3 so no concurrent maintenance can invalidate the
+        # partial results already delivered.
+        txn.lock_shared(view.name)
+        ds = DuplicateSuppressor()
+        counters: dict[tuple, int] = {}
+        delivered_distinct: set[Row] = set()
+        # Several parts may share one containing bcp (a query interval
+        # split inside a single basic interval); the bcp appears in
+        # this query's Cselect *once*, so it is referenced once — this
+        # matters for 2Q, whose A1→Am promotion requires a reappearance
+        # in a *different* query.
+        parts_by_key: dict[tuple, list] = {}
+        for part in parts:
+            parts_by_key.setdefault(part.containing.key, []).append(part)
+        for key, key_parts in parts_by_key.items():
+            reference = view.reference(key)
+            if reference.resident_before:
+                metrics.bcp_hits += 1
+                cached = view.lookup(key) or []
+                counters[key] = len(cached)
+                for row in cached:
+                    # A cached tuple belongs to bcp_j; it satisfies the
+                    # query's Cselect iff it also lies in one of the
+                    # (non-overlapping) parts bcp_j contains.
+                    if any(part.is_basic or part.matches(row) for part in key_parts):
+                        if distinct:
+                            if row in delivered_distinct:
+                                continue
+                            delivered_distinct.add(row)
+                        result.partial_rows.append(row)
+                        ds.add(row)
+            else:
+                counters[key] = view.tuple_count(key)
+        metrics.partial_tuples = len(result.partial_rows)
+        overhead = clock() - overhead_start
+        metrics.partial_latency_seconds = overhead
+        if on_partial is not None:
+            # Stream the immediate partial results to the caller before
+            # full execution begins (the callback's time is the user's,
+            # not PMV overhead).
+            on_partial(list(result.partial_rows))
+
+        # ---- Operation O3: full execution + dedup + PMV refresh ----------
+        execution_start = clock()
+        plan = self.database.plan(query, blocking=True)
+        seen_distinct: set[Row] = set()
+        f_limit = view.tuples_per_entry
+        for row in plan.execute():
+            check_start = clock()
+            if distinct:
+                if row in seen_distinct:
+                    overhead += clock() - check_start
+                    continue
+                seen_distinct.add(row)
+            if ds.consume(row):
+                # The user already received this occurrence in O2.
+                overhead += clock() - check_start
+                continue
+            result.remaining_rows.append(row)
+            # Refresh the PMV "for free": find the containing bcp and
+            # store the tuple if its per-bcp budget cj < F allows.
+            key = view.key_of_row(row)
+            cj = counters.get(key)
+            if cj is None:
+                cj = view.tuple_count(key)
+            if cj < f_limit and view.add_tuple(key, row):
+                counters[key] = cj + 1
+            else:
+                counters[key] = cj
+            overhead += clock() - check_start
+        execution_seconds = clock() - execution_start
+
+        # Transactional consistency invariant: everything delivered in
+        # O2 must have been re-derived by O3.
+        ds.assert_empty()
+
+        metrics.remaining_tuples = len(result.remaining_rows)
+        metrics.overhead_seconds = overhead
+        metrics.execution_seconds = execution_seconds
+        view.metrics.record_query(metrics)
+        return result

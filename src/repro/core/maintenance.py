@@ -1,0 +1,343 @@
+"""Deferred PMV maintenance (Section 3.4).
+
+A :class:`PMVMaintainer` subscribes to the database's change stream and
+keeps one PMV from ever serving stale tuples, at the minimum possible
+cost:
+
+- **insert** — never maintained: a new base tuple can only create
+  *new* results, and a PMV (being any subset of its containing MV)
+  stays correct without them;
+- **delete** — affected cached tuples are removed.  Two strategies:
+  ``DELTA_JOIN`` computes the join of the deleted row with the other
+  base relations (the main-text algorithm); ``AUX_INDEX`` probes the
+  PMV's in-memory auxiliary indexes instead (the optimization the
+  paper defers to its full version), avoiding the join entirely;
+- **update** — skipped outright when no attribute of the expanded
+  select list ``Ls'`` or of ``Cjoin`` changed; otherwise handled like
+  a delete of the old row (the new values, like an insert, need no
+  maintenance).
+
+Locking follows Section 3.6's protocol with proper two-phase ordering:
+the maintainer subscribes to the database's *prepare* phase and
+acquires the X lock on the PMV **before** the base relation is touched,
+so a denial (a reader holds its S lock between O2 and O3) aborts the
+writing statement cleanly with no base change — exactly the "updating
+some base relation ... would require updating VPM with the acquisition
+of an X lock" discipline the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.core.view import PartialMaterializedView
+from repro.engine.database import Database
+from repro.engine.row import Row
+from repro.engine.schema import Schema
+from repro.engine.template import QueryTemplate
+from repro.engine.transactions import Change, ChangeKind, Transaction
+from repro.errors import MaintenanceError
+
+__all__ = [
+    "MaintenanceStrategy",
+    "PMVMaintainer",
+    "template_result_schema",
+    "compute_delta_join",
+]
+
+
+class MaintenanceStrategy(enum.Enum):
+    """How deletes/updates locate affected cached tuples."""
+
+    DELTA_JOIN = "delta_join"
+    AUX_INDEX = "aux_index"
+
+
+def template_result_schema(template: QueryTemplate, database: Database) -> Schema:
+    """The schema of the template's ``Ls'`` result tuples.
+
+    Built exactly the way the planner builds it (concat of the base
+    schemas, then projection), so rows constructed against it compare
+    equal to execution output rows.
+    """
+    catalog = database.catalog
+    joined = catalog.relation(template.relations[0]).schema
+    for name in template.relations[1:]:
+        joined = joined.concat(catalog.relation(name).schema)
+    return joined.project(template.expanded_select_list())
+
+
+def compute_delta_join(
+    database: Database,
+    template: QueryTemplate,
+    relation: str,
+    delta_row: Row,
+    result_schema: Schema | None = None,
+) -> list[Row]:
+    """Join one ΔRi row with the template's other base relations.
+
+    Returns ``Ls'`` result rows, exactly as plan execution would
+    produce them.  Uses the catalog's join-attribute indexes, so the
+    cost mirrors a real system's delta join.  Shared by PMV maintenance
+    and the traditional-MV baseline.
+    """
+    catalog = database.catalog
+    if result_schema is None:
+        result_schema = template_result_schema(template, database)
+    # Each partial binding maps qualified column name -> value.
+    bindings: list[dict[str, Any]] = [
+        {
+            f"{relation}.{name}": value
+            for name, value in zip(delta_row.schema.names(), delta_row.values)
+        }
+    ]
+    planned = {relation}
+    pending = list(template.joins)
+    while pending:
+        progressed = False
+        for edge in list(pending):
+            left_in = edge.left_relation in planned
+            right_in = edge.right_relation in planned
+            if left_in and right_in:
+                pending.remove(edge)
+                left_q, right_q = edge.qualified_left(), edge.qualified_right()
+                bindings = [b for b in bindings if b[left_q] == b[right_q]]
+                progressed = True
+                continue
+            if not left_in and not right_in:
+                continue
+            if left_in:
+                source_col = edge.qualified_left()
+                target_rel, target_col = edge.right_relation, edge.right_column
+            else:
+                source_col = edge.qualified_right()
+                target_rel, target_col = edge.left_relation, edge.left_column
+            index = catalog.find_index(target_rel, target_col)
+            if index is None:
+                raise MaintenanceError(
+                    f"delta join needs an index on {target_rel}.{target_col}"
+                )
+            target = catalog.relation(target_rel)
+            grown: list[dict[str, Any]] = []
+            for binding in bindings:
+                for row_id in index.probe(binding[source_col]):
+                    matched = target.fetch(row_id)
+                    extended = dict(binding)
+                    for name, value in zip(matched.schema.names(), matched.values):
+                        extended[f"{target_rel}.{name}"] = value
+                    grown.append(extended)
+            bindings = grown
+            planned.add(target_rel)
+            pending.remove(edge)
+            progressed = True
+        if not progressed:
+            raise MaintenanceError(f"join graph of {template.name!r} is disconnected")
+    # Parameterless Cjoin conditions must hold as well.
+    for condition in template.fixed_conditions:
+        column = condition.column
+        bindings = [
+            binding for binding in bindings if _condition_holds(condition, binding[column])
+        ]
+    names = template.expanded_select_list()
+    return [Row([binding[name] for name in names], result_schema) for binding in bindings]
+
+
+class PMVMaintainer:
+    """Keeps one PMV consistent under base-relation changes."""
+
+    def __init__(
+        self,
+        database: Database,
+        view: PartialMaterializedView,
+        strategy: MaintenanceStrategy = MaintenanceStrategy.DELTA_JOIN,
+    ) -> None:
+        self.database = database
+        self.view = view
+        self.strategy = strategy
+        self._attached = False
+        # X-lock transactions opened in the prepare phase for
+        # statements outside a caller transaction, committed when the
+        # corresponding change (or abort) arrives.  The engine is
+        # single-threaded, so a simple stack pairs them up.
+        self._pending_txns: list[Transaction] = []
+        self._result_schema = template_result_schema(view.template, database)
+        if strategy is MaintenanceStrategy.AUX_INDEX:
+            self._check_aux_coverage()
+        # Attributes of Ls' and Cjoin per relation: updates touching
+        # none of them are free (Section 3.4, case 3).
+        self._relevant_attrs: dict[str, set[str]] = {
+            name: set() for name in view.template.relations
+        }
+        for qualified in view.template.expanded_select_list():
+            relation, bare = qualified.split(".", 1)
+            self._relevant_attrs[relation].add(bare)
+        for join in view.template.joins:
+            self._relevant_attrs[join.left_relation].add(join.left_column)
+            self._relevant_attrs[join.right_relation].add(join.right_column)
+        for condition in view.template.fixed_conditions:
+            relation, bare = condition.column.split(".", 1)
+            self._relevant_attrs[relation].add(bare)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self) -> "PMVMaintainer":
+        """Start listening to the database's prepare/change/abort stream."""
+        if not self._attached:
+            self.database.add_prepare_listener(self.prepare_change)
+            self.database.add_change_listener(self.handle_change)
+            self.database.add_abort_listener(self.abort_change)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.database.remove_prepare_listener(self.prepare_change)
+            self.database.remove_change_listener(self.handle_change)
+            self.database.remove_abort_listener(self.abort_change)
+            self._attached = False
+
+    # -- change handling ----------------------------------------------------------
+
+    def _needs_maintenance(self, change: Change) -> bool:
+        """Whether this change will touch the PMV (and thus needs X)."""
+        if change.relation not in self.view.template.relations:
+            return False
+        if change.kind is ChangeKind.INSERT:
+            return False
+        if change.kind is ChangeKind.UPDATE and not self._update_is_relevant(change):
+            return False
+        return True
+
+    def prepare_change(self, change: Change, txn: Transaction | None) -> None:
+        """Prepare phase: take the X lock *before* the base write.
+
+        Raises :class:`~repro.errors.LockError` if a reader currently
+        holds its O2→O3 S lock, aborting the statement with the base
+        relations untouched.
+        """
+        if not self._needs_maintenance(change):
+            return
+        if txn is not None:
+            txn.lock_exclusive(self.view.name)
+            return
+        pending = self.database.begin()
+        try:
+            pending.lock_exclusive(self.view.name)
+        except Exception:
+            pending.abort()
+            raise
+        self._pending_txns.append(pending)
+
+    def abort_change(self, change: Change, txn: Transaction | None) -> None:
+        """The prepared statement failed: release any pending X lock."""
+        if not self._needs_maintenance(change):
+            return
+        if txn is None and self._pending_txns:
+            self._pending_txns.pop().abort()
+
+    def handle_change(self, change: Change, txn: Transaction | None) -> None:
+        """React to one applied base-relation change (the ΔRi element)."""
+        if change.relation not in self.view.template.relations:
+            return
+        metrics = self.view.metrics
+        if change.kind is ChangeKind.INSERT:
+            # Section 3.4 case 1: existing PMV tuples are unaffected.
+            metrics.maintenance_inserts_ignored += 1
+            return
+        if change.kind is ChangeKind.UPDATE:
+            assert change.old_row is not None and change.new_row is not None
+            if not self._update_is_relevant(change):
+                metrics.maintenance_updates_skipped += 1
+                return
+            self._remove_derived(change.relation, change.old_row, txn)
+            return
+        assert change.old_row is not None
+        metrics.maintenance_deletes += 1
+        self._remove_derived(change.relation, change.old_row, txn)
+
+    def _update_is_relevant(self, change: Change) -> bool:
+        relevant = self._relevant_attrs[change.relation]
+        old, new = change.old_row, change.new_row
+        assert old is not None and new is not None
+        return any(old[attr] != new[attr] for attr in relevant)
+
+    # -- removal strategies ----------------------------------------------------------
+
+    def _remove_derived(
+        self, relation: str, old_row: Row, txn: Transaction | None
+    ) -> None:
+        # The X lock was taken in the prepare phase; a caller txn holds
+        # it until its own commit, a pending internal txn until the
+        # maintenance work below completes.
+        pending = None
+        if txn is None:
+            if self._pending_txns:
+                pending = self._pending_txns.pop()
+            else:
+                # Change arrived without a prepare (e.g. the maintainer
+                # attached mid-statement): lock now, best effort.
+                pending = self.database.begin()
+                pending.lock_exclusive(self.view.name)
+        try:
+            if self.strategy is MaintenanceStrategy.AUX_INDEX:
+                self._remove_via_aux_index(relation, old_row)
+            else:
+                self._remove_via_delta_join(relation, old_row)
+        finally:
+            if pending is not None:
+                pending.commit()
+
+    def _remove_via_delta_join(self, relation: str, old_row: Row) -> None:
+        """Main-text algorithm: join ΔRi against the other relations and
+        drop each derived result tuple that is cached."""
+        for result in self.delta_join(relation, old_row):
+            self.view.remove_tuple(result)
+
+    def _remove_via_aux_index(self, relation: str, old_row: Row) -> None:
+        """Optimized algorithm: probe the PMV's auxiliary index on one of
+        the deleted row's identifying attributes.
+
+        Removes every cached tuple carrying the deleted row's value in
+        that attribute.  This is a (safe) superset of the stale tuples
+        whenever the attribute does not functionally determine the
+        row — dropping a still-valid tuple only shrinks the cache, it
+        can never make the PMV incorrect.
+        """
+        column = self._aux_column_for(relation)
+        bare = column.split(".", 1)[1]
+        for row in self.view.rows_with_value(column, old_row[bare]):
+            self.view.remove_tuple(row)
+
+    # -- delta join -----------------------------------------------------------------------
+
+    def delta_join(self, relation: str, delta_row: Row) -> list[Row]:
+        """Join one ΔRi row with the other base relations of the view."""
+        return compute_delta_join(
+            self.database, self.view.template, relation, delta_row, self._result_schema
+        )
+
+    # -- aux-index configuration ----------------------------------------------------------
+
+    def _check_aux_coverage(self) -> None:
+        for relation in self.view.template.relations:
+            self._aux_column_for(relation)
+
+    def _aux_column_for(self, relation: str) -> str:
+        prefix = f"{relation}."
+        for column in self.view.aux_index_columns:
+            if column.startswith(prefix):
+                return column
+        raise MaintenanceError(
+            f"AUX_INDEX maintenance needs an auxiliary index on an attribute of "
+            f"{relation!r} (in Ls'); configure aux_index_columns on the view"
+        )
+
+
+def _condition_holds(condition, value: Any) -> bool:
+    """Evaluate a single-attribute fixed condition against a raw value."""
+    from repro.engine.predicate import EqualityDisjunction
+
+    if isinstance(condition, EqualityDisjunction):
+        return value in condition.values
+    return any(iv.contains_value(value) for iv in condition.intervals)

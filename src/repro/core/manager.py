@@ -1,0 +1,168 @@
+"""Managing many PMVs at once.
+
+The paper: "Many PMVs can reside in the RDBMS simultaneously" and "the
+RDBMS cannot keep a MV for each frequently used query template" — the
+whole point is that PMVs are cheap enough to keep one per hot template.
+:class:`PMVManager` is that registry: it creates a PMV (plus executor
+and maintainer) per template, routes incoming queries to the right
+PMV by their template, and accounts for the fleet's total memory so an
+operator can check the "RDBMS can afford storing many PMVs" claim
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.discretize import Discretization
+from repro.core.executor import PMVExecutor, PMVQueryResult
+from repro.core.maintenance import MaintenanceStrategy, PMVMaintainer
+from repro.core.replacement import ReplacementPolicy
+from repro.core.view import PartialMaterializedView
+from repro.engine.database import Database
+from repro.engine.template import Query, QueryTemplate
+from repro.engine.transactions import Transaction
+from repro.errors import PMVError
+
+__all__ = ["ManagedView", "PMVManager"]
+
+
+@dataclass
+class ManagedView:
+    """One template's PMV with its executor and maintainer."""
+
+    view: PartialMaterializedView
+    executor: PMVExecutor
+    maintainer: PMVMaintainer
+
+
+class PMVManager:
+    """A registry of PMVs, one per query template."""
+
+    def __init__(
+        self,
+        database: Database,
+        maintenance_strategy: MaintenanceStrategy = MaintenanceStrategy.DELTA_JOIN,
+    ) -> None:
+        self.database = database
+        self.maintenance_strategy = maintenance_strategy
+        self._views: dict[str, ManagedView] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create_view(
+        self,
+        template: QueryTemplate,
+        discretization: Discretization | None = None,
+        tuples_per_entry: int = 3,
+        max_entries: int = 10_000,
+        policy: ReplacementPolicy | str = "clock",
+        aux_index_columns: Sequence[str] = (),
+        upper_bound_bytes: int | None = None,
+        maintenance_strategy: MaintenanceStrategy | None = None,
+    ) -> PartialMaterializedView:
+        """Create, register, and wire a PMV for ``template``.
+
+        Registers the template in the catalog when it is not yet known,
+        attaches a maintainer, and makes the manager route the
+        template's queries to the new view.
+        """
+        if template.name in self._views:
+            raise PMVError(f"template {template.name!r} already has a PMV")
+        if not self.database.catalog.has_relation(template.relations[0]):
+            raise PMVError(
+                f"template {template.name!r} references unknown relations"
+            )
+        from repro.errors import CatalogError
+
+        try:
+            self.database.catalog.template(template.name)
+        except CatalogError:
+            self.database.register_template(template)
+        if discretization is None:
+            discretization = Discretization(template)
+        view = PartialMaterializedView(
+            template,
+            discretization,
+            tuples_per_entry=tuples_per_entry,
+            max_entries=max_entries,
+            policy=policy,
+            aux_index_columns=aux_index_columns,
+            upper_bound_bytes=upper_bound_bytes,
+        )
+        strategy = maintenance_strategy or self.maintenance_strategy
+        maintainer = PMVMaintainer(self.database, view, strategy=strategy).attach()
+        executor = PMVExecutor(self.database, view)
+        self._views[template.name] = ManagedView(view, executor, maintainer)
+        return view
+
+    def drop_view(self, template_name: str) -> None:
+        """Detach and forget the PMV of ``template_name``."""
+        managed = self._views.pop(template_name, None)
+        if managed is None:
+            raise PMVError(f"no PMV for template {template_name!r}")
+        managed.maintainer.detach()
+
+    # -- routing --------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        txn: Transaction | None = None,
+        distinct: bool = False,
+    ) -> PMVQueryResult:
+        """Run ``query`` through the PMV registered for its template."""
+        managed = self._views.get(query.template.name)
+        if managed is None:
+            raise PMVError(
+                f"no PMV registered for template {query.template.name!r}"
+            )
+        return managed.executor.execute(query, txn=txn, distinct=distinct)
+
+    # -- inspection --------------------------------------------------------------------
+
+    def view(self, template_name: str) -> PartialMaterializedView:
+        try:
+            return self._views[template_name].view
+        except KeyError:
+            raise PMVError(f"no PMV for template {template_name!r}") from None
+
+    def executor(self, template_name: str) -> PMVExecutor:
+        try:
+            return self._views[template_name].executor
+        except KeyError:
+            raise PMVError(f"no PMV for template {template_name!r}") from None
+
+    def template_names(self) -> list[str]:
+        return list(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def total_bytes(self) -> int:
+        """Combined accounted size of every managed PMV — the quantity
+        behind the paper's "the memory can hold many PMVs"."""
+        return sum(managed.view.current_bytes for managed in self._views.values())
+
+    def summary(self) -> list[dict]:
+        """Per-view status rows (for operator dashboards/tests)."""
+        out = []
+        for name, managed in self._views.items():
+            view, metrics = managed.view, managed.view.metrics
+            out.append(
+                {
+                    "template": name,
+                    "entries": view.entry_count,
+                    "tuples": view.stored_tuple_count,
+                    "bytes": view.current_bytes,
+                    "queries": metrics.queries,
+                    "hit_probability": metrics.hit_probability,
+                }
+            )
+        return out
+
+    def check_invariants(self) -> None:
+        for managed in self._views.values():
+            managed.view.check_invariants()

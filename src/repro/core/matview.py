@@ -1,0 +1,224 @@
+"""Traditional materialized-view baselines (Section 2).
+
+Two baselines the paper contrasts PMVs with:
+
+- :class:`MaterializedView` — the *containing* MV ``VM`` of Section 2.2
+  (Figure 2): all join results for the template's ``Cjoin``, maintained
+  *immediately* on every insert, delete, and update of a base relation.
+  Doubles as a correctness oracle in tests (a query's answer is the MV
+  filtered by its ``Cselect``) and as the MV side of the maintenance-
+  cost comparison.
+- :class:`SmallMaterializedView` — the per-hot-cell ``VsM`` of
+  Section 2.3: all results of one fixed basic condition part, also
+  immediately maintained.
+
+Both count their maintenance work (delta joins computed, tuples
+added/removed) so experiments can report it alongside the PMV's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.condition import BasicConditionPart
+from repro.core.maintenance import compute_delta_join, template_result_schema
+from repro.engine.database import Database
+from repro.engine.row import Row
+from repro.engine.template import Query, QueryTemplate
+from repro.engine.transactions import Change, ChangeKind, Transaction
+from repro.errors import ViewDefinitionError
+
+__all__ = ["MaterializedView", "SmallMaterializedView", "MVMaintenanceStats"]
+
+
+@dataclass
+class MVMaintenanceStats:
+    """Work counters for immediate MV maintenance."""
+
+    delta_joins: int = 0
+    tuples_added: int = 0
+    tuples_removed: int = 0
+    updates_handled: int = 0
+
+    @property
+    def total_operations(self) -> int:
+        return self.delta_joins + self.tuples_added + self.tuples_removed
+
+
+class _RowMultiset:
+    """A counting multiset of rows (MVs are multisets, Section 3.1)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[Row, int] = {}
+        self._size = 0
+
+    def add(self, row: Row) -> None:
+        self._counts[row] = self._counts.get(row, 0) + 1
+        self._size += 1
+
+    def remove(self, row: Row) -> bool:
+        count = self._counts.get(row, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del self._counts[row]
+        else:
+            self._counts[row] = count - 1
+        self._size -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, row: Row) -> bool:
+        return self._counts.get(row, 0) > 0
+
+    def rows(self) -> list[Row]:
+        out: list[Row] = []
+        for row, count in self._counts.items():
+            out.extend([row] * count)
+        return out
+
+
+class MaterializedView:
+    """The containing MV ``VM``: every ``Cjoin`` result, kept current.
+
+    Create it *after* loading the base relations (or call
+    :meth:`refresh`), then :meth:`attach` to maintain it immediately on
+    every change — the behaviour whose cost Section 4.3 compares
+    against PMV maintenance.
+    """
+
+    def __init__(self, database: Database, template: QueryTemplate) -> None:
+        self.database = database
+        self.template = template
+        self.name = f"mv_{template.name}"
+        self.schema = template_result_schema(template, database)
+        self.stats = MVMaintenanceStats()
+        self._rows = _RowMultiset()
+        self._attached = False
+        self.refresh()
+
+    # -- content ---------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Recompute the full join result from scratch."""
+        self._rows = _RowMultiset()
+        template = self.template
+        driver = template.relations[0]
+        relation = self.database.catalog.relation(driver)
+        for base_row in relation.scan_rows():
+            for result in compute_delta_join(
+                self.database, template, driver, base_row, self.schema
+            ):
+                self._rows.add(result)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[Row]:
+        return self._rows.rows()
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._rows
+
+    # -- query answering -----------------------------------------------------------
+
+    def answer(self, query: Query) -> list[Row]:
+        """Answer a template query by filtering the MV with its Cselect.
+
+        This is the classical answering-queries-using-views path; used
+        as the correctness oracle in tests.
+        """
+        if query.template is not self.template:
+            raise ViewDefinitionError("query is from a different template")
+        return [row for row in self._rows.rows() if query.cselect.matches(row)]
+
+    # -- immediate maintenance -------------------------------------------------------
+
+    def attach(self) -> "MaterializedView":
+        if not self._attached:
+            self.database.add_change_listener(self.handle_change)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.database.remove_change_listener(self.handle_change)
+            self._attached = False
+
+    def handle_change(self, change: Change, txn: Transaction | None) -> None:
+        """Immediate maintenance: unlike a PMV, *every* kind of change
+        (including inserts) must be propagated at once."""
+        if change.relation not in self.template.relations:
+            return
+        if change.kind is ChangeKind.INSERT:
+            assert change.new_row is not None
+            self._apply_delta(change.relation, change.new_row, adding=True)
+        elif change.kind is ChangeKind.DELETE:
+            assert change.old_row is not None
+            self._apply_delta(change.relation, change.old_row, adding=False)
+        else:
+            assert change.old_row is not None and change.new_row is not None
+            self.stats.updates_handled += 1
+            self._apply_delta(change.relation, change.old_row, adding=False)
+            self._apply_delta(change.relation, change.new_row, adding=True)
+
+    def _apply_delta(self, relation: str, row: Row, adding: bool) -> None:
+        self.stats.delta_joins += 1
+        results = compute_delta_join(
+            self.database, self.template, relation, row, self.schema
+        )
+        for result in results:
+            if adding:
+                self._rows.add(result)
+                self.stats.tuples_added += 1
+            else:
+                if self._rows.remove(result):
+                    self.stats.tuples_removed += 1
+
+
+class SmallMaterializedView(MaterializedView):
+    """``VsM``: the full result set of one fixed basic condition part.
+
+    Section 2.3's small MV for a "hot" cell such as
+    ``(R.f=1, S.g=2)``.  Stores *all* tuples of that cell (no F bound)
+    and is maintained immediately — including on inserts, which is the
+    key maintenance-cost difference from a PMV entry.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        template: QueryTemplate,
+        cell: BasicConditionPart,
+    ) -> None:
+        if cell.arity != template.arity:
+            raise ViewDefinitionError("cell arity does not match template")
+        self.cell = cell
+        super().__init__(database, template)
+        self.name = f"smv_{template.name}_{cell.key!r}"
+
+    def refresh(self) -> None:
+        super().refresh()
+        filtered = _RowMultiset()
+        for row in self._rows.rows():
+            if self.cell.matches(row):
+                filtered.add(row)
+        self._rows = filtered
+
+    def _apply_delta(self, relation: str, row: Row, adding: bool) -> None:
+        self.stats.delta_joins += 1
+        results = compute_delta_join(
+            self.database, self.template, relation, row, self.schema
+        )
+        for result in results:
+            if not self.cell.matches(result):
+                continue
+            if adding:
+                self._rows.add(result)
+                self.stats.tuples_added += 1
+            else:
+                if self._rows.remove(result):
+                    self.stats.tuples_removed += 1

@@ -1,0 +1,97 @@
+"""Counters and timings for the PMV layer.
+
+Collects exactly the quantities Section 4 reports: the per-query hit
+probability (a *partial* hit — any one bcp of the query resident counts,
+Section 4.1), the overhead of the PMV code paths (Operations O1 + O2
+plus O3's duplicate checking, Figures 8-10), and maintenance work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryMetrics", "PMVMetrics"]
+
+
+@dataclass
+class QueryMetrics:
+    """Measurements for one query handled through the PMV."""
+
+    condition_parts: int = 0
+    bcp_hits: int = 0
+    partial_tuples: int = 0
+    remaining_tuples: int = 0
+    overhead_seconds: float = 0.0
+    partial_latency_seconds: float = 0.0
+    execution_seconds: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        """The paper's per-query hit: at least one bcp was resident."""
+        return self.bcp_hits > 0
+
+    @property
+    def total_tuples(self) -> int:
+        return self.partial_tuples + self.remaining_tuples
+
+
+@dataclass
+class PMVMetrics:
+    """Aggregated measurements over a PMV's lifetime."""
+
+    queries: int = 0
+    query_hits: int = 0
+    partial_tuples: int = 0
+    remaining_tuples: int = 0
+    overhead_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    tuples_cached: int = 0
+    tuples_rejected_full: int = 0
+    entries_evicted: int = 0
+    maintenance_inserts_ignored: int = 0
+    maintenance_deletes: int = 0
+    maintenance_updates_skipped: int = 0
+    maintenance_tuples_removed: int = 0
+    per_query: list[QueryMetrics] = field(default_factory=list)
+    keep_per_query: bool = False
+
+    def record_query(self, metrics: QueryMetrics) -> None:
+        self.queries += 1
+        if metrics.hit:
+            self.query_hits += 1
+        self.partial_tuples += metrics.partial_tuples
+        self.remaining_tuples += metrics.remaining_tuples
+        self.overhead_seconds += metrics.overhead_seconds
+        self.execution_seconds += metrics.execution_seconds
+        if self.keep_per_query:
+            self.per_query.append(metrics)
+
+    @property
+    def hit_probability(self) -> float:
+        """Fraction of queries that received some partial results."""
+        return self.query_hits / self.queries if self.queries else 0.0
+
+    @property
+    def mean_overhead_seconds(self) -> float:
+        return self.overhead_seconds / self.queries if self.queries else 0.0
+
+    @property
+    def mean_execution_seconds(self) -> float:
+        return self.execution_seconds / self.queries if self.queries else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used between warm-up and measurement)."""
+        self.queries = 0
+        self.query_hits = 0
+        self.partial_tuples = 0
+        self.remaining_tuples = 0
+        self.overhead_seconds = 0.0
+        self.execution_seconds = 0.0
+        self.tuples_cached = 0
+        self.tuples_rejected_full = 0
+        self.entries_evicted = 0
+        self.maintenance_inserts_ignored = 0
+        self.maintenance_deletes = 0
+        self.maintenance_updates_skipped = 0
+        self.maintenance_tuples_removed = 0
+        self.per_query.clear()

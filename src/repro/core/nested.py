@@ -1,0 +1,97 @@
+"""EXISTS-subquery acceleration via a PMV (Section 3.6).
+
+The paper's sketch: a two-level nested query whose main query produces
+candidate tuples quickly, while checking the correlated ``EXISTS``
+condition is slow.  A PMV on the *subquery's* template can confirm
+existence immediately whenever any of the subquery's basic condition
+parts holds a cached tuple satisfying it — cached tuples are guaranteed
+current by deferred maintenance, so a positive probe is a sound
+EXISTS verdict with no execution at all.  Only candidates whose probe
+misses (or finds no satisfying tuple) pay for a full subquery
+execution, and that execution refreshes the PMV for later candidates.
+
+A negative probe is never conclusive (the PMV holds a *subset* of the
+results), so misses always fall through to execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.decompose import decompose
+from repro.core.executor import PMVExecutor
+from repro.engine.row import Row
+from repro.engine.template import Query
+from repro.errors import PMVError
+
+__all__ = ["ExistsVerdictSource", "ExistsAccelerator", "ExistsStats"]
+
+
+class ExistsVerdictSource(enum.Enum):
+    """How an EXISTS verdict was obtained."""
+
+    PMV_PROBE = "pmv_probe"
+    EXECUTION = "execution"
+
+
+@dataclass
+class ExistsStats:
+    """How many checks the PMV short-circuited."""
+
+    checks: int = 0
+    pmv_confirmations: int = 0
+    executions: int = 0
+
+    @property
+    def short_circuit_fraction(self) -> float:
+        return self.pmv_confirmations / self.checks if self.checks else 0.0
+
+
+@dataclass
+class ExistsAccelerator:
+    """Answers ``EXISTS(subquery)`` checks through a subquery PMV."""
+
+    executor: PMVExecutor
+    stats: ExistsStats = field(default_factory=ExistsStats)
+
+    def check(self, subquery: Query) -> tuple[bool, ExistsVerdictSource]:
+        """Decide whether ``subquery`` has at least one result.
+
+        Fast path: probe the PMV for each of the subquery's condition
+        parts; any cached tuple satisfying a part proves existence.
+        Slow path: full execution through the PMV executor (which also
+        refreshes the PMV so the next probe on this cell hits).
+        """
+        view = self.executor.view
+        if subquery.template is not view.template:
+            raise PMVError("subquery is from a different template than the PMV")
+        self.stats.checks += 1
+        for part in decompose(subquery, view.discretization):
+            cached = view.lookup(part.containing.key)
+            if not cached:
+                continue
+            if part.is_basic or any(part.matches(row) for row in cached):
+                self.stats.pmv_confirmations += 1
+                return True, ExistsVerdictSource.PMV_PROBE
+        self.stats.executions += 1
+        result = self.executor.execute(subquery)
+        return bool(result.all_rows()), ExistsVerdictSource.EXECUTION
+
+    def filter_exists(
+        self,
+        candidates: Iterator[Row] | list[Row],
+        subquery_for: Callable[[Row], Query],
+    ) -> Iterator[tuple[Row, ExistsVerdictSource]]:
+        """Yield the candidates whose correlated EXISTS check passes.
+
+        ``subquery_for`` builds the correlated subquery for one
+        candidate row.  Candidates confirmed by a PMV probe are yielded
+        with no subquery execution at all — the paper's "rapidly
+        produce some partial results for the entire query".
+        """
+        for candidate in candidates:
+            exists, source = self.check(subquery_for(candidate))
+            if exists:
+                yield candidate, source

@@ -1,0 +1,383 @@
+"""Cache-replacement policies for basic condition parts.
+
+The paper manages the bcps inside a PMV with CLOCK by default
+(Section 3.2) and shows a simplified 2Q doing better (Sections 3.5,
+4.1).  LRU and FIFO are included for the ablation benchmarks.
+
+All policies share one small interface, :meth:`ReplacementPolicy.reference`:
+every time a bcp appears (in a query's ``Cselect`` during Operations
+O1/O2), the policy is told and answers with a :class:`ReferenceResult`:
+
+- ``resident_before`` — was the bcp already resident (a *hit*, so its
+  cached tuples can be returned)?
+- ``admitted`` — is the bcp resident after this reference?  The
+  simplified 2Q answers ``False`` the first time it ever sees a bcp
+  (the bcp only enters the A1 staging queue, per Section 4.1).
+- ``evicted`` — bcps pushed out to make room; the PMV drops their
+  cached tuples.
+
+Policies track *keys* only; the PMV owns the tuples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.errors import ViewCapacityError
+
+__all__ = [
+    "ReferenceResult",
+    "ReplacementPolicy",
+    "ClockPolicy",
+    "TwoQueuePolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "make_policy",
+]
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of one policy reference (see module docstring)."""
+
+    key: Key
+    resident_before: bool
+    admitted: bool
+    evicted: tuple[Key, ...] = field(default=())
+
+
+class ReplacementPolicy(ABC):
+    """Common interface for bcp replacement policies."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ViewCapacityError("policy capacity must be >= 1")
+        self.capacity = capacity
+        self.references = 0
+        self.hits = 0
+
+    @abstractmethod
+    def reference(self, key: Key) -> ReferenceResult:
+        """Record an appearance of ``key`` and admit/evict as needed."""
+
+    @abstractmethod
+    def contains(self, key: Key) -> bool:
+        """Whether ``key`` is resident (can serve cached tuples)."""
+
+    @abstractmethod
+    def discard(self, key: Key) -> bool:
+        """Forcibly remove ``key`` (PMV maintenance); True if present."""
+
+    @abstractmethod
+    def resident_keys(self) -> Iterator[Key]:
+        """Iterate over the currently resident keys."""
+
+    @abstractmethod
+    def force_evict(self) -> Key | None:
+        """Evict and return one resident key of the policy's choosing
+        (``None`` when nothing is resident).  Used by the PMV to shed
+        entries when its byte budget UB is exceeded."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys."""
+
+    def _count(self, resident_before: bool) -> None:
+        self.references += 1
+        if resident_before:
+            self.hits += 1
+
+    @property
+    def hit_ratio(self) -> float:
+        """Per-reference hit ratio (not the paper's per-query hit
+        probability — that is computed by the simulator)."""
+        return self.hits / self.references if self.references else 0.0
+
+
+class _ClockCore:
+    """Second-chance ring with O(1) amortized insert/evict/discard.
+
+    The ring is an append-only list with tombstones; the hand skips
+    dead entries and the list is compacted when mostly dead.
+    """
+
+    __slots__ = ("_ref", "_ring", "_hand", "_dead")
+
+    def __init__(self) -> None:
+        self._ref: dict[Key, bool] = {}
+        self._ring: list[Key | None] = []
+        self._hand = 0
+        self._dead = 0
+
+    def __len__(self) -> int:
+        return len(self._ref)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._ref
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._ref)
+
+    def touch(self, key: Key) -> None:
+        self._ref[key] = True
+
+    def insert(self, key: Key) -> None:
+        self._ref[key] = True
+        self._ring.append(key)
+
+    def discard(self, key: Key) -> bool:
+        if key not in self._ref:
+            return False
+        del self._ref[key]
+        self._dead += 1  # the ring slot becomes a lazy tombstone
+        self._maybe_compact()
+        return True
+
+    def evict(self) -> Key:
+        """Advance the hand to the next unreferenced key and remove it."""
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            key = self._ring[self._hand]
+            if key is None or key not in self._ref:
+                # Tombstone left by discard(); reclaim the slot.
+                if key is not None:
+                    self._ring[self._hand] = None
+                self._hand += 1
+                continue
+            if self._ref[key]:
+                self._ref[key] = False  # second chance
+                self._hand += 1
+                continue
+            self._ring[self._hand] = None
+            self._hand += 1
+            self._dead += 1
+            del self._ref[key]
+            self._maybe_compact()
+            return key
+
+    def _maybe_compact(self) -> None:
+        if self._dead * 2 > len(self._ring) and self._dead > 64:
+            live = [k for k in self._ring if k is not None and k in self._ref]
+            self._ring = live
+            self._hand = 0
+            self._dead = 0
+
+
+class ClockPolicy(ReplacementPolicy):
+    """The CLOCK (second-chance) policy of Section 3.2.
+
+    Every referenced bcp is admitted immediately; when the queue of L
+    entries is full, the hand sweeps for a victim whose reference bit
+    is clear.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._core = _ClockCore()
+
+    def reference(self, key: Key) -> ReferenceResult:
+        resident = key in self._core
+        self._count(resident)
+        if resident:
+            self._core.touch(key)
+            return ReferenceResult(key, True, True)
+        evicted: list[Key] = []
+        if len(self._core) >= self.capacity:
+            evicted.append(self._core.evict())
+        self._core.insert(key)
+        return ReferenceResult(key, False, True, tuple(evicted))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._core
+
+    def discard(self, key: Key) -> bool:
+        return self._core.discard(key)
+
+    def resident_keys(self) -> Iterator[Key]:
+        return self._core.keys()
+
+    def force_evict(self) -> Key | None:
+        if not len(self._core):
+            return None
+        return self._core.evict()
+
+    def __len__(self) -> int:
+        return len(self._core)
+
+
+class TwoQueuePolicy(ReplacementPolicy):
+    """The paper's simplified 2Q (Section 4.1).
+
+    ``Am`` holds ``capacity`` full entries (bcp + tuples) managed by
+    CLOCK; ``A1`` is a FIFO ghost queue of ``a1_ratio × capacity``
+    bcp-only entries.  A bcp's first-ever appearance stages it in A1;
+    a reappearance while still staged promotes it (with its tuples) to
+    Am.  Only Am serves partial results.
+    """
+
+    def __init__(self, capacity: int, a1_ratio: float = 0.5) -> None:
+        super().__init__(capacity)
+        if a1_ratio <= 0:
+            raise ViewCapacityError("a1_ratio must be positive")
+        self.a1_capacity = max(1, int(round(a1_ratio * capacity)))
+        self._am = _ClockCore()
+        self._a1: OrderedDict[Key, None] = OrderedDict()
+
+    def reference(self, key: Key) -> ReferenceResult:
+        if key in self._am:
+            self._count(True)
+            self._am.touch(key)
+            return ReferenceResult(key, True, True)
+        self._count(False)
+        if key in self._a1:
+            del self._a1[key]
+            evicted: list[Key] = []
+            if len(self._am) >= self.capacity:
+                evicted.append(self._am.evict())
+            self._am.insert(key)
+            return ReferenceResult(key, False, True, tuple(evicted))
+        # First sighting: stage in A1 only.
+        self._a1[key] = None
+        if len(self._a1) > self.a1_capacity:
+            self._a1.popitem(last=False)
+        return ReferenceResult(key, False, False)
+
+    def contains(self, key: Key) -> bool:
+        return key in self._am
+
+    def staged(self, key: Key) -> bool:
+        """Whether ``key`` currently sits in the A1 ghost queue."""
+        return key in self._a1
+
+    def discard(self, key: Key) -> bool:
+        self._a1.pop(key, None)
+        return self._am.discard(key)
+
+    def resident_keys(self) -> Iterator[Key]:
+        return self._am.keys()
+
+    def force_evict(self) -> Key | None:
+        if not len(self._am):
+            return None
+        return self._am.evict()
+
+    def __len__(self) -> int:
+        return len(self._am)
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used (ablation baseline)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: OrderedDict[Key, None] = OrderedDict()
+
+    def reference(self, key: Key) -> ReferenceResult:
+        if key in self._entries:
+            self._count(True)
+            self._entries.move_to_end(key)
+            return ReferenceResult(key, True, True)
+        self._count(False)
+        evicted: list[Key] = []
+        if len(self._entries) >= self.capacity:
+            victim, _ = self._entries.popitem(last=False)
+            evicted.append(victim)
+        self._entries[key] = None
+        return ReferenceResult(key, False, True, tuple(evicted))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._entries
+
+    def discard(self, key: Key) -> bool:
+        return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def resident_keys(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    def force_evict(self) -> Key | None:
+        if not self._entries:
+            return None
+        victim, _ = self._entries.popitem(last=False)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out (ablation baseline; hits do not refresh)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._present: set[Key] = set()
+        self._queue: deque[Key] = deque()
+
+    def reference(self, key: Key) -> ReferenceResult:
+        if key in self._present:
+            self._count(True)
+            return ReferenceResult(key, True, True)
+        self._count(False)
+        evicted: list[Key] = []
+        while len(self._present) >= self.capacity:
+            victim = self._queue.popleft()
+            if victim in self._present:
+                self._present.discard(victim)
+                evicted.append(victim)
+        self._present.add(key)
+        self._queue.append(key)
+        return ReferenceResult(key, False, True, tuple(evicted))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._present
+
+    def discard(self, key: Key) -> bool:
+        # Lazy removal: the queue entry becomes stale and is skipped at
+        # eviction time.
+        if key in self._present:
+            self._present.discard(key)
+            return True
+        return False
+
+    def resident_keys(self) -> Iterator[Key]:
+        return iter(self._present)
+
+    def force_evict(self) -> Key | None:
+        while self._queue:
+            victim = self._queue.popleft()
+            if victim in self._present:
+                self._present.discard(victim)
+                return victim
+        return None
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+
+_MISSING = object()
+
+_POLICIES = {
+    "clock": ClockPolicy,
+    "2q": TwoQueuePolicy,
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+}
+
+
+def make_policy(name: str, capacity: int, **kwargs) -> ReplacementPolicy:
+    """Factory: ``make_policy("clock", 20_000)``.
+
+    Known names: ``clock``, ``2q``, ``lru``, ``fifo``.
+    """
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ViewCapacityError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(capacity, **kwargs)

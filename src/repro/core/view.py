@@ -1,0 +1,389 @@
+"""The partial materialized view data structure (Section 3.2).
+
+A :class:`PartialMaterializedView` holds, for each resident basic
+condition part, up to ``F`` result tuples (``ats`` rows carrying the
+expanded select list ``Ls'``).  The bcp itself is "conceptual": it is
+not stored with each tuple but recovered from the tuple's attribute
+values when needed (:meth:`PartialMaterializedView.key_of_row`).
+
+The entry dictionary keyed by the compact bcp key *is* the paper's
+index ``I`` on bcp (a multi-attribute hash index when m > 1).  Which
+bcps are resident is decided by a pluggable replacement policy — CLOCK
+by default, the simplified 2Q as the better alternative of Section 3.5.
+
+Optional *auxiliary indexes* over chosen tuple attributes support the
+maintenance optimization referenced at the end of Section 3.4: deletes
+and updates to base relations can locate affected cached tuples by an
+in-memory probe instead of computing the delta join.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Sequence
+
+from repro.core.condition import BasicConditionPart, BcpKey, EqualityDim, IntervalDim
+from repro.core.discretize import Discretization
+from repro.core.metrics import PMVMetrics
+from repro.core.replacement import ReferenceResult, ReplacementPolicy, make_policy
+from repro.engine.row import Row
+from repro.engine.template import QueryTemplate, SlotForm
+from repro.errors import ViewCapacityError, ViewDefinitionError
+
+__all__ = ["PartialMaterializedView", "entries_for_budget"]
+
+KEY_SIZE_FRACTION = 0.04
+"""Paper assumption (Section 4.1): storing a bcp costs 4% of storing
+its F result tuples."""
+
+NOMINAL_TUPLE_BYTES = 50
+"""The paper's example average tuple size At (Section 3.2)."""
+
+
+def entries_for_budget(
+    upper_bound_bytes: int,
+    tuples_per_entry: int,
+    avg_tuple_bytes: int,
+    key_fraction: float = KEY_SIZE_FRACTION,
+) -> int:
+    """Max entry count L for a storage budget UB (Section 3.2).
+
+    The paper bounds ``UB >= L × F × At``; with the bcp key costing
+    ``key_fraction`` of an entry's tuples, each entry costs
+    ``(1 + key_fraction) × F × At`` bytes.
+    """
+    if upper_bound_bytes <= 0 or tuples_per_entry <= 0 or avg_tuple_bytes <= 0:
+        raise ViewCapacityError("budget, F, and At must all be positive")
+    per_entry = (1.0 + key_fraction) * tuples_per_entry * avg_tuple_bytes
+    entries = int(math.floor(upper_bound_bytes / per_entry))
+    if entries < 1:
+        raise ViewCapacityError(
+            f"budget {upper_bound_bytes}B holds no entry of "
+            f"{per_entry:.0f}B; raise UB or lower F"
+        )
+    return entries
+
+
+class PartialMaterializedView:
+    """A bounded cache of hot query results for one template.
+
+    Parameters
+    ----------
+    template:
+        The ``qt``-form template this PMV serves.
+    discretization:
+        Basic intervals for the template's interval-form slots.
+    tuples_per_entry:
+        The paper's ``F``: at most this many result tuples are stored
+        per basic condition part.
+    max_entries:
+        The paper's ``L`` (CLOCK) / ``N`` (2Q): how many bcps may be
+        resident.  Derive it from a byte budget with
+        :func:`entries_for_budget`.
+    policy:
+        A :class:`ReplacementPolicy` instance or a policy name
+        (``"clock"``, ``"2q"``, ``"lru"``, ``"fifo"``).
+    aux_index_columns:
+        Tuple attributes to maintain auxiliary indexes on (for
+        delta-join-free maintenance).
+    upper_bound_bytes:
+        The paper's UB: a hard byte budget for the view.  When set,
+        entries are shed (policy's choice of victim) whenever the
+        accounted size exceeds it — in addition to the ``max_entries``
+        count bound.
+    """
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        discretization: Discretization,
+        tuples_per_entry: int,
+        max_entries: int,
+        policy: ReplacementPolicy | str = "clock",
+        aux_index_columns: Sequence[str] = (),
+        upper_bound_bytes: int | None = None,
+    ) -> None:
+        if discretization.template is not template:
+            raise ViewDefinitionError("discretization belongs to a different template")
+        if tuples_per_entry < 1:
+            raise ViewCapacityError("F (tuples_per_entry) must be >= 1")
+        self.template = template
+        self.discretization = discretization
+        self.tuples_per_entry = tuples_per_entry
+        if isinstance(policy, str):
+            policy = make_policy(policy, max_entries)
+        elif policy.capacity != max_entries:
+            raise ViewCapacityError(
+                f"policy capacity {policy.capacity} != max_entries {max_entries}"
+            )
+        self.policy = policy
+        self.max_entries = max_entries
+        if upper_bound_bytes is not None and upper_bound_bytes < 1:
+            raise ViewCapacityError("upper_bound_bytes must be positive")
+        self.upper_bound_bytes = upper_bound_bytes
+        self.name = f"pmv_{template.name}"
+        self.metrics = PMVMetrics()
+        self._entries: dict[BcpKey, list[Row]] = {}
+        self.current_bytes = 0
+        self._stored_tuples = 0
+        self._tuple_bytes = 0
+        # Nominal per-entry key charge: 4% of F tuples at the paper's
+        # example At of 50 bytes.  Fixed at construction so admission
+        # and eviction charge symmetrically.
+        self._key_cost = max(
+            1, int(KEY_SIZE_FRACTION * tuples_per_entry * NOMINAL_TUPLE_BYTES)
+        )
+        expanded = template.expanded_select_list()
+        for column in aux_index_columns:
+            if column not in expanded:
+                raise ViewDefinitionError(
+                    f"aux index column {column!r} is not in the expanded select list"
+                )
+        self._aux_columns = tuple(aux_index_columns)
+        # column -> value -> {bcp key: row count}
+        self._aux: dict[str, dict[Any, dict[BcpKey, int]]] = {
+            column: {} for column in self._aux_columns
+        }
+
+    # -- bcp recovery -------------------------------------------------------------
+
+    def key_of_row(self, row: Row) -> BcpKey:
+        """Compact bcp key of the tuple ``row`` belongs to, recovered
+        from its ``Cselect`` attribute values."""
+        key: list[Any] = []
+        for slot in self.template.slots:
+            value = row[slot.column]
+            if slot.form is SlotForm.INTERVAL:
+                key.append(self.discretization.grid(slot.column).id_for_value(value))
+            else:
+                key.append(value)
+        return tuple(key)
+
+    def bcp_of_row(self, row: Row) -> BasicConditionPart:
+        """Full :class:`BasicConditionPart` for the tuple ``row``."""
+        dims = []
+        for slot in self.template.slots:
+            value = row[slot.column]
+            if slot.form is SlotForm.INTERVAL:
+                grid = self.discretization.grid(slot.column)
+                basic_id = grid.id_for_value(value)
+                dims.append(IntervalDim(slot.column, grid.interval(basic_id), basic_id))
+            else:
+                dims.append(EqualityDim(slot.column, value))
+        return BasicConditionPart(tuple(dims))
+
+    # -- residency / replacement ----------------------------------------------------
+
+    def reference(self, key: BcpKey) -> ReferenceResult:
+        """Record one appearance of a bcp (Operations O1/O2).
+
+        Admission creates an (initially empty) entry; evictions drop
+        the victims' cached tuples.
+        """
+        result = self.policy.reference(key)
+        for victim in result.evicted:
+            self._drop_entry(victim)
+            self.metrics.entries_evicted += 1
+        if result.admitted and key not in self._entries:
+            self._entries[key] = []
+            self.current_bytes += self._key_cost
+        return result
+
+    def contains(self, key: BcpKey) -> bool:
+        """Whether the bcp is resident (its entry can serve tuples)."""
+        return key in self._entries
+
+    def lookup(self, key: BcpKey) -> list[Row] | None:
+        """Cached tuples of a resident bcp, or ``None`` on a miss.
+
+        This is the probe of the paper's index ``I`` in Operation O2.
+        Returns a copy so callers cannot mutate the entry.
+        """
+        rows = self._entries.get(key)
+        return list(rows) if rows is not None else None
+
+    def tuple_count(self, key: BcpKey) -> int:
+        """The counter ``cj`` base value: tuples stored for this bcp."""
+        rows = self._entries.get(key)
+        return len(rows) if rows is not None else 0
+
+    # -- tuple storage -----------------------------------------------------------------
+
+    def add_tuple(self, key: BcpKey, row: Row) -> bool:
+        """Store one result tuple under a *resident* bcp (Operation O3).
+
+        Returns False (and stores nothing) when the bcp is not resident
+        or already holds ``F`` tuples.
+        """
+        rows = self._entries.get(key)
+        if rows is None:
+            return False
+        if len(rows) >= self.tuples_per_entry:
+            self.metrics.tuples_rejected_full += 1
+            return False
+        rows.append(row)
+        size = row.byte_size()
+        self.current_bytes += size
+        self._stored_tuples += 1
+        self._tuple_bytes += size
+        self.metrics.tuples_cached += 1
+        self._aux_add(key, row)
+        self._enforce_budget()
+        return True
+
+    def remove_tuple(self, row: Row) -> bool:
+        """Remove one occurrence of ``row`` (maintenance path).
+
+        The owning bcp is recovered from the tuple's attributes; True
+        if a cached occurrence was removed.
+        """
+        key = self.key_of_row(row)
+        rows = self._entries.get(key)
+        if not rows:
+            return False
+        try:
+            rows.remove(row)
+        except ValueError:
+            return False
+        size = row.byte_size()
+        self.current_bytes -= size
+        self._stored_tuples -= 1
+        self._tuple_bytes -= size
+        self.metrics.maintenance_tuples_removed += 1
+        self._aux_remove(key, row)
+        return True
+
+    def discard_entry(self, key: BcpKey) -> bool:
+        """Forcibly drop a bcp and its tuples (maintenance/testing)."""
+        self.policy.discard(key)
+        return self._drop_entry(key)
+
+    def _enforce_budget(self) -> None:
+        """Shed whole entries while the UB byte budget is exceeded.
+
+        The replacement policy picks the victims, so budget pressure
+        evicts the same cold bcps that count pressure would.
+        """
+        if self.upper_bound_bytes is None:
+            return
+        while self.current_bytes > self.upper_bound_bytes and self._entries:
+            victim = self.policy.force_evict()
+            if victim is None:
+                break
+            self._drop_entry(victim)
+            self.metrics.entries_evicted += 1
+
+    # -- aux indexes ---------------------------------------------------------------------
+
+    @property
+    def aux_index_columns(self) -> tuple[str, ...]:
+        return self._aux_columns
+
+    def entries_with_value(self, column: str, value: Any) -> list[BcpKey]:
+        """Bcp keys whose cached tuples contain ``value`` in ``column``.
+
+        Probing this instead of computing the delta join is the
+        Section 3.4 maintenance optimization.
+        """
+        if column not in self._aux:
+            raise ViewDefinitionError(f"no aux index on {column!r}")
+        return list(self._aux[column].get(value, ()))
+
+    def rows_with_value(self, column: str, value: Any) -> list[Row]:
+        """Cached tuples whose ``column`` equals ``value``."""
+        out: list[Row] = []
+        for key in self.entries_with_value(column, value):
+            for row in self._entries.get(key, ()):
+                if row[column] == value:
+                    out.append(row)
+        return out
+
+    def _aux_add(self, key: BcpKey, row: Row) -> None:
+        for column in self._aux_columns:
+            bucket = self._aux[column].setdefault(row[column], {})
+            bucket[key] = bucket.get(key, 0) + 1
+
+    def _aux_remove(self, key: BcpKey, row: Row) -> None:
+        for column in self._aux_columns:
+            value = row[column]
+            bucket = self._aux[column].get(value)
+            if not bucket or key not in bucket:
+                continue
+            if bucket[key] <= 1:
+                del bucket[key]
+                if not bucket:
+                    del self._aux[column][value]
+            else:
+                bucket[key] -= 1
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _drop_entry(self, key: BcpKey) -> bool:
+        rows = self._entries.pop(key, None)
+        if rows is None:
+            return False
+        for row in rows:
+            size = row.byte_size()
+            self.current_bytes -= size
+            self._stored_tuples -= 1
+            self._tuple_bytes -= size
+            self._aux_remove(key, row)
+        self.current_bytes -= self._key_cost
+        return True
+
+    @property
+    def average_tuple_bytes(self) -> int:
+        """Observed At: average size of the currently cached tuples."""
+        if not self._stored_tuples:
+            return NOMINAL_TUPLE_BYTES
+        return max(1, self._tuple_bytes // self._stored_tuples)
+
+    # -- inspection --------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stored_tuple_count(self) -> int:
+        return self._stored_tuples
+
+    def entries(self) -> Iterator[tuple[BcpKey, list[Row]]]:
+        for key, rows in self._entries.items():
+            yield key, list(rows)
+
+    def check_invariants(self) -> None:
+        """Internal consistency checks (used by tests).
+
+        - every entry holds at most F tuples;
+        - residency agrees between the policy and the entry dict;
+        - every cached tuple actually belongs to its entry's bcp.
+        """
+        if (
+            self.upper_bound_bytes is not None
+            and len(self._entries) > 1
+            and self.current_bytes > self.upper_bound_bytes
+        ):
+            raise ViewCapacityError(
+                f"view holds {self.current_bytes}B > UB {self.upper_bound_bytes}B"
+            )
+        for key, rows in self._entries.items():
+            if len(rows) > self.tuples_per_entry:
+                raise ViewCapacityError(f"entry {key!r} holds {len(rows)} > F tuples")
+            if not self.policy.contains(key):
+                raise ViewDefinitionError(f"entry {key!r} not resident in policy")
+            for row in rows:
+                if self.key_of_row(row) != key:
+                    raise ViewDefinitionError(
+                        f"tuple {row!r} stored under wrong bcp {key!r}"
+                    )
+        for key in self.policy.resident_keys():
+            if key not in self._entries:
+                raise ViewDefinitionError(f"policy-resident {key!r} has no entry")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartialMaterializedView({self.name!r}, entries={self.entry_count}/"
+            f"{self.max_entries}, F={self.tuples_per_entry}, "
+            f"tuples={self.stored_tuple_count})"
+        )

@@ -1,0 +1,120 @@
+"""System catalog: relations, indexes, and registered templates."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.heap import HeapRelation
+from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.template import QueryTemplate
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+AnyIndex = HashIndex | OrderedIndex
+
+
+class Catalog:
+    """Name-to-object registry for the engine's storage objects."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, HeapRelation] = {}
+        self._indexes: dict[str, AnyIndex] = {}
+        # relation name -> list of its indexes, for lookup by column.
+        self._relation_indexes: dict[str, list[AnyIndex]] = {}
+        self._templates: dict[str, QueryTemplate] = {}
+
+    # -- relations ------------------------------------------------------------
+
+    def add_relation(self, relation: HeapRelation) -> HeapRelation:
+        if relation.name in self._relations:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        self._relation_indexes[relation.name] = []
+        return relation
+
+    def relation(self, name: str) -> HeapRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"no relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> Iterator[HeapRelation]:
+        return iter(self._relations.values())
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise CatalogError(f"no relation {name!r}")
+        for index in list(self._relation_indexes[name]):
+            del self._indexes[index.name]
+        del self._relation_indexes[name]
+        del self._relations[name]
+
+    # -- indexes ---------------------------------------------------------------
+
+    def add_index(self, index: AnyIndex) -> AnyIndex:
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        if index.relation.name not in self._relations:
+            raise CatalogError(
+                f"index {index.name!r} references unregistered relation "
+                f"{index.relation.name!r}"
+            )
+        self._indexes[index.name] = index
+        self._relation_indexes[index.relation.name].append(index)
+        return index
+
+    def index(self, name: str) -> AnyIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r}") from None
+
+    def indexes_on(self, relation_name: str) -> Sequence[AnyIndex]:
+        """All indexes on a relation (empty for unknown relations)."""
+        return tuple(self._relation_indexes.get(relation_name, ()))
+
+    def find_index(
+        self,
+        relation_name: str,
+        column: str,
+        require_range: bool = False,
+    ) -> AnyIndex | None:
+        """The first index on ``relation_name`` keyed exactly by ``column``.
+
+        ``column`` may be bare or qualified.  With ``require_range``,
+        only ordered indexes qualify.
+        """
+        bare = column.split(".", 1)[1] if "." in column else column
+        for index in self._relation_indexes.get(relation_name, ()):
+            if index.key_columns == (bare,):
+                if require_range and not index.supports_range():
+                    continue
+                return index
+        return None
+
+    # -- templates ---------------------------------------------------------------
+
+    def add_template(self, template: QueryTemplate) -> QueryTemplate:
+        if template.name in self._templates:
+            raise CatalogError(f"template {template.name!r} already exists")
+        for relation_name in template.relations:
+            if relation_name not in self._relations:
+                raise CatalogError(
+                    f"template {template.name!r} references unknown relation "
+                    f"{relation_name!r}"
+                )
+        self._templates[template.name] = template
+        return template
+
+    def template(self, name: str) -> QueryTemplate:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise CatalogError(f"no template {name!r}") from None
+
+    def templates(self) -> Iterator[QueryTemplate]:
+        return iter(self._templates.values())

@@ -1,0 +1,304 @@
+"""The :class:`Database` facade.
+
+Ties together the disk manager, buffer pool, catalog, and lock manager,
+and keeps secondary indexes synchronized with every heap mutation.
+Base-relation changes are broadcast to registered listeners — the PMV
+maintenance layer subscribes to these to implement Section 3.4's
+deferred maintenance without the engine knowing anything about PMVs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.catalog import Catalog
+from repro.engine.disk import DiskManager, IOStats, LatencyModel
+from repro.engine.heap import HeapRelation
+from repro.engine.index import build_index
+from repro.engine.locks import LockManager
+from repro.engine.planner import Plan, plan_query
+from repro.engine.row import Row, RowId
+from repro.engine.schema import Column, Schema
+from repro.engine.stats import StatisticsCollector, TableStatistics
+from repro.engine.template import Query, QueryTemplate
+from repro.engine.transactions import Change, ChangeKind, Transaction
+from repro.engine.wal import (
+    LogKind,
+    WriteAheadLog,
+    log_create_index,
+    log_create_relation,
+)
+
+__all__ = ["Database"]
+
+ChangeListener = Callable[[Change, Transaction | None], None]
+
+
+class Database:
+    """A single-node database instance.
+
+    Parameters
+    ----------
+    buffer_pool_pages:
+        Buffer pool capacity; defaults to the paper's PostgreSQL
+        default of 1,000 pages.
+    page_size:
+        Page capacity in bytes.
+    """
+
+    def __init__(
+        self,
+        buffer_pool_pages: int = 1000,
+        page_size: int = 8192,
+        wal: WriteAheadLog | None = None,
+    ) -> None:
+        self.disk = DiskManager(page_size=page_size)
+        self.wal = wal
+        self.buffer_pool = BufferPool(self.disk, capacity=buffer_pool_pages)
+        self.catalog = Catalog()
+        self.lock_manager = LockManager()
+        self.latency_model = LatencyModel()
+        self.statistics = StatisticsCollector()
+        self._listeners: list[ChangeListener] = []
+        self._prepare_listeners: list[ChangeListener] = []
+        self._abort_listeners: list[ChangeListener] = []
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_relation(self, name: str, columns: Sequence[Column]) -> HeapRelation:
+        """Create a heap relation and register it in the catalog."""
+        schema = Schema(columns, relation_name=name)
+        relation = HeapRelation(name, schema, self.buffer_pool)
+        registered = self.catalog.add_relation(relation)
+        if self.wal is not None:
+            log_create_relation(self.wal, name, list(columns))
+        return registered
+
+    def create_index(
+        self,
+        name: str,
+        relation_name: str,
+        key_columns: Sequence[str],
+        ordered: bool = False,
+    ):
+        """Create (and backfill) an index; register it in the catalog."""
+        relation = self.catalog.relation(relation_name)
+        index = build_index(name, relation, key_columns, ordered=ordered)
+        registered = self.catalog.add_index(index)
+        if self.wal is not None:
+            log_create_index(self.wal, name, relation_name, key_columns, ordered)
+        return registered
+
+    def register_template(self, template: QueryTemplate) -> QueryTemplate:
+        return self.catalog.add_template(template)
+
+    # -- transactions ----------------------------------------------------------------
+
+    def begin(self, read_only: bool = False) -> Transaction:
+        return Transaction(self.lock_manager, read_only=read_only)
+
+    # -- change listeners --------------------------------------------------------------
+
+    def add_change_listener(self, listener: ChangeListener) -> None:
+        """Subscribe to base-relation changes (used by PMV maintenance)."""
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener: ChangeListener) -> None:
+        self._listeners.remove(listener)
+
+    def add_prepare_listener(self, listener: ChangeListener) -> None:
+        """Subscribe to the *prepare* phase: called with the prospective
+        change BEFORE the heap/indexes are touched.  A listener that
+        raises (e.g. a lock denial) aborts the statement cleanly —
+        this is how two-phase locking orders lock acquisition before
+        the write (Section 3.6's X-lock-before-update)."""
+        self._prepare_listeners.append(listener)
+
+    def remove_prepare_listener(self, listener: ChangeListener) -> None:
+        self._prepare_listeners.remove(listener)
+
+    def add_abort_listener(self, listener: ChangeListener) -> None:
+        """Called when a prepared statement fails before completion, so
+        prepare-phase listeners can release resources."""
+        self._abort_listeners.append(listener)
+
+    def remove_abort_listener(self, listener: ChangeListener) -> None:
+        self._abort_listeners.remove(listener)
+
+    def _notify_prepare(self, change: Change, txn: Transaction | None) -> None:
+        for listener in self._prepare_listeners:
+            listener(change, txn)
+
+    def _notify_abort(self, change: Change, txn: Transaction | None) -> None:
+        for listener in self._abort_listeners:
+            listener(change, txn)
+
+    def _notify(self, change: Change, txn: Transaction | None) -> None:
+        if txn is not None:
+            txn.record_change(change)
+        for listener in self._listeners:
+            listener(change, txn)
+
+    # -- DML -----------------------------------------------------------------------------
+
+    def insert(
+        self,
+        relation_name: str,
+        values: Sequence[Any],
+        txn: Transaction | None = None,
+    ) -> RowId:
+        """Insert a row, maintain indexes, and broadcast the change."""
+        relation = self.catalog.relation(relation_name)
+        prospective = Row(relation.schema.validate_values(values), relation.schema)
+        change = Change(ChangeKind.INSERT, relation_name, new_row=prospective)
+        self._notify_prepare(change, txn)
+        try:
+            row_id = relation.insert(values)
+            row = relation.fetch(row_id)
+            for index in self.catalog.indexes_on(relation_name):
+                index.insert(row, row_id)
+        except Exception:
+            self._notify_abort(change, txn)
+            raise
+        if self.wal is not None:
+            self.wal.append(
+                LogKind.INSERT,
+                {"relation": relation_name, "values": list(row.values)},
+            )
+        self._notify(Change(ChangeKind.INSERT, relation_name, new_row=row), txn)
+        return row_id
+
+    def insert_many(
+        self,
+        relation_name: str,
+        rows: Sequence[Sequence[Any]],
+        txn: Transaction | None = None,
+    ) -> list[RowId]:
+        return [self.insert(relation_name, values, txn=txn) for values in rows]
+
+    def delete(
+        self,
+        relation_name: str,
+        row_id: RowId,
+        txn: Transaction | None = None,
+    ) -> Row:
+        """Delete the row at ``row_id``; returns the deleted row.
+
+        The prepare phase runs before the heap or any index is touched,
+        so a lock denial aborts the statement with no base change.
+        """
+        relation = self.catalog.relation(relation_name)
+        row = relation.fetch(row_id)
+        change = Change(ChangeKind.DELETE, relation_name, old_row=row)
+        self._notify_prepare(change, txn)
+        try:
+            for index in self.catalog.indexes_on(relation_name):
+                index.delete(row, row_id)
+            relation.delete(row_id)
+        except Exception:
+            self._notify_abort(change, txn)
+            raise
+        if self.wal is not None:
+            self.wal.append(
+                LogKind.DELETE,
+                {
+                    "relation": relation_name,
+                    "page_no": row_id.page_no,
+                    "slot_no": row_id.slot_no,
+                },
+            )
+        self._notify(change, txn)
+        return row
+
+    def delete_where(
+        self,
+        relation_name: str,
+        predicate: Callable[[Row], bool],
+        txn: Transaction | None = None,
+    ) -> list[Row]:
+        """Delete every row matching ``predicate``; returns them."""
+        relation = self.catalog.relation(relation_name)
+        victims = [(row_id, row) for row_id, row in relation.scan() if predicate(row)]
+        deleted = []
+        for row_id, _ in victims:
+            deleted.append(self.delete(relation_name, row_id, txn=txn))
+        return deleted
+
+    def update(
+        self,
+        relation_name: str,
+        row_id: RowId,
+        txn: Transaction | None = None,
+        **changes: Any,
+    ) -> tuple[Row, Row, RowId]:
+        """Update named columns of one row; returns (old, new, new_id).
+
+        The prepare phase (with the prospective new row) runs before
+        any mutation, so lock denials and type errors abort cleanly.
+        """
+        relation = self.catalog.relation(relation_name)
+        old_row = relation.fetch(row_id)
+        prospective = old_row.replace(**changes)
+        relation.schema.validate_values(prospective.values)
+        change = Change(
+            ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=prospective
+        )
+        self._notify_prepare(change, txn)
+        try:
+            for index in self.catalog.indexes_on(relation_name):
+                index.delete(old_row, row_id)
+            old_row, new_row, new_id = relation.update(row_id, **changes)
+            for index in self.catalog.indexes_on(relation_name):
+                index.insert(new_row, new_id)
+        except Exception:
+            self._notify_abort(change, txn)
+            raise
+        if self.wal is not None:
+            self.wal.append(
+                LogKind.UPDATE,
+                {
+                    "relation": relation_name,
+                    "page_no": row_id.page_no,
+                    "slot_no": row_id.slot_no,
+                    "changes": dict(changes),
+                },
+            )
+        self._notify(
+            Change(ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=new_row),
+            txn,
+        )
+        return old_row, new_row, new_id
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def analyze(self, relation_name: str | None = None) -> TableStatistics | None:
+        """Collect planner statistics (the paper's "statistics collection
+        program").  Analyzes one relation, or all when none is named."""
+        if relation_name is not None:
+            return self.statistics.analyze(self.catalog.relation(relation_name))
+        for relation in self.catalog.relations():
+            self.statistics.analyze(relation)
+        return None
+
+    # -- query execution -------------------------------------------------------------------
+
+    def plan(self, query: Query, blocking: bool = True) -> Plan:
+        return plan_query(
+            self.catalog, query, blocking=blocking, statistics=self.statistics
+        )
+
+    def execute(self, query: Query, blocking: bool = True) -> Iterator[Row]:
+        """Plan and execute ``query``, yielding ``Ls'`` rows."""
+        return self.plan(query, blocking=blocking).execute()
+
+    def run(self, query: Query, blocking: bool = True) -> list[Row]:
+        return self.plan(query, blocking=blocking).run()
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def io_snapshot(self) -> IOStats:
+        return self.disk.stats.snapshot()
+
+    def io_since(self, snapshot: IOStats) -> IOStats:
+        return self.disk.stats.delta(snapshot)

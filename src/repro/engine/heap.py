@@ -1,0 +1,195 @@
+"""Heap file relations.
+
+A :class:`HeapRelation` stores rows on slotted pages fetched through
+the buffer pool, so every scan, insert, delete, and update generates
+realistic page traffic.  Rows are addressed by :class:`RowId` so
+secondary indexes can point at records without duplicating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.row import Row, RowId
+from repro.engine.schema import Schema
+from repro.errors import PageFullError, StorageError
+
+__all__ = ["HeapRelation"]
+
+
+class HeapRelation:
+    """An append-friendly heap of rows over slotted pages.
+
+    Parameters
+    ----------
+    name:
+        Relation name (also baked into the schema for qualified lookup).
+    schema:
+        Column definitions; rebound to ``name`` if needed.
+    buffer_pool:
+        The buffer pool all page access goes through.
+    """
+
+    def __init__(self, name: str, schema: Schema, buffer_pool: BufferPool) -> None:
+        self.name = name
+        self.schema = schema if schema.relation_name == name else schema.rename(name)
+        self._pool = buffer_pool
+        self._page_nos: list[int] = []
+        # Pages with free space, checked before allocating a new page.
+        self._open_page_nos: list[int] = []
+        self._row_count = 0
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_nos)
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> RowId:
+        """Validate and insert a row; return its :class:`RowId`."""
+        payload = self.schema.validate_values(values)
+        size = Row(payload, self.schema).byte_size()
+        # Try pages known to have space, most recently used last.
+        while self._open_page_nos:
+            page_no = self._open_page_nos[-1]
+            page = self._pool.fetch(page_no)
+            try:
+                if page.fits(size):
+                    slot_no = page.insert(payload, size)
+                    self._pool.unpin(page_no, dirty=True)
+                    self._row_count += 1
+                    return RowId(page_no, slot_no)
+                self._open_page_nos.pop()
+                self._pool.unpin(page_no)
+            except PageFullError:
+                self._open_page_nos.pop()
+                self._pool.unpin(page_no)
+        page = self._pool.new_page()
+        try:
+            slot_no = page.insert(payload, size)
+        except PageFullError as exc:  # a single row larger than a page
+            self._pool.unpin(page.page_no)
+            raise StorageError(
+                f"row of {size}B does not fit on an empty page"
+            ) from exc
+        self._page_nos.append(page.page_no)
+        self._open_page_nos.append(page.page_no)
+        self._pool.unpin(page.page_no, dirty=True)
+        self._row_count += 1
+        return RowId(page.page_no, slot_no)
+
+    def insert_many(self, rows: Iterator[Sequence[Any]] | Sequence[Sequence[Any]]) -> list[RowId]:
+        """Bulk insert; returns the row ids in input order."""
+        return [self.insert(values) for values in rows]
+
+    def delete(self, row_id: RowId) -> Row:
+        """Delete the record at ``row_id``; return the removed row."""
+        self._check_owned(row_id)
+        page = self._pool.fetch(row_id.page_no)
+        try:
+            payload = page.delete(row_id.slot_no)
+        finally:
+            self._pool.unpin(row_id.page_no, dirty=True)
+        if row_id.page_no not in self._open_page_nos:
+            self._open_page_nos.append(row_id.page_no)
+        self._row_count -= 1
+        return Row(payload, self.schema)
+
+    def update(self, row_id: RowId, **changes: Any) -> tuple[Row, Row, RowId]:
+        """Update named columns of the record at ``row_id``.
+
+        Returns ``(old_row, new_row, new_row_id)``.  If the grown record
+        no longer fits on its page it is relocated (delete + insert), so
+        the returned row id may differ from the input — callers must
+        re-point their indexes.
+        """
+        old_row = self.fetch(row_id)
+        new_row = old_row.replace(**changes)
+        payload = self.schema.validate_values(new_row.values)
+        size = new_row.byte_size()
+        page = self._pool.fetch(row_id.page_no)
+        try:
+            page.update(row_id.slot_no, payload, size)
+            self._pool.unpin(row_id.page_no, dirty=True)
+            return old_row, new_row, row_id
+        except PageFullError:
+            self._pool.unpin(row_id.page_no)
+        # Relocate.
+        self.delete(row_id)
+        new_id = self.insert(payload)
+        return old_row, new_row, new_id
+
+    def truncate(self) -> None:
+        """Remove all rows (pages stay allocated but empty)."""
+        for page_no in self._page_nos:
+            page = self._pool.fetch(page_no)
+            for slot_no, _ in list(page.live_slots()):
+                page.delete(slot_no)
+            self._pool.unpin(page_no, dirty=True)
+        self._open_page_nos = list(self._page_nos)
+        self._row_count = 0
+
+    # -- access ---------------------------------------------------------------------
+
+    def fetch(self, row_id: RowId) -> Row:
+        """Return the row stored at ``row_id``."""
+        self._check_owned(row_id)
+        page = self._pool.fetch(row_id.page_no)
+        try:
+            payload = page.read(row_id.slot_no)
+        finally:
+            self._pool.unpin(row_id.page_no)
+        if payload is None:
+            raise StorageError(f"{self.name}: {row_id} is deleted")
+        return Row(payload, self.schema)
+
+    def scan(self) -> Iterator[tuple[RowId, Row]]:
+        """Full scan in physical order, yielding ``(row_id, row)``."""
+        for page_no in self._page_nos:
+            page = self._pool.fetch(page_no)
+            try:
+                live = list(page.live_slots())
+            finally:
+                self._pool.unpin(page_no)
+            for slot_no, payload in live:
+                yield RowId(page_no, slot_no), Row(payload, self.schema)
+
+    def scan_rows(self) -> Iterator[Row]:
+        """Full scan yielding rows only."""
+        for _, row in self.scan():
+            yield row
+
+    def find(self, predicate: Callable[[Row], bool]) -> Iterator[tuple[RowId, Row]]:
+        """Scan filtered by an arbitrary Python predicate."""
+        for row_id, row in self.scan():
+            if predicate(row):
+                yield row_id, row
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_owned(self, row_id: RowId) -> None:
+        if row_id.page_no not in self._page_set:
+            raise StorageError(f"{self.name}: page {row_id.page_no} not in relation")
+
+    @property
+    def _page_set(self) -> set[int]:
+        # Small relations dominate tests; recompute lazily but cache on
+        # the instance dict to keep hot paths fast.
+        cached = getattr(self, "_page_set_cache", None)
+        if cached is None or len(cached) != len(self._page_nos):
+            cached = set(self._page_nos)
+            object.__setattr__(self, "_page_set_cache", cached)
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeapRelation({self.name!r}, rows={self._row_count}, pages={self.page_count})"

@@ -1,0 +1,115 @@
+"""Lock manager: shared/exclusive locks on named objects.
+
+The engine runs single-threaded, so locks never *wait*; the manager's
+job is to enforce the locking protocol of Section 3.6 — a query holds
+an S lock on the PMV from Operation O2 through Operation O3, and any
+transaction that would change the PMV needs an X lock, so the query's
+partial results cannot be invalidated mid-flight.  Conflicting
+requests from other transactions raise :class:`LockError` immediately
+(a "no-wait" policy), which doubles as deadlock avoidance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LockError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    """Holders of one lockable object."""
+
+    shared: set[int] = field(default_factory=set)
+    exclusive: int | None = None
+
+    def is_free(self) -> bool:
+        return not self.shared and self.exclusive is None
+
+
+class LockManager:
+    """Grants and releases S/X locks keyed by object name."""
+
+    def __init__(self) -> None:
+        self._locks: dict[str, _LockState] = {}
+        self.grants = 0
+        self.denials = 0
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(self, txn_id: int, obj: str, mode: LockMode) -> None:
+        """Grant ``mode`` on ``obj`` to ``txn_id`` or raise :class:`LockError`.
+
+        Re-acquisition is idempotent; an S holder that is the *sole*
+        holder may upgrade to X.
+        """
+        state = self._locks.setdefault(obj, _LockState())
+        if mode is LockMode.SHARED:
+            if state.exclusive is not None and state.exclusive != txn_id:
+                self.denials += 1
+                raise LockError(
+                    f"txn {txn_id}: S({obj}) denied, X held by txn {state.exclusive}"
+                )
+            state.shared.add(txn_id)
+            self.grants += 1
+            return
+        # Exclusive request.
+        if state.exclusive is not None and state.exclusive != txn_id:
+            self.denials += 1
+            raise LockError(
+                f"txn {txn_id}: X({obj}) denied, X held by txn {state.exclusive}"
+            )
+        others = state.shared - {txn_id}
+        if others:
+            self.denials += 1
+            raise LockError(
+                f"txn {txn_id}: X({obj}) denied, S held by txns {sorted(others)}"
+            )
+        state.shared.discard(txn_id)  # upgrade folds the S into the X
+        state.exclusive = txn_id
+        self.grants += 1
+
+    def release(self, txn_id: int, obj: str) -> None:
+        """Release whatever ``txn_id`` holds on ``obj`` (no-op if nothing)."""
+        state = self._locks.get(obj)
+        if state is None:
+            return
+        state.shared.discard(txn_id)
+        if state.exclusive == txn_id:
+            state.exclusive = None
+        if state.is_free():
+            del self._locks[obj]
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (end of transaction)."""
+        for obj in list(self._locks):
+            self.release(txn_id, obj)
+
+    # -- inspection -----------------------------------------------------------
+
+    def holds(self, txn_id: int, obj: str, mode: LockMode) -> bool:
+        state = self._locks.get(obj)
+        if state is None:
+            return False
+        if mode is LockMode.SHARED:
+            # An X lock subsumes S.
+            return txn_id in state.shared or state.exclusive == txn_id
+        return state.exclusive == txn_id
+
+    def holders(self, obj: str) -> tuple[set[int], int | None]:
+        """``(shared_holders, exclusive_holder)`` for ``obj``."""
+        state = self._locks.get(obj)
+        if state is None:
+            return set(), None
+        return set(state.shared), state.exclusive

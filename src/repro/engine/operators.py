@@ -1,0 +1,311 @@
+"""Volcano-style query operators.
+
+Each operator exposes an output :class:`Schema` and an
+:meth:`~Operator.execute` method yielding :class:`Row` objects.  Plans
+built from these operators drive all page traffic through the buffer
+pool, so measured I/O and latency reflect the plan's real work.
+
+:class:`Materialize` models the paper's *blocking* plans ("traditional
+query execution cannot provide any result until it almost finishes"):
+it drains its child completely before emitting the first row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.heap import HeapRelation
+from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.predicate import Interval
+from repro.engine.row import Row
+from repro.engine.schema import Schema
+from repro.errors import PlanningError
+
+__all__ = [
+    "Operator",
+    "SeqScan",
+    "IndexEqualityScan",
+    "IndexRangeScan",
+    "Filter",
+    "Project",
+    "IndexNestedLoopJoin",
+    "Materialize",
+    "NestedLoopJoin",
+]
+
+RowPredicate = Callable[[Row], bool]
+
+
+class Operator:
+    """Base class for plan operators."""
+
+    schema: Schema
+
+    def execute(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """A one-line-per-operator plan rendering (for debugging/tests)."""
+        lines = [("  " * indent) + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> Sequence["Operator"]:
+        return ()
+
+
+class SeqScan(Operator):
+    """Full scan of a heap relation, with an optional pushed-down filter."""
+
+    def __init__(self, relation: HeapRelation, predicate: RowPredicate | None = None) -> None:
+        self.relation = relation
+        self.predicate = predicate
+        self.schema = relation.schema
+
+    def execute(self) -> Iterator[Row]:
+        for row in self.relation.scan_rows():
+            if self.predicate is None or self.predicate(row):
+                yield row
+
+    def _describe(self) -> str:
+        suffix = " (filtered)" if self.predicate else ""
+        return f"SeqScan({self.relation.name}){suffix}"
+
+
+class IndexEqualityScan(Operator):
+    """Probe an index with each of a list of keys and fetch the rows.
+
+    Implements the access path for an equality-form ``Ci``: one probe
+    per disjunct value.
+    """
+
+    def __init__(
+        self,
+        relation: HeapRelation,
+        index: HashIndex | OrderedIndex,
+        keys: Sequence[Any],
+        predicate: RowPredicate | None = None,
+    ) -> None:
+        if index.relation is not relation:
+            raise PlanningError(f"index {index.name!r} is not on {relation.name!r}")
+        self.relation = relation
+        self.index = index
+        self.keys = list(keys)
+        self.predicate = predicate
+        self.schema = relation.schema
+
+    def execute(self) -> Iterator[Row]:
+        for key in self.keys:
+            for row_id in self.index.probe(key):
+                row = self.relation.fetch(row_id)
+                if self.predicate is None or self.predicate(row):
+                    yield row
+
+    def _describe(self) -> str:
+        return (
+            f"IndexEqualityScan({self.relation.name} via {self.index.name}, "
+            f"{len(self.keys)} key(s))"
+        )
+
+
+class IndexRangeScan(Operator):
+    """Probe an ordered index with each of a list of intervals."""
+
+    def __init__(
+        self,
+        relation: HeapRelation,
+        index: OrderedIndex,
+        intervals: Sequence[Interval],
+        predicate: RowPredicate | None = None,
+    ) -> None:
+        if index.relation is not relation:
+            raise PlanningError(f"index {index.name!r} is not on {relation.name!r}")
+        if not index.supports_range():
+            raise PlanningError(f"index {index.name!r} does not support ranges")
+        self.relation = relation
+        self.index = index
+        self.intervals = list(intervals)
+        self.predicate = predicate
+        self.schema = relation.schema
+
+    def execute(self) -> Iterator[Row]:
+        for interval in self.intervals:
+            row_ids = self.index.probe_range(
+                interval.low,
+                interval.high,
+                low_inclusive=interval.low_inclusive,
+                high_inclusive=interval.high_inclusive,
+            )
+            for row_id in row_ids:
+                row = self.relation.fetch(row_id)
+                if self.predicate is None or self.predicate(row):
+                    yield row
+
+    def _describe(self) -> str:
+        return (
+            f"IndexRangeScan({self.relation.name} via {self.index.name}, "
+            f"{len(self.intervals)} interval(s))"
+        )
+
+
+class Filter(Operator):
+    """Apply a residual predicate."""
+
+    def __init__(self, child: Operator, predicate: RowPredicate, label: str = "") -> None:
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+        self.schema = child.schema
+
+    def execute(self) -> Iterator[Row]:
+        for row in self.child.execute():
+            if self.predicate(row):
+                yield row
+
+    def _describe(self) -> str:
+        return f"Filter({self.label})" if self.label else "Filter"
+
+    def _children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Project(Operator):
+    """Project to a list of (possibly qualified) column names."""
+
+    def __init__(self, child: Operator, names: Sequence[str]) -> None:
+        self.child = child
+        self.names = tuple(names)
+        self.schema = child.schema.project(self.names)
+
+    def execute(self) -> Iterator[Row]:
+        positions = [self.child.schema.position(n) for n in self.names]
+        schema = self.schema
+        for row in self.child.execute():
+            yield Row([row.values[p] for p in positions], schema)
+
+    def _describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+    def _children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class IndexNestedLoopJoin(Operator):
+    """Index nested-loop join: probe the inner index once per outer row.
+
+    This is the plan shape Section 2.1 describes for ``Eqt``: fetch
+    outer tuples, probe the inner join-attribute index for each.  When
+    the inner side is selective the index is probed many times before
+    the first result appears — the latency the PMV method targets.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner_relation: HeapRelation,
+        inner_index: HashIndex | OrderedIndex,
+        outer_key: str,
+        inner_predicate: RowPredicate | None = None,
+    ) -> None:
+        if inner_index.relation is not inner_relation:
+            raise PlanningError(
+                f"index {inner_index.name!r} is not on {inner_relation.name!r}"
+            )
+        self.outer = outer
+        self.inner_relation = inner_relation
+        self.inner_index = inner_index
+        self.outer_key = outer_key
+        self.inner_predicate = inner_predicate
+        self.schema = outer.schema.concat(inner_relation.schema)
+
+    def execute(self) -> Iterator[Row]:
+        schema = self.schema
+        key_pos = self.outer.schema.position(self.outer_key)
+        for outer_row in self.outer.execute():
+            key = outer_row.values[key_pos]
+            for row_id in self.inner_index.probe(key):
+                inner_row = self.inner_relation.fetch(row_id)
+                if self.inner_predicate is None or self.inner_predicate(inner_row):
+                    yield outer_row.concat(inner_row, schema)
+
+    def _describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin(inner={self.inner_relation.name} via "
+            f"{self.inner_index.name}, outer_key={self.outer_key})"
+        )
+
+    def _children(self) -> Sequence[Operator]:
+        return (self.outer,)
+
+
+class NestedLoopJoin(Operator):
+    """Fallback join for inner relations without a join-attribute index.
+
+    Materializes an in-memory hash table over the inner relation on
+    first use (one full scan), then probes it per outer row — i.e. a
+    simple hash join.  The planner only picks this when no index
+    exists, keeping the paper's index-nested-loop shape the default.
+    """
+
+    def __init__(
+        self,
+        outer: Operator,
+        inner_relation: HeapRelation,
+        inner_key: str,
+        outer_key: str,
+        inner_predicate: RowPredicate | None = None,
+    ) -> None:
+        self.outer = outer
+        self.inner_relation = inner_relation
+        self.inner_key = inner_key
+        self.outer_key = outer_key
+        self.inner_predicate = inner_predicate
+        self.schema = outer.schema.concat(inner_relation.schema)
+
+    def execute(self) -> Iterator[Row]:
+        schema = self.schema
+        key_pos = self.outer.schema.position(self.outer_key)
+        inner_pos = self.inner_relation.schema.position(self.inner_key)
+        table: dict[Any, list[Row]] = {}
+        for inner_row in self.inner_relation.scan_rows():
+            if self.inner_predicate is None or self.inner_predicate(inner_row):
+                table.setdefault(inner_row.values[inner_pos], []).append(inner_row)
+        for outer_row in self.outer.execute():
+            for inner_row in table.get(outer_row.values[key_pos], ()):
+                yield outer_row.concat(inner_row, schema)
+
+    def _describe(self) -> str:
+        return (
+            f"NestedLoopJoin(inner={self.inner_relation.name} hashed on "
+            f"{self.inner_key}, outer_key={self.outer_key})"
+        )
+
+    def _children(self) -> Sequence[Operator]:
+        return (self.outer,)
+
+
+class Materialize(Operator):
+    """Drain the child fully before emitting anything.
+
+    Models blocking plans: with ``Materialize`` at the root, the first
+    output row appears only after the whole input has been computed,
+    exactly the behaviour that motivates PMVs.
+    """
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def execute(self) -> Iterator[Row]:
+        buffered = list(self.child.execute())
+        yield from buffered
+
+    def _describe(self) -> str:
+        return "Materialize"
+
+    def _children(self) -> Sequence[Operator]:
+        return (self.child,)

@@ -1,0 +1,155 @@
+"""Slotted pages.
+
+A :class:`Page` is the unit of I/O.  Records are stored in slots; a
+deleted slot leaves a tombstone (``None``) so that :class:`RowId`\\ s of
+other records stay stable, mirroring how real slotted pages keep slot
+directories stable.  The page tracks its used byte count against a
+fixed capacity so heap files fill realistically and I/O counts in the
+benchmarks scale with data volume, as they would on a real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import PageFullError, StorageError
+
+__all__ = ["Page", "PAGE_SIZE", "SLOT_OVERHEAD", "PAGE_HEADER"]
+
+PAGE_SIZE = 8192
+"""Default page capacity in bytes (PostgreSQL-style 8 KiB)."""
+
+SLOT_OVERHEAD = 4
+"""Bytes charged per slot for the slot-directory entry."""
+
+PAGE_HEADER = 24
+"""Bytes reserved for the page header."""
+
+
+class Page:
+    """A slotted page holding record payloads.
+
+    Payloads are opaque to the page; the heap layer stores value tuples
+    and accounts their size via the schema.  The page only enforces the
+    byte budget and slot bookkeeping.
+    """
+
+    __slots__ = ("page_no", "capacity", "_slots", "_sizes", "_used", "dirty")
+
+    def __init__(self, page_no: int, capacity: int = PAGE_SIZE) -> None:
+        if capacity <= PAGE_HEADER:
+            raise StorageError(f"page capacity {capacity} too small")
+        self.page_no = page_no
+        self.capacity = capacity
+        self._slots: list[Any] = []
+        self._sizes: list[int] = []
+        self._used = PAGE_HEADER
+        self.dirty = False
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently consumed, including header and slot entries."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    def fits(self, payload_size: int) -> bool:
+        """Whether a record of ``payload_size`` bytes fits on this page."""
+        return payload_size + SLOT_OVERHEAD <= self.free_bytes
+
+    # -- record operations ---------------------------------------------------
+
+    def insert(self, payload: Any, payload_size: int) -> int:
+        """Insert a record; return its slot number.
+
+        Raises :class:`PageFullError` when the byte budget is exceeded.
+        Tombstoned slots are reused when the new payload fits in the
+        page's remaining budget (slot-directory space was already paid).
+        """
+        if payload is None:
+            raise StorageError("payload may not be None (None marks tombstones)")
+        cost = payload_size + SLOT_OVERHEAD
+        # Reuse a tombstone first: its slot entry is already accounted.
+        for slot_no, existing in enumerate(self._slots):
+            if existing is None:
+                if payload_size > self.free_bytes:
+                    raise PageFullError(
+                        f"page {self.page_no}: {payload_size}B > {self.free_bytes}B free"
+                    )
+                self._slots[slot_no] = payload
+                self._sizes[slot_no] = payload_size
+                self._used += payload_size
+                self.dirty = True
+                return slot_no
+        if cost > self.free_bytes:
+            raise PageFullError(
+                f"page {self.page_no}: {cost}B > {self.free_bytes}B free"
+            )
+        self._slots.append(payload)
+        self._sizes.append(payload_size)
+        self._used += cost
+        self.dirty = True
+        return len(self._slots) - 1
+
+    def read(self, slot_no: int) -> Any:
+        """Return the payload in ``slot_no``; ``None`` if tombstoned."""
+        if not 0 <= slot_no < len(self._slots):
+            raise StorageError(f"page {self.page_no}: bad slot {slot_no}")
+        return self._slots[slot_no]
+
+    def delete(self, slot_no: int) -> Any:
+        """Tombstone ``slot_no`` and return the removed payload."""
+        payload = self.read(slot_no)
+        if payload is None:
+            raise StorageError(f"page {self.page_no}: slot {slot_no} already deleted")
+        self._slots[slot_no] = None
+        self._used -= self._sizes[slot_no]
+        self._sizes[slot_no] = 0
+        self.dirty = True
+        return payload
+
+    def update(self, slot_no: int, payload: Any, payload_size: int) -> None:
+        """Replace the payload in ``slot_no`` in place.
+
+        Raises :class:`PageFullError` if the new payload does not fit in
+        the page's byte budget; callers then relocate the record.
+        """
+        old = self.read(slot_no)
+        if old is None:
+            raise StorageError(f"page {self.page_no}: slot {slot_no} is deleted")
+        growth = payload_size - self._sizes[slot_no]
+        if growth > self.free_bytes:
+            raise PageFullError(
+                f"page {self.page_no}: update grows by {growth}B > {self.free_bytes}B free"
+            )
+        self._slots[slot_no] = payload
+        self._used += growth
+        self._sizes[slot_no] = payload_size
+        self.dirty = True
+
+    # -- iteration -----------------------------------------------------------
+
+    def live_slots(self) -> Iterator[tuple[int, Any]]:
+        """Yield ``(slot_no, payload)`` for every non-tombstoned slot."""
+        for slot_no, payload in enumerate(self._slots):
+            if payload is not None:
+                yield slot_no, payload
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for payload in self._slots if payload is not None)
+
+    @property
+    def slot_count(self) -> int:
+        """Total slots including tombstones."""
+        return len(self._slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Page(no={self.page_no}, live={self.live_count}, "
+            f"used={self._used}/{self.capacity})"
+        )

@@ -1,0 +1,337 @@
+"""A small SQL-ish parser for ``qt``-form templates and queries.
+
+The paper writes its templates and queries in SQL (Figure 1, Section
+4.2); this module accepts that surface syntax so examples and tests can
+say what the paper says:
+
+Template definition — slot positions are marked with ``?``::
+
+    parse_template("Eqt",
+        "select r.a, s.e from r, s "
+        "where r.c = s.d and r.f = ? and s.g = ?")
+
+    # interval-form slot:
+    parse_template("offers",
+        "select related.item, sale.item from related, sale "
+        "where related.related_item = sale.item "
+        "and related.item = ? and sale.discount between ?")
+
+Concrete query — a full ``qt``-form statement, matched against a
+template and bound::
+
+    parse_query(template,
+        "select r.a, s.e from r, s "
+        "where r.c = s.d and (r.f = 1 or r.f = 3) "
+        "and (s.g = 2 or s.g = 4)")
+
+Supported predicate forms: equi-joins ``a.x = b.y``; parameterless
+fixed conditions ``a.x = <literal>``; equality disjunctions
+``(col = v1 or col = v2 …)``; interval disjunctions
+``(col between v and w or col between …)`` (closed intervals, the
+common form-based case).  Literals are integers, floats, and
+single-quoted strings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    SelectionCondition,
+)
+from repro.engine.template import Query, QueryTemplate, SelectionSlot, SlotForm
+from repro.errors import ParseError
+
+__all__ = ["parse_template", "parse_query", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<qident>[A-Za-z_][A-Za-z_0-9]*\.[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<punct>[(),=?])
+      | (?P<bad>\S)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "between"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Lex ``text`` into keyword/identifier/literal/punct tokens."""
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            break
+        pos = match.end()
+        if match.group("bad"):
+            raise ParseError(f"unexpected character {match.group('bad')!r}")
+        if match.group("string") is not None:
+            raw = match.group("string")[1:-1]
+            tokens.append(_Token("literal", raw.replace("\\'", "'")))
+        elif match.group("number") is not None:
+            raw = match.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(_Token("literal", value))
+        elif match.group("qident") is not None:
+            tokens.append(_Token("qident", match.group("qident")))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", word.lower()))
+            else:
+                tokens.append(_Token("ident", word))
+        else:
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Any = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind!r}, got {token.value!r}"
+            )
+        return token
+
+    def accept(self, kind: str, value: Any = None) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == kind and (
+            value is None or token.value == value
+        ):
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- shared clauses ----------------------------------------------------------
+
+    def parse_select_from(self) -> tuple[list[str], list[str]]:
+        self.expect("keyword", "select")
+        select_list = [self.expect("qident").value]
+        while self.accept("punct", ","):
+            select_list.append(self.expect("qident").value)
+        self.expect("keyword", "from")
+        relations = [self.expect("ident").value]
+        while self.accept("punct", ","):
+            relations.append(self.expect("ident").value)
+        self.expect("keyword", "where")
+        return select_list, relations
+
+    # -- WHERE conjuncts -------------------------------------------------------------
+
+    def parse_conjuncts(self) -> list[list[dict]]:
+        """The WHERE clause as a list of conjuncts, each a list of
+        disjunct dicts (one dict for an unparenthesized simple term)."""
+        conjuncts = [self.parse_conjunct()]
+        while self.accept("keyword", "and"):
+            conjuncts.append(self.parse_conjunct())
+        if not self.at_end():
+            raise ParseError(f"trailing tokens after WHERE clause: {self.peek()!r}")
+        return conjuncts
+
+    def parse_conjunct(self) -> list[dict]:
+        if self.accept("punct", "("):
+            disjuncts = [self.parse_term()]
+            while self.accept("keyword", "or"):
+                disjuncts.append(self.parse_term())
+            self.expect("punct", ")")
+            return disjuncts
+        return [self.parse_term()]
+
+    def parse_term(self) -> dict:
+        column = self.expect("qident").value
+        token = self.next()
+        if token.kind == "punct" and token.value == "=":
+            rhs = self.next()
+            if rhs.kind == "qident":
+                return {"kind": "join", "left": column, "right": rhs.value}
+            if rhs.kind == "literal":
+                return {"kind": "eq", "column": column, "value": rhs.value}
+            if rhs.kind == "punct" and rhs.value == "?":
+                return {"kind": "slot", "column": column, "form": SlotForm.EQUALITY}
+            raise ParseError(f"bad right-hand side {rhs.value!r}")
+        if token.kind == "keyword" and token.value == "between":
+            if self.accept("punct", "?"):
+                return {"kind": "slot", "column": column, "form": SlotForm.INTERVAL}
+            low = self.expect("literal").value
+            self.expect("keyword", "and")
+            high = self.expect("literal").value
+            return {"kind": "between", "column": column, "low": low, "high": high}
+        raise ParseError(f"expected '=' or 'between' after {column!r}")
+
+
+def parse_template(name: str, text: str) -> QueryTemplate:
+    """Parse a template definition with ``?`` slot markers."""
+    parser = _Parser(text)
+    select_list, relations = parser.parse_select_from()
+    joins: list[JoinEquality] = []
+    slots: list[SelectionSlot] = []
+    fixed: list[SelectionCondition] = []
+    for conjunct in parser.parse_conjuncts():
+        if len(conjunct) != 1:
+            raise ParseError("template definitions take no OR-disjunctions; use '?'")
+        term = conjunct[0]
+        if term["kind"] == "join":
+            left_rel, left_col = term["left"].split(".", 1)
+            right_rel, right_col = term["right"].split(".", 1)
+            joins.append(JoinEquality(left_rel, left_col, right_rel, right_col))
+        elif term["kind"] == "slot":
+            relation = term["column"].split(".", 1)[0]
+            slots.append(SelectionSlot(relation, term["column"], term["form"]))
+        elif term["kind"] == "eq":
+            fixed.append(EqualityDisjunction(term["column"], [term["value"]]))
+        else:  # between with literals: a fixed single-interval condition
+            fixed.append(
+                IntervalDisjunction(
+                    term["column"],
+                    [Interval(term["low"], term["high"], True, True)],
+                )
+            )
+    return QueryTemplate(
+        name=name,
+        relations=relations,
+        select_list=select_list,
+        joins=joins,
+        slots=slots,
+        fixed_conditions=fixed,
+    )
+
+
+def parse_query(template: QueryTemplate, text: str) -> Query:
+    """Parse a concrete ``qt``-form query and bind it to ``template``.
+
+    The statement's select list, relations, joins, and fixed conditions
+    must match the template; the remaining conjuncts must bind exactly
+    one disjunction per template slot.
+    """
+    parser = _Parser(text)
+    select_list, relations = parser.parse_select_from()
+    if tuple(relations) != template.relations:
+        raise ParseError(
+            f"relations {relations} do not match template {list(template.relations)}"
+        )
+    if tuple(select_list) != template.select_list:
+        raise ParseError(
+            f"select list {select_list} does not match template "
+            f"{list(template.select_list)}"
+        )
+    slot_columns = {slot.column for slot in template.slots}
+    expected_joins = {(j.qualified_left(), j.qualified_right()) for j in template.joins}
+    seen_joins: set[tuple[str, str]] = set()
+    conditions: list[SelectionCondition] = []
+    for conjunct in parser.parse_conjuncts():
+        kinds = {term["kind"] for term in conjunct}
+        if kinds == {"join"}:
+            (term,) = conjunct
+            pair = (term["left"], term["right"])
+            if pair not in expected_joins and pair[::-1] not in expected_joins:
+                raise ParseError(f"join {pair[0]} = {pair[1]} not in template")
+            seen_joins.add(pair if pair in expected_joins else pair[::-1])
+            continue
+        columns = {term["column"] for term in conjunct if "column" in term}
+        if len(columns) != 1:
+            raise ParseError("each disjunction must constrain a single attribute")
+        (column,) = columns
+        if column not in slot_columns:
+            # Must be one of the template's fixed conditions; accept and
+            # verify it matches.
+            _check_fixed(template, conjunct, column)
+            continue
+        if kinds == {"eq"}:
+            conditions.append(
+                EqualityDisjunction(column, [term["value"] for term in conjunct])
+            )
+        elif kinds == {"between"}:
+            conditions.append(
+                IntervalDisjunction(
+                    column,
+                    [
+                        Interval(term["low"], term["high"], True, True)
+                        for term in conjunct
+                    ],
+                )
+            )
+        else:
+            raise ParseError(
+                f"disjunction on {column!r} mixes equality and interval terms"
+            )
+    if seen_joins != expected_joins:
+        missing = expected_joins - seen_joins
+        raise ParseError(f"query is missing join term(s): {sorted(missing)}")
+    return template.bind(conditions)
+
+
+def _check_fixed(
+    template: QueryTemplate, conjunct: Sequence[dict], column: str
+) -> None:
+    """Verify a non-slot conjunct restates the template's fixed
+    condition on ``column`` (same values/intervals, not just the same
+    attribute)."""
+    for fixed in template.fixed_conditions:
+        if fixed.column != column:
+            continue
+        if isinstance(fixed, EqualityDisjunction):
+            stated = {term.get("value") for term in conjunct if term["kind"] == "eq"}
+            if len(stated) == len(conjunct) and stated == set(fixed.values):
+                return
+        else:
+            stated_intervals = [
+                Interval(term["low"], term["high"], True, True)
+                for term in conjunct
+                if term["kind"] == "between"
+            ]
+            if len(stated_intervals) == len(conjunct) and set(stated_intervals) == set(
+                fixed.intervals
+            ):
+                return
+        raise ParseError(
+            f"condition on {column!r} does not match the template's fixed "
+            f"condition ({fixed})"
+        )
+    raise ParseError(
+        f"{column!r} is neither a template slot nor a fixed condition"
+    )

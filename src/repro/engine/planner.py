@@ -1,0 +1,258 @@
+"""Rule-based planner for ``qt``-form queries.
+
+The planner produces the plan shape Section 2.1 describes: pick a
+driving relation whose selection attribute has an index, fetch its
+matching tuples by index probes, then index-nested-loop-join the
+remaining relations along ``Cjoin``'s equi-join edges, applying every
+remaining selection as a residual predicate.  The root projects to the
+*expanded* select list ``Ls'`` (Section 3.2) and, for blocking plans,
+materializes the full result before the first row is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.operators import (
+    Filter,
+    IndexEqualityScan,
+    IndexNestedLoopJoin,
+    IndexRangeScan,
+    Materialize,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    SeqScan,
+)
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    IntervalDisjunction,
+    JoinEquality,
+    SelectionCondition,
+)
+from repro.engine.row import Row
+from repro.engine.stats import StatisticsCollector
+from repro.engine.template import Query
+from repro.errors import PlanningError
+
+__all__ = ["Plan", "plan_query"]
+
+
+@dataclass
+class Plan:
+    """An executable plan: a root operator plus its source query."""
+
+    root: Operator
+    query: Query
+    blocking: bool
+
+    def execute(self) -> Iterator[Row]:
+        """Yield result rows (with the expanded select list ``Ls'``)."""
+        return self.root.execute()
+
+    def run(self) -> list[Row]:
+        """Execute to completion and return all rows."""
+        return list(self.root.execute())
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+def _conditions_by_relation(query: Query) -> dict[str, list[SelectionCondition]]:
+    """Group slot conditions and fixed conditions by their relation."""
+    grouped: dict[str, list[SelectionCondition]] = {
+        name: [] for name in query.template.relations
+    }
+    for slot, condition in zip(query.template.slots, query.cselect.conditions):
+        grouped[slot.relation].append(condition)
+    for condition in query.template.fixed_conditions:
+        relation = condition.column.split(".", 1)[0]
+        if relation not in grouped:
+            raise PlanningError(
+                f"fixed condition on unknown relation: {condition.column!r}"
+            )
+        grouped[relation].append(condition)
+    return grouped
+
+
+def _conjunction_predicate(conditions: Sequence[SelectionCondition]):
+    """A row predicate AND-ing ``conditions`` (None when empty)."""
+    if not conditions:
+        return None
+    if len(conditions) == 1:
+        single = conditions[0]
+        return single.matches
+    conds = tuple(conditions)
+
+    def predicate(row: Row) -> bool:
+        return all(c.matches(row) for c in conds)
+
+    return predicate
+
+
+def _estimate_driver_rows(
+    statistics: StatisticsCollector, relation: str, condition: SelectionCondition
+) -> float | None:
+    """Estimated rows an index scan on ``condition`` would fetch, or
+    ``None`` when no statistics are available for the relation."""
+    if not statistics.has_table(relation):
+        return None
+    table = statistics.table(relation)
+    column_stats = table.column(condition.column)
+    if isinstance(condition, EqualityDisjunction):
+        selectivity = column_stats.disjunction_selectivity(condition.values)
+    else:
+        selectivity = min(
+            sum(column_stats.interval_selectivity(iv) for iv in condition.intervals),
+            1.0,
+        )
+    return selectivity * table.row_count
+
+
+def _choose_driver(
+    catalog: Catalog,
+    query: Query,
+    statistics: StatisticsCollector | None = None,
+) -> tuple[str, SelectionCondition | None]:
+    """Pick the driving relation and the indexed condition to scan it by.
+
+    With statistics (the Section 4.2 ``ANALYZE`` equivalent), the
+    usable-indexed slot with the *lowest estimated row count* drives
+    the plan; without them, the first usable-indexed slot in template
+    order does.  Falls back to a sequential scan of the first relation
+    when no slot has a usable index.
+    """
+    candidates: list[tuple[str, SelectionCondition]] = []
+    for slot, condition in zip(query.template.slots, query.cselect.conditions):
+        need_range = isinstance(condition, IntervalDisjunction)
+        index = catalog.find_index(slot.relation, slot.column, require_range=need_range)
+        if index is not None:
+            candidates.append((slot.relation, condition))
+    if not candidates:
+        return query.template.relations[0], None
+    if statistics is not None:
+        estimated: list[tuple[float, int, str, SelectionCondition]] = []
+        for order, (relation, condition) in enumerate(candidates):
+            rows = _estimate_driver_rows(statistics, relation, condition)
+            if rows is not None:
+                estimated.append((rows, order, relation, condition))
+        if len(estimated) == len(candidates):
+            estimated.sort(key=lambda item: (item[0], item[1]))
+            _, _, relation, condition = estimated[0]
+            return relation, condition
+    return candidates[0]
+
+
+def plan_query(
+    catalog: Catalog,
+    query: Query,
+    blocking: bool = True,
+    statistics: StatisticsCollector | None = None,
+) -> Plan:
+    """Build a plan for ``query``.
+
+    Parameters
+    ----------
+    catalog:
+        Catalog supplying relations and indexes.
+    query:
+        A bound ``qt``-form query.
+    blocking:
+        Materialize the full result before emitting the first row,
+        modelling the traditional (blocking) execution the paper
+        contrasts PMVs with.  The PMV layer leaves this ``True``.
+    statistics:
+        Optional ANALYZE output; when present and covering the
+        candidate relations, the most selective indexed slot drives
+        the plan.
+    """
+    template = query.template
+    grouped = _conditions_by_relation(query)
+
+    driver, driver_condition = _choose_driver(catalog, query, statistics)
+    driver_relation = catalog.relation(driver)
+    residual_on_driver = [c for c in grouped[driver] if c is not driver_condition]
+    driver_predicate = _conjunction_predicate(residual_on_driver)
+
+    root: Operator
+    if driver_condition is None:
+        all_driver = _conjunction_predicate(grouped[driver])
+        root = SeqScan(driver_relation, predicate=all_driver)
+    elif isinstance(driver_condition, EqualityDisjunction):
+        index = catalog.find_index(driver, driver_condition.column)
+        assert index is not None
+        root = IndexEqualityScan(
+            driver_relation, index, driver_condition.values, predicate=driver_predicate
+        )
+    else:
+        index = catalog.find_index(driver, driver_condition.column, require_range=True)
+        assert index is not None
+        root = IndexRangeScan(
+            driver_relation, index, driver_condition.intervals, predicate=driver_predicate
+        )
+
+    # Join the remaining relations along Cjoin's equi-join edges.
+    planned = {driver}
+    pending_edges: list[JoinEquality] = list(template.joins)
+    while len(planned) < len(template.relations):
+        progressed = False
+        for edge in list(pending_edges):
+            left_in = edge.left_relation in planned
+            right_in = edge.right_relation in planned
+            if left_in and right_in:
+                # Redundant edge: apply as a residual filter.
+                pending_edges.remove(edge)
+                left_col, right_col = edge.qualified_left(), edge.qualified_right()
+                root = Filter(
+                    root,
+                    lambda row, lc=left_col, rc=right_col: row[lc] == row[rc],
+                    label=str(edge),
+                )
+                progressed = True
+                continue
+            if not left_in and not right_in:
+                continue
+            if left_in:
+                outer_key = edge.qualified_left()
+                inner_name, inner_col = edge.right_relation, edge.qualified_right()
+            else:
+                outer_key = edge.qualified_right()
+                inner_name, inner_col = edge.left_relation, edge.qualified_left()
+            inner_relation = catalog.relation(inner_name)
+            inner_index = catalog.find_index(inner_name, inner_col)
+            inner_predicate = _conjunction_predicate(grouped[inner_name])
+            if inner_index is not None:
+                root = IndexNestedLoopJoin(
+                    root, inner_relation, inner_index, outer_key, inner_predicate
+                )
+            else:
+                # No join-attribute index: fall back to a hash join over
+                # a one-shot scan of the inner relation.
+                bare_inner = inner_col.split(".", 1)[1] if "." in inner_col else inner_col
+                root = NestedLoopJoin(
+                    root, inner_relation, bare_inner, outer_key, inner_predicate
+                )
+            planned.add(inner_name)
+            pending_edges.remove(edge)
+            progressed = True
+        if not progressed:
+            missing = set(template.relations) - planned
+            raise PlanningError(
+                f"join graph of {template.name!r} is disconnected; "
+                f"cannot reach {sorted(missing)}"
+            )
+    # Any leftover edges connect already-planned relations.
+    for edge in pending_edges:
+        left_col, right_col = edge.qualified_left(), edge.qualified_right()
+        root = Filter(
+            root,
+            lambda row, lc=left_col, rc=right_col: row[lc] == row[rc],
+            label=str(edge),
+        )
+
+    root = Project(root, template.expanded_select_list())
+    if blocking:
+        root = Materialize(root)
+    return Plan(root=root, query=query, blocking=blocking)

@@ -1,0 +1,116 @@
+"""Row representation.
+
+A :class:`Row` pairs an immutable value tuple with the schema that
+names its fields.  Rows hash and compare by value (schema-insensitive),
+which is exactly the semantics the paper's duplicate-suppression
+structure ``DS`` needs: a tuple delivered from the PMV in Operation O2
+must compare equal to the same tuple produced by full execution in
+Operation O3, even though the two paths build it independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.schema import Schema
+
+__all__ = ["Row", "RowId"]
+
+
+class RowId:
+    """Physical address of a record: (page number, slot number)."""
+
+    __slots__ = ("page_no", "slot_no")
+
+    def __init__(self, page_no: int, slot_no: int) -> None:
+        self.page_no = page_no
+        self.slot_no = slot_no
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, RowId)
+            and other.page_no == self.page_no
+            and other.slot_no == self.slot_no
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.page_no, self.slot_no))
+
+    def __lt__(self, other: "RowId") -> bool:
+        return (self.page_no, self.slot_no) < (other.page_no, other.slot_no)
+
+    def __repr__(self) -> str:
+        return f"RowId({self.page_no}, {self.slot_no})"
+
+
+class Row:
+    """An immutable row of values described by a :class:`Schema`.
+
+    Equality and hashing consider only the value tuple, not the schema,
+    so rows from different plan shapes (PMV probe vs. full execution)
+    compare equal when their values match.
+    """
+
+    __slots__ = ("values", "schema")
+
+    def __init__(self, values: Sequence[Any], schema: Schema) -> None:
+        self.values = tuple(values)
+        self.schema = schema
+
+    # -- field access --------------------------------------------------------
+
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.position(key)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Value of column ``name``, or ``default`` if absent."""
+        if self.schema.has_column(name):
+            return self.values[self.schema.position(name)]
+        return default
+
+    def project(self, names: Sequence[str], schema: Schema | None = None) -> "Row":
+        """A new row containing only ``names``, in order."""
+        target = schema if schema is not None else self.schema.project(names)
+        return Row([self[name] for name in names], target)
+
+    def concat(self, other: "Row", schema: Schema) -> "Row":
+        """Concatenate two rows under a precomputed joined schema."""
+        return Row(self.values + other.values, schema)
+
+    def replace(self, **updates: Any) -> "Row":
+        """A copy of this row with named columns replaced."""
+        values = list(self.values)
+        for name, value in updates.items():
+            values[self.schema.position(name)] = value
+        return Row(values, self.schema)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The row as a ``{bare_name: value}`` dict (for display/tests)."""
+        return dict(zip(self.schema.names(), self.values))
+
+    def byte_size(self) -> int:
+        """Estimated storage footprint, via each column's type."""
+        return sum(
+            col.dtype.byte_size(value)
+            for col, value in zip(self.schema.columns, self.values)
+        )
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Row) and other.values == self.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v!r}" for n, v in self.as_dict().items())
+        return f"Row({pairs})"

@@ -1,0 +1,203 @@
+"""Relation schemas for the mini RDBMS substrate.
+
+A :class:`Schema` is an ordered list of named, typed columns.  Column
+names may be qualified (``"orders.orderkey"``) or bare
+(``"orderkey"``); lookup accepts either form as long as it is
+unambiguous.  Schemas are immutable and hashable so they can be shared
+between a relation, its indexes, and derived views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.engine.datatypes import DataType
+from repro.errors import SchemaError, UnknownColumnError
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Bare column name (no relation qualifier).
+    dtype:
+        The column's :class:`~repro.engine.datatypes.DataType`.
+    nullable:
+        Whether NULL values are accepted on insert.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or "." in self.name:
+            raise SchemaError(f"invalid bare column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of columns.
+
+    Parameters
+    ----------
+    columns:
+        The columns, in relation order.
+    relation_name:
+        Optional relation this schema belongs to; used to resolve
+        qualified column references like ``"orders.custkey"``.
+    """
+
+    columns: tuple[Column, ...]
+    relation_name: str | None = None
+    _positions: dict[str, int] = field(
+        default=None, repr=False, compare=False, hash=False  # type: ignore[assignment]
+    )
+
+    def __init__(
+        self,
+        columns: Sequence[Column],
+        relation_name: str | None = None,
+    ) -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError("a schema needs at least one column")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(self, "relation_name", relation_name)
+        positions = {c.name: i for i, c in enumerate(cols)}
+        if relation_name:
+            for i, c in enumerate(cols):
+                positions[f"{relation_name}.{c.name}"] = i
+        object.__setattr__(self, "_positions", positions)
+
+    # -- lookup ------------------------------------------------------------
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column ``name``.
+
+        Accepts bare or qualified names.  Raises
+        :class:`UnknownColumnError` if the column does not exist.
+        """
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"no column {name!r} in schema {self.qualified_names()}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` object for ``name``."""
+        return self.columns[self.position(name)]
+
+    def has_column(self, name: str) -> bool:
+        """Whether ``name`` (bare or qualified) resolves in this schema."""
+        return name in self._positions
+
+    def names(self) -> tuple[str, ...]:
+        """Bare column names, in order."""
+        return tuple(c.name for c in self.columns)
+
+    def qualified_names(self) -> tuple[str, ...]:
+        """Qualified names if a relation name is set, bare otherwise."""
+        if self.relation_name:
+            return tuple(f"{self.relation_name}.{c.name}" for c in self.columns)
+        return self.names()
+
+    # -- construction helpers ----------------------------------------------
+
+    def project(self, names: Sequence[str], relation_name: str | None = None) -> "Schema":
+        """A new schema containing only ``names``, in the given order.
+
+        Qualified names stay resolvable on the result: each requested
+        name is kept as an alias, and bare-name collisions between
+        different source columns are disambiguated.
+        """
+        picked = [self.column(n) for n in names]
+        out, used = [], set()
+        for requested, col in zip(names, picked):
+            bare = col.name
+            if bare in used:
+                bare = requested.replace(".", "_")
+                if bare in used:
+                    raise SchemaError(f"cannot disambiguate projected column {requested!r}")
+            out.append(Column(bare, col.dtype, col.nullable))
+            used.add(bare)
+        result = Schema(out, relation_name=relation_name)
+        for pos, requested in enumerate(names):
+            result._positions.setdefault(requested, pos)
+        return result
+
+    def rename(self, relation_name: str | None) -> "Schema":
+        """A copy of this schema bound to a different relation name."""
+        return Schema(self.columns, relation_name=relation_name)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (e.g. for join outputs).
+
+        Bare-name collisions between the two sides are renamed
+        ``<relation>_<column>``; every alias known on either input
+        (including qualified ``relation.column`` forms) stays
+        resolvable on the result, so predicates written against base
+        relations evaluate directly on join output rows.
+        """
+        out: list[Column] = list(self.columns)
+        out_names = set(self.names())
+        for col in other.columns:
+            name = col.name
+            if name in out_names:
+                qualifier = other.relation_name or "right"
+                name = f"{qualifier}_{col.name}"
+                if name in out_names:
+                    raise SchemaError(f"cannot disambiguate column {col.name!r}")
+            out.append(Column(name, col.dtype, col.nullable))
+            out_names.add(name)
+        result = Schema(out, relation_name=None)
+        offset = len(self.columns)
+        for key, pos in self._positions.items():
+            result._positions.setdefault(key, pos)
+        for key, pos in other._positions.items():
+            result._positions.setdefault(key, pos + offset)
+        return result
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_values(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Type-check a full row of values against this schema."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        out = []
+        for col, value in zip(self.columns, values):
+            if value is None and not col.nullable:
+                raise SchemaError(f"column {col.name!r} is NOT NULL")
+            out.append(col.dtype.validate(value))
+        return tuple(out)
+
+    # -- dunder --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.relation_name))
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self.columns == other.columns
+            and self.relation_name == other.relation_name
+        )

@@ -1,0 +1,225 @@
+"""Query templates (the paper's ``qt`` form) and bound queries.
+
+A :class:`QueryTemplate` captures everything that is fixed across the
+queries of one form-based application screen:
+
+- the select list ``Ls``;
+- the joined relations ``R1 … Rn`` and the equi-join terms of ``Cjoin``
+  (plus any parameterless single-relation conditions folded into
+  ``Cjoin``);
+- the *selection slots*: which attribute each ``Ci`` of ``Cselect``
+  constrains and whether it takes the equality or the interval form.
+
+A :class:`Query` binds one concrete disjunction per slot.  The PMV for
+a template is defined against the *expanded* select list ``Ls'``
+(``Ls`` plus every ``Cselect`` attribute), per Section 3.2: the
+attributes in ``Cselect`` must appear in stored result tuples so the
+basic condition part can be recovered from the tuple.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    IntervalDisjunction,
+    JoinEquality,
+    SelectionCondition,
+    SelectionConjunction,
+)
+from repro.errors import ConditionError, ViewDefinitionError
+
+__all__ = ["SlotForm", "SelectionSlot", "QueryTemplate", "Query"]
+
+
+class SlotForm(enum.Enum):
+    """Which disjunctive form a ``Ci`` takes (Section 2.1)."""
+
+    EQUALITY = "equality"
+    INTERVAL = "interval"
+
+
+@dataclass(frozen=True)
+class SelectionSlot:
+    """One parameterized ``Ci``: an attribute plus its form.
+
+    ``column`` is the qualified name (``"orders.orderdate"``) so slot
+    predicates evaluate against both base-relation rows and join output
+    rows.
+    """
+
+    relation: str
+    column: str
+    form: SlotForm
+
+    def __post_init__(self) -> None:
+        if "." not in self.column:
+            raise ConditionError(
+                f"slot column must be qualified ('rel.col'), got {self.column!r}"
+            )
+        rel = self.column.split(".", 1)[0]
+        if rel != self.relation:
+            raise ConditionError(
+                f"slot column {self.column!r} does not belong to relation {self.relation!r}"
+            )
+
+    @property
+    def bare_column(self) -> str:
+        return self.column.split(".", 1)[1]
+
+
+class QueryTemplate:
+    """The paper's ``qt``: ``select Ls from R1..Rn where Cjoin and Cselect``.
+
+    Parameters
+    ----------
+    name:
+        Template identifier (used to name its PMV).
+    relations:
+        Relation names ``R1 … Rn`` in join order.
+    select_list:
+        Qualified output attributes ``Ls``.
+    joins:
+        Equi-join terms of ``Cjoin``.
+    slots:
+        The parameterized ``Cselect`` slots, in the (d1, …, dm) order
+        used for condition parts.
+    fixed_conditions:
+        Parameterless single-relation conditions folded into ``Cjoin``
+        (e.g. ``R1.b = 100``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relations: Sequence[str],
+        select_list: Sequence[str],
+        joins: Sequence[JoinEquality],
+        slots: Sequence[SelectionSlot],
+        fixed_conditions: Sequence[SelectionCondition] = (),
+    ) -> None:
+        if not relations:
+            raise ViewDefinitionError("template needs at least one relation")
+        if len(set(relations)) != len(relations):
+            raise ViewDefinitionError("duplicate relations in template")
+        if not slots:
+            raise ViewDefinitionError("template needs at least one selection slot")
+        relation_set = set(relations)
+        for slot in slots:
+            if slot.relation not in relation_set:
+                raise ViewDefinitionError(
+                    f"slot on {slot.column!r}: relation not in template"
+                )
+        for join in joins:
+            if join.left_relation not in relation_set or join.right_relation not in relation_set:
+                raise ViewDefinitionError(f"join {join} references unknown relation")
+        if len(relations) > 1 and len(joins) < len(relations) - 1:
+            raise ViewDefinitionError(
+                f"{len(relations)} relations need at least {len(relations) - 1} join terms"
+            )
+        slot_columns = [s.column for s in slots]
+        if len(set(slot_columns)) != len(slot_columns):
+            raise ViewDefinitionError("each attribute may appear in only one slot")
+        for item in select_list:
+            if "." not in item or item.split(".", 1)[0] not in relation_set:
+                raise ViewDefinitionError(
+                    f"select list items must be qualified with a template "
+                    f"relation; got {item!r}"
+                )
+        self.name = name
+        self.relations = tuple(relations)
+        self.select_list = tuple(select_list)
+        self.joins = tuple(joins)
+        self.slots = tuple(slots)
+        self.fixed_conditions = tuple(fixed_conditions)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """The paper's m: number of Cselect slots."""
+        return len(self.slots)
+
+    def expanded_select_list(self) -> tuple[str, ...]:
+        """``Ls'``: Ls plus every Cselect attribute (Section 3.2)."""
+        out = list(self.select_list)
+        present = set(out)
+        for slot in self.slots:
+            if slot.column not in present:
+                out.append(slot.column)
+                present.add(slot.column)
+        return tuple(out)
+
+    def slot_index(self, column: str) -> int:
+        """Position of the slot constraining ``column``."""
+        for i, slot in enumerate(self.slots):
+            if slot.column == column:
+                return i
+        raise ConditionError(f"template {self.name!r} has no slot on {column!r}")
+
+    # -- binding ------------------------------------------------------------------
+
+    def bind(self, conditions: Sequence[SelectionCondition]) -> "Query":
+        """Bind one disjunction per slot, producing a concrete query.
+
+        Conditions are matched to slots by column and checked against
+        the slot's declared form.
+        """
+        if len(conditions) != len(self.slots):
+            raise ConditionError(
+                f"template {self.name!r} has {len(self.slots)} slots, "
+                f"got {len(conditions)} conditions"
+            )
+        by_column = {c.column: c for c in conditions}
+        if len(by_column) != len(conditions):
+            raise ConditionError("duplicate condition columns in bind()")
+        ordered: list[SelectionCondition] = []
+        for slot in self.slots:
+            cond = by_column.get(slot.column)
+            if cond is None:
+                raise ConditionError(f"no condition bound for slot {slot.column!r}")
+            if slot.form is SlotForm.EQUALITY and not isinstance(cond, EqualityDisjunction):
+                raise ConditionError(f"slot {slot.column!r} requires the equality form")
+            if slot.form is SlotForm.INTERVAL and not isinstance(cond, IntervalDisjunction):
+                raise ConditionError(f"slot {slot.column!r} requires the interval form")
+            ordered.append(cond)
+        return Query(self, SelectionConjunction(ordered))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryTemplate({self.name!r}, relations={self.relations}, "
+            f"slots={[s.column for s in self.slots]})"
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A concrete query: a template plus one bound ``Cselect``."""
+
+    template: QueryTemplate
+    cselect: SelectionConjunction
+
+    def __post_init__(self) -> None:
+        expected = tuple(s.column for s in self.template.slots)
+        if self.cselect.columns() != expected:
+            raise ConditionError(
+                f"Cselect columns {self.cselect.columns()} do not match "
+                f"template slots {expected}"
+            )
+
+    @property
+    def combination_factor(self) -> int:
+        """The paper's h for this query (Section 4.2)."""
+        return self.cselect.combination_factor()
+
+    def __str__(self) -> str:
+        joins = " and ".join(str(j) for j in self.template.joins)
+        fixed = " and ".join(f"({c})" for c in self.template.fixed_conditions)
+        where = " and ".join(part for part in (joins, fixed, str(self.cselect)) if part)
+        return (
+            f"select {', '.join(self.template.select_list)} "
+            f"from {', '.join(self.template.relations)} where {where}"
+        )

@@ -1,0 +1,122 @@
+"""Transactions.
+
+A :class:`Transaction` scopes a unit of work: it owns locks (released
+at commit/abort, i.e. strict two-phase locking) and records the base-
+relation changes it made so the PMV maintenance layer can react to
+them.  The engine is single-threaded, so transactions provide protocol
+checking and change capture rather than real concurrency control.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.locks import LockManager, LockMode
+from repro.engine.row import Row
+from repro.errors import TransactionError
+
+__all__ = ["Transaction", "TxnStatus", "ChangeKind", "Change"]
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class ChangeKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One base-relation change: the paper's ΔRi element.
+
+    ``old_row`` is set for deletes/updates, ``new_row`` for
+    inserts/updates.
+    """
+
+    kind: ChangeKind
+    relation: str
+    old_row: Row | None = None
+    new_row: Row | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ChangeKind.INSERT and self.new_row is None:
+            raise TransactionError("insert change needs new_row")
+        if self.kind is ChangeKind.DELETE and self.old_row is None:
+            raise TransactionError("delete change needs old_row")
+        if self.kind is ChangeKind.UPDATE and (self.old_row is None or self.new_row is None):
+            raise TransactionError("update change needs old_row and new_row")
+
+
+class Transaction:
+    """A unit of work holding locks and capturing base-relation changes."""
+
+    _next_id = 1
+
+    def __init__(self, lock_manager: LockManager, read_only: bool = False) -> None:
+        self.txn_id = Transaction._next_id
+        Transaction._next_id += 1
+        self._locks = lock_manager
+        self.read_only = read_only
+        self.status = TxnStatus.ACTIVE
+        self.changes: list[Change] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionError(f"txn {self.txn_id} is {self.status.value}")
+
+    def commit(self) -> None:
+        self._check_active()
+        self.status = TxnStatus.COMMITTED
+        self._locks.release_all(self.txn_id)
+
+    def abort(self) -> None:
+        self._check_active()
+        self.status = TxnStatus.ABORTED
+        self._locks.release_all(self.txn_id)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.status is TxnStatus.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    # -- locking -------------------------------------------------------------------
+
+    def lock_shared(self, obj: str) -> None:
+        self._check_active()
+        self._locks.acquire(self.txn_id, obj, LockMode.SHARED)
+
+    def lock_exclusive(self, obj: str) -> None:
+        self._check_active()
+        if self.read_only:
+            raise TransactionError(
+                f"read-only txn {self.txn_id} cannot take X({obj})"
+            )
+        self._locks.acquire(self.txn_id, obj, LockMode.EXCLUSIVE)
+
+    def holds_shared(self, obj: str) -> bool:
+        return self._locks.holds(self.txn_id, obj, LockMode.SHARED)
+
+    def holds_exclusive(self, obj: str) -> bool:
+        return self._locks.holds(self.txn_id, obj, LockMode.EXCLUSIVE)
+
+    # -- change capture --------------------------------------------------------------
+
+    def record_change(self, change: Change) -> None:
+        self._check_active()
+        if self.read_only:
+            raise TransactionError(f"read-only txn {self.txn_id} cannot write")
+        self.changes.append(change)

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing built-in
+exceptions.  The hierarchy is split along the package's two halves: the
+RDBMS substrate (``repro.engine``) and the partial-materialized-view
+layer (``repro.core``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Engine errors
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the RDBMS substrate."""
+
+
+class SchemaError(EngineError):
+    """A schema is malformed or an operation does not match a schema."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not match the declared column type."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema."""
+
+
+class CatalogError(EngineError):
+    """A catalog object is missing or duplicated."""
+
+
+class StorageError(EngineError):
+    """A page/heap-level invariant was violated."""
+
+
+class PageFullError(StorageError):
+    """A slotted page has no room for the requested record."""
+
+
+class BufferPoolError(EngineError):
+    """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
+
+
+class IndexError_(EngineError):
+    """An index operation failed (named with a trailing underscore to
+    avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class PlanningError(EngineError):
+    """The planner could not produce a plan for a query."""
+
+
+class ParseError(EngineError):
+    """The template/query parser rejected its input."""
+
+
+class TransactionError(EngineError):
+    """A transaction was used incorrectly (e.g. after commit)."""
+
+
+class LockError(TransactionError):
+    """A lock could not be acquired."""
+
+
+class DeadlockError(LockError):
+    """Lock acquisition was aborted to break a deadlock."""
+
+
+# ---------------------------------------------------------------------------
+# PMV-layer errors
+# ---------------------------------------------------------------------------
+
+
+class PMVError(ReproError):
+    """Base class for errors raised by the partial-materialized-view layer."""
+
+
+class ConditionError(PMVError):
+    """A condition part or selection condition is malformed."""
+
+
+class DiscretizationError(PMVError):
+    """Dividing values / basic intervals are invalid (overlap, gaps, ...)."""
+
+
+class ViewDefinitionError(PMVError):
+    """A (partial) materialized view definition is invalid."""
+
+
+class ViewCapacityError(PMVError):
+    """A PMV capacity parameter (F, UB, N) is invalid."""
+
+
+class MaintenanceError(PMVError):
+    """Deferred maintenance failed or was invoked incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload/generator parameter is invalid."""

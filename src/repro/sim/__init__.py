@@ -1,0 +1,18 @@
+"""``repro.sim`` — the Section 4.1 hit-probability simulation study."""
+
+from repro.sim.analytic import AnalyticPrediction, che_approximation
+from repro.sim.hitprob import (
+    SimulationConfig,
+    SimulationResult,
+    build_sim_policy,
+    simulate_hit_probability,
+)
+
+__all__ = [
+    "AnalyticPrediction",
+    "SimulationConfig",
+    "che_approximation",
+    "SimulationResult",
+    "build_sim_policy",
+    "simulate_hit_probability",
+]

@@ -1,0 +1,46 @@
+"""``repro.workload`` — data and query generators: Zipfian access
+distributions, the TPC-R-like dataset of Table 1, the paper's T1/T2/Eqt
+templates, and controlled/skewed query streams."""
+
+from repro.workload.queries import ControlledQueryFactory, ZipfianQueryStream, factorize
+from repro.workload.templates import (
+    T1_SELECT_LIST,
+    T2_SELECT_LIST,
+    equality_discretization,
+    make_eqt,
+    make_t1,
+    make_t2,
+)
+from repro.workload.trace import QueryTrace, QueryTraceRecorder
+from repro.workload.tpcr import (
+    CUSTOMER_TUPLE_BYTES,
+    LINEITEM_TUPLE_BYTES,
+    ORDERS_TUPLE_BYTES,
+    TPCRConfig,
+    TPCRDataset,
+    load_tpcr,
+    table1_rows,
+)
+from repro.workload.zipf import ZipfianDistribution
+
+__all__ = [
+    "CUSTOMER_TUPLE_BYTES",
+    "ControlledQueryFactory",
+    "LINEITEM_TUPLE_BYTES",
+    "ORDERS_TUPLE_BYTES",
+    "T1_SELECT_LIST",
+    "T2_SELECT_LIST",
+    "QueryTrace",
+    "QueryTraceRecorder",
+    "TPCRConfig",
+    "TPCRDataset",
+    "ZipfianDistribution",
+    "ZipfianQueryStream",
+    "equality_discretization",
+    "factorize",
+    "load_tpcr",
+    "make_eqt",
+    "make_t1",
+    "make_t2",
+    "table1_rows",
+]

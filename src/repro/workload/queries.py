@@ -1,0 +1,176 @@
+"""Query-stream generators for the experiments.
+
+Two kinds of streams:
+
+- :class:`ControlledQueryFactory` reproduces Section 4.2's setup: each
+  query's ``Cselect`` breaks into exactly ``h`` basic condition parts,
+  one of which is a designated *hot* cell (resident in the PMV), the
+  rest cold.  ``h`` is the template's combination factor — the product
+  of the per-slot disjunct counts — so ``h`` is factored across the
+  slots (e.g. h=6 on T1 → 2 dates × 3 suppliers).
+- :class:`ZipfianQueryStream` draws each slot's disjunct values from a
+  per-slot Zipfian distribution, the natural skewed workload for the
+  examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.predicate import EqualityDisjunction
+from repro.engine.template import Query, QueryTemplate
+from repro.errors import WorkloadError
+from repro.workload.zipf import ZipfianDistribution
+
+__all__ = ["factorize", "ControlledQueryFactory", "ZipfianQueryStream"]
+
+
+def factorize(h: int, dimensions: int) -> tuple[int, ...]:
+    """Split a combination factor ``h`` into ``dimensions`` per-slot
+    disjunct counts whose product is ``h``, as balanced as possible.
+
+    Larger factors go to earlier slots, so a template with extra
+    trailing slots (T2 vs T1) splits its leading dimensions the same
+    way T1 does at equal h.
+
+    >>> factorize(6, 2)
+    (3, 2)
+    >>> factorize(7, 2)
+    (7, 1)
+    >>> factorize(8, 3)
+    (2, 2, 2)
+    """
+    if h < 1 or dimensions < 1:
+        raise WorkloadError("h and dimensions must be >= 1")
+    if dimensions == 1:
+        return (h,)
+    best: tuple[int, ...] | None = None
+    for first in range(1, h + 1):
+        if h % first:
+            continue
+        rest = factorize(h // first, dimensions - 1)
+        candidate = (first,) + rest
+        if best is None or max(candidate) < max(best):
+            best = candidate
+    assert best is not None
+    return tuple(sorted(best, reverse=True))
+
+
+class ControlledQueryFactory:
+    """Builds queries with a known hot/cold cell composition.
+
+    Parameters
+    ----------
+    template:
+        An all-equality-slot template (T1 or T2 shaped).
+    domains:
+        One value domain per slot, in slot order (e.g. the distinct
+        order dates, the supplier keys, the nation keys).
+    seed:
+        Seed for cold-value sampling.
+    """
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        domains: Sequence[Sequence[Any]],
+        seed: int | None = None,
+    ) -> None:
+        if len(domains) != template.arity:
+            raise WorkloadError(
+                f"need {template.arity} domains, got {len(domains)}"
+            )
+        for i, domain in enumerate(domains):
+            if len(domain) < 2:
+                raise WorkloadError(f"domain {i} needs at least 2 values")
+        self.template = template
+        self.domains = [list(d) for d in domains]
+        self._rng = np.random.default_rng(seed)
+
+    def hot_cell(self) -> tuple[Any, ...]:
+        """A canonical hot cell: the first value of every domain."""
+        return tuple(domain[0] for domain in self.domains)
+
+    def query(self, h: int, hot: tuple[Any, ...] | None = None) -> Query:
+        """A query whose ``Cselect`` breaks into exactly ``h`` basic
+        condition parts, including the cell ``hot`` (defaulting to
+        :meth:`hot_cell`) — the Section 4.2 construction where "one of
+        these h basic condition parts exists in the PMV".
+        """
+        hot = hot if hot is not None else self.hot_cell()
+        if len(hot) != self.template.arity:
+            raise WorkloadError("hot cell arity does not match template")
+        counts = factorize(h, self.template.arity)
+        conditions = []
+        for slot, domain, count, hot_value in zip(
+            self.template.slots, self.domains, counts, hot
+        ):
+            if count > len(domain):
+                raise WorkloadError(
+                    f"h={h} needs {count} values in domain of {slot.column!r}, "
+                    f"which has only {len(domain)}"
+                )
+            values = [hot_value]
+            pool = [v for v in domain if v != hot_value]
+            extra = self._rng.choice(len(pool), size=count - 1, replace=False)
+            values.extend(pool[int(i)] for i in extra)
+            conditions.append(EqualityDisjunction(slot.column, values))
+        return self.template.bind(conditions)
+
+
+class ZipfianQueryStream:
+    """An endless stream of skewed template queries.
+
+    Each slot draws its disjunct values (without replacement) from a
+    Zipfian distribution over that slot's domain, so some cells are hot
+    across the stream — the access pattern PMVs exploit.
+    """
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        domains: Sequence[Sequence[Any]],
+        alpha: float = 1.07,
+        values_per_slot: Sequence[int] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if len(domains) != template.arity:
+            raise WorkloadError(f"need {template.arity} domains")
+        self.template = template
+        self.domains = [list(d) for d in domains]
+        if values_per_slot is None:
+            values_per_slot = [2] * template.arity
+        if len(values_per_slot) != template.arity:
+            raise WorkloadError("values_per_slot length must match arity")
+        for count, domain in zip(values_per_slot, self.domains):
+            if not 1 <= count <= len(domain):
+                raise WorkloadError("values_per_slot out of domain range")
+        self.values_per_slot = list(values_per_slot)
+        seeds = np.random.SeedSequence(seed).spawn(template.arity)
+        self._dists = [
+            ZipfianDistribution(len(domain), alpha, seed=int(s.generate_state(1)[0]))
+            for domain, s in zip(self.domains, seeds)
+        ]
+
+    def next_query(self) -> Query:
+        """Draw the next skewed query."""
+        conditions = []
+        for slot, domain, dist, count in zip(
+            self.template.slots, self.domains, self._dists, self.values_per_slot
+        ):
+            picked: list[int] = []
+            # Rejection-sample distinct ids; domains are much larger
+            # than `count`, so this terminates quickly.
+            while len(picked) < count:
+                candidate = dist.sample_one()
+                if candidate not in picked:
+                    picked.append(candidate)
+            conditions.append(
+                EqualityDisjunction(slot.column, [domain[i] for i in picked])
+            )
+        return self.template.bind(conditions)
+
+    def queries(self, n: int) -> list[Query]:
+        return [self.next_query() for _ in range(n)]

@@ -1,0 +1,106 @@
+"""The paper's query templates over the TPC-R-like schema.
+
+- :func:`make_t1`: Section 4.2's T1 — lineitems by supplier and order
+  date (``orders ⋈ lineitem``);
+- :func:`make_t2`: T2 — additionally restricted to customer nations
+  (``orders ⋈ lineitem ⋈ customer``);
+- :func:`make_eqt`: the introduction's generic two-relation template
+  Eqt (Figure 1) over caller-supplied relations, used by tests and
+  examples.
+
+Each ``make_*`` returns the template; pair it with a
+:class:`~repro.core.discretize.Discretization` (all slots here are
+equality-form, so an empty discretization suffices).
+"""
+
+from __future__ import annotations
+
+from repro.core.discretize import Discretization
+from repro.engine.predicate import JoinEquality
+from repro.engine.template import QueryTemplate, SelectionSlot, SlotForm
+
+__all__ = ["make_t1", "make_t2", "make_eqt", "T1_SELECT_LIST", "T2_SELECT_LIST"]
+
+T1_SELECT_LIST = (
+    "orders.orderkey",
+    "orders.custkey",
+    "orders.orderdate",
+    "orders.totalprice",
+    "lineitem.suppkey",
+    "lineitem.linenumber",
+    "lineitem.quantity",
+    "lineitem.extendedprice",
+)
+"""T1's ``select *`` (minus the filler comments, which only pad size)."""
+
+T2_SELECT_LIST = T1_SELECT_LIST + (
+    "customer.custkey",
+    "customer.nationkey",
+    "customer.name",
+    "customer.acctbal",
+)
+"""T2's ``select *`` across all three relations."""
+
+
+def make_t1(name: str = "T1", select_list: tuple[str, ...] = T1_SELECT_LIST) -> QueryTemplate:
+    """T1: lineitems whose parts were provided by certain suppliers and
+    sold on certain days.  Basic condition parts are (d_i, s_j) pairs."""
+    return QueryTemplate(
+        name=name,
+        relations=("orders", "lineitem"),
+        select_list=select_list,
+        joins=(JoinEquality("orders", "orderkey", "lineitem", "orderkey"),),
+        slots=(
+            SelectionSlot("orders", "orders.orderdate", SlotForm.EQUALITY),
+            SelectionSlot("lineitem", "lineitem.suppkey", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def make_t2(name: str = "T2", select_list: tuple[str, ...] = T2_SELECT_LIST) -> QueryTemplate:
+    """T2: T1 further restricted to customers of certain nations.
+    Basic condition parts are (d_i, s_j, n_k) triples."""
+    return QueryTemplate(
+        name=name,
+        relations=("orders", "lineitem", "customer"),
+        select_list=select_list,
+        joins=(
+            JoinEquality("orders", "orderkey", "lineitem", "orderkey"),
+            JoinEquality("orders", "custkey", "customer", "custkey"),
+        ),
+        slots=(
+            SelectionSlot("orders", "orders.orderdate", SlotForm.EQUALITY),
+            SelectionSlot("lineitem", "lineitem.suppkey", SlotForm.EQUALITY),
+            SelectionSlot("customer", "customer.nationkey", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def make_eqt(
+    left: str = "r",
+    right: str = "s",
+    join_left: str = "c",
+    join_right: str = "d",
+    slot_left: str = "f",
+    slot_right: str = "g",
+    select_list: tuple[str, ...] | None = None,
+    name: str = "Eqt",
+) -> QueryTemplate:
+    """Figure 1's generic template over two caller-named relations."""
+    if select_list is None:
+        select_list = (f"{left}.a", f"{right}.e")
+    return QueryTemplate(
+        name=name,
+        relations=(left, right),
+        select_list=select_list,
+        joins=(JoinEquality(left, join_left, right, join_right),),
+        slots=(
+            SelectionSlot(left, f"{left}.{slot_left}", SlotForm.EQUALITY),
+            SelectionSlot(right, f"{right}.{slot_right}", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def equality_discretization(template: QueryTemplate) -> Discretization:
+    """Discretization for an all-equality template (no grids needed)."""
+    return Discretization(template)

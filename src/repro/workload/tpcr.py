@@ -1,0 +1,257 @@
+"""TPC-R-like data generator (Section 4.2, Table 1).
+
+Reproduces the paper's test data set: ``customer``, ``orders``, and
+``lineitem`` relations with the TPC-R row ratios —
+
+====================  =====================  ==================
+relation              paper rows (scale s)   row ratio
+====================  =====================  ==================
+customer              0.15 × s M             1
+orders                1.5  × s M             10 per customer
+lineitem              6    × s M             4 per order
+====================  =====================  ==================
+
+A linear ``downscale`` (default 1,000) shrinks absolute counts to
+laptop scale while keeping every ratio, matching rule, and per-tuple
+size intact; ``downscale=1`` regenerates the paper's full-size tables.
+Filler comment columns pad average tuple sizes to the paper's
+~153/76/126 bytes so Table 1's total sizes reproduce proportionally.
+
+Generation is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.datatypes import DATE, FLOAT, INTEGER, TEXT
+from repro.engine.schema import Column
+from repro.errors import WorkloadError
+
+__all__ = ["TPCRConfig", "TPCRDataset", "load_tpcr", "table1_rows"]
+
+# Paper Table 1 per-tuple byte sizes, derived from "total size / rows".
+CUSTOMER_TUPLE_BYTES = 153
+ORDERS_TUPLE_BYTES = 76
+LINEITEM_TUPLE_BYTES = 126
+
+
+@dataclass(frozen=True)
+class TPCRConfig:
+    """Knobs for the generator.
+
+    ``scale_factor`` is the paper's ``s``; ``downscale`` divides the
+    paper's absolute row counts (1,000 by default → s=1 gives 150
+    customers, 1,500 orders, 6,000 lineitems).
+    """
+
+    scale_factor: float = 1.0
+    downscale: int = 1000
+    seed: int = 42
+    distinct_order_dates: int = 366
+    suppliers: int = 100
+    nations: int = 25
+    orders_per_customer: int = 10
+    lineitems_per_order: int = 4
+    start_date: str = "1994-01-01"
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise WorkloadError("scale_factor must be positive")
+        if self.downscale < 1:
+            raise WorkloadError("downscale must be >= 1")
+        if min(self.distinct_order_dates, self.suppliers, self.nations) < 1:
+            raise WorkloadError("distinct values must be >= 1")
+
+    @property
+    def customers(self) -> int:
+        return max(1, round(150_000 * self.scale_factor / self.downscale))
+
+    @property
+    def orders(self) -> int:
+        return self.customers * self.orders_per_customer
+
+    @property
+    def lineitems(self) -> int:
+        return self.orders * self.lineitems_per_order
+
+    def order_dates(self) -> list[str]:
+        """The distinct orderdate domain, as ISO strings."""
+        base = _dt.date.fromisoformat(self.start_date)
+        return [
+            (base + _dt.timedelta(days=i)).isoformat()
+            for i in range(self.distinct_order_dates)
+        ]
+
+
+@dataclass
+class TPCRDataset:
+    """What :func:`load_tpcr` produced: the config plus per-table stats."""
+
+    config: TPCRConfig
+    row_counts: dict[str, int] = field(default_factory=dict)
+    byte_sizes: dict[str, int] = field(default_factory=dict)
+
+    def total_megabytes(self, relation: str) -> float:
+        return self.byte_sizes[relation] / 1e6
+
+
+def _filler(rng: np.random.Generator, length: int) -> str:
+    """Deterministic padding text of ``length`` characters."""
+    letters = rng.integers(ord("a"), ord("z") + 1, size=length)
+    return "".join(chr(c) for c in letters)
+
+
+def load_tpcr(database: Database, config: TPCRConfig | None = None) -> TPCRDataset:
+    """Create and populate the three TPC-R-like relations.
+
+    Builds an index on each selection/join attribute, exactly the
+    physical design of Section 4.2: ``customer(custkey, nationkey)``,
+    ``orders(orderkey, custkey, orderdate)``,
+    ``lineitem(orderkey, suppkey)``.
+    """
+    config = config or TPCRConfig()
+    rng = np.random.default_rng(config.seed)
+
+    database.create_relation(
+        "customer",
+        [
+            Column("custkey", INTEGER, nullable=False),
+            Column("nationkey", INTEGER, nullable=False),
+            Column("name", TEXT),
+            Column("acctbal", FLOAT),
+            Column("comment", TEXT),
+        ],
+    )
+    database.create_relation(
+        "orders",
+        [
+            Column("orderkey", INTEGER, nullable=False),
+            Column("custkey", INTEGER, nullable=False),
+            Column("orderdate", DATE, nullable=False),
+            Column("totalprice", FLOAT),
+            Column("comment", TEXT),
+        ],
+    )
+    database.create_relation(
+        "lineitem",
+        [
+            Column("orderkey", INTEGER, nullable=False),
+            Column("suppkey", INTEGER, nullable=False),
+            Column("linenumber", INTEGER, nullable=False),
+            Column("quantity", FLOAT),
+            Column("extendedprice", FLOAT),
+            Column("comment", TEXT),
+        ],
+    )
+
+    dates = config.order_dates()
+    dataset = TPCRDataset(config=config)
+
+    # -- customer --------------------------------------------------------------
+    customer_rows = []
+    nation_choices = rng.integers(0, config.nations, size=config.customers)
+    acctbals = rng.uniform(-999.99, 9999.99, size=config.customers)
+    for custkey in range(1, config.customers + 1):
+        name = f"Customer#{custkey:09d}"
+        pad = CUSTOMER_TUPLE_BYTES - (4 + 4 + len(name) + 8) - 8
+        customer_rows.append(
+            (
+                custkey,
+                int(nation_choices[custkey - 1]),
+                name,
+                round(float(acctbals[custkey - 1]), 2),
+                _filler(rng, max(4, pad)),
+            )
+        )
+
+    # -- orders -----------------------------------------------------------------
+    orders_rows = []
+    date_choices = rng.integers(0, len(dates), size=config.orders)
+    prices = rng.uniform(100.0, 500000.0, size=config.orders)
+    for orderkey in range(1, config.orders + 1):
+        # Each customer owns orders_per_customer consecutive orders.
+        custkey = (orderkey - 1) % config.customers + 1
+        pad = ORDERS_TUPLE_BYTES - (4 + 4 + 10 + 8) - 8
+        orders_rows.append(
+            (
+                orderkey,
+                custkey,
+                dates[int(date_choices[orderkey - 1])],
+                round(float(prices[orderkey - 1]), 2),
+                _filler(rng, max(4, pad)),
+            )
+        )
+
+    # -- lineitem ----------------------------------------------------------------
+    lineitem_rows = []
+    supp_choices = rng.integers(1, config.suppliers + 1, size=config.lineitems)
+    quantities = rng.integers(1, 51, size=config.lineitems)
+    ext_prices = rng.uniform(900.0, 105000.0, size=config.lineitems)
+    i = 0
+    for orderkey in range(1, config.orders + 1):
+        for linenumber in range(1, config.lineitems_per_order + 1):
+            pad = LINEITEM_TUPLE_BYTES - (4 + 4 + 4 + 8 + 8) - 8
+            lineitem_rows.append(
+                (
+                    orderkey,
+                    int(supp_choices[i]),
+                    linenumber,
+                    float(quantities[i]),
+                    round(float(ext_prices[i]), 2),
+                    _filler(rng, max(4, pad)),
+                )
+            )
+            i += 1
+
+    for name, rows in (
+        ("customer", customer_rows),
+        ("orders", orders_rows),
+        ("lineitem", lineitem_rows),
+    ):
+        database.insert_many(name, rows)
+        relation = database.catalog.relation(name)
+        dataset.row_counts[name] = relation.row_count
+        dataset.byte_sizes[name] = sum(row.byte_size() for row in relation.scan_rows())
+
+    # Indexes on every selection/join attribute (Section 4.2).
+    database.create_index("customer_custkey", "customer", ["custkey"])
+    database.create_index("customer_nationkey", "customer", ["nationkey"])
+    database.create_index("orders_orderkey", "orders", ["orderkey"])
+    database.create_index("orders_custkey", "orders", ["custkey"])
+    database.create_index("orders_orderdate", "orders", ["orderdate"], ordered=True)
+    database.create_index("lineitem_orderkey", "lineitem", ["orderkey"])
+    database.create_index("lineitem_suppkey", "lineitem", ["suppkey"])
+    return dataset
+
+
+def table1_rows(scale_factor: float, downscale: int = 1) -> list[dict[str, float]]:
+    """The paper's Table 1, parameterized by scale factor.
+
+    Returns one dict per relation with the expected tuple count and
+    total size in MB (at ``downscale=1``, the paper's own numbers:
+    0.15/1.5/6 M tuples and 23/114/755 MB at s=1).
+    """
+    config = TPCRConfig(scale_factor=scale_factor, downscale=downscale)
+    per_tuple = {
+        "customer": CUSTOMER_TUPLE_BYTES,
+        "orders": ORDERS_TUPLE_BYTES,
+        "lineitem": LINEITEM_TUPLE_BYTES,
+    }
+    counts = {
+        "customer": config.customers,
+        "orders": config.orders,
+        "lineitem": config.lineitems,
+    }
+    return [
+        {
+            "relation": name,
+            "tuples": counts[name],
+            "megabytes": counts[name] * per_tuple[name] / 1e6,
+        }
+        for name in ("customer", "orders", "lineitem")
+    ]

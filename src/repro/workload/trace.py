@@ -1,0 +1,131 @@
+"""Query-trace recording and replay.
+
+Section 3.1 suggests learning dividing values "from query traces"; this
+module supplies the trace machinery: a :class:`QueryTraceRecorder`
+captures every bound query against a template (wrap any query source,
+or attach to a stream), a :class:`QueryTrace` summarizes the observed
+predicate values — the input :func:`~repro.core.discretize.learn_dividing_values`
+wants — and replays the exact workload against an executor, e.g. to
+compare PMV configurations on a recorded production day.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.predicate import EqualityDisjunction, IntervalDisjunction
+from repro.engine.template import Query, QueryTemplate
+from repro.errors import WorkloadError
+
+__all__ = ["QueryTrace", "QueryTraceRecorder"]
+
+
+@dataclass
+class QueryTrace:
+    """An ordered record of bound queries from one template."""
+
+    template: QueryTemplate
+    queries: list[Query] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    # -- analysis --------------------------------------------------------------
+
+    def observed_values(self, column: str) -> list[Any]:
+        """Every predicate value/endpoint observed for ``column``.
+
+        Equality conditions contribute their disjunct values; interval
+        conditions contribute both endpoints of every interval (the
+        from/to values form-based applications expose) — exactly the
+        observations the discretization learner consumes.
+        """
+        index = self.template.slot_index(column)
+        out: list[Any] = []
+        for query in self.queries:
+            condition = query.cselect.conditions[index]
+            if isinstance(condition, EqualityDisjunction):
+                out.extend(condition.values)
+            else:
+                assert isinstance(condition, IntervalDisjunction)
+                for interval in condition.intervals:
+                    from repro.engine.datatypes import Infinity
+
+                    if not isinstance(interval.low, Infinity):
+                        out.append(interval.low)
+                    if not isinstance(interval.high, Infinity):
+                        out.append(interval.high)
+        return out
+
+    def value_frequencies(self, column: str) -> Counter:
+        """How often each value/endpoint appeared (hot-set analysis)."""
+        return Counter(self.observed_values(column))
+
+    def hot_cells(self, top: int = 10) -> list[tuple[tuple, int]]:
+        """The most frequent equality cells across the trace.
+
+        Only defined for all-equality templates (where a query's cells
+        are the cartesian product of its disjunct values).
+        """
+        counts: Counter = Counter()
+        for query in self.queries:
+            value_lists = []
+            for condition in query.cselect.conditions:
+                if not isinstance(condition, EqualityDisjunction):
+                    raise WorkloadError("hot_cells needs an all-equality template")
+                value_lists.append(condition.values)
+            import itertools
+
+            for cell in itertools.product(*value_lists):
+                counts[cell] += 1
+        return counts.most_common(top)
+
+    # -- replay -----------------------------------------------------------------
+
+    def replay(self, execute: Callable[[Query], Any]) -> list[Any]:
+        """Run every recorded query through ``execute`` in order."""
+        return [execute(query) for query in self.queries]
+
+
+class QueryTraceRecorder:
+    """Records queries flowing to an executor.
+
+    Either call :meth:`record` explicitly, or use :meth:`wrap` to get a
+    drop-in replacement for an ``execute`` callable that records as it
+    forwards.
+    """
+
+    def __init__(self, template: QueryTemplate, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise WorkloadError("trace capacity must be >= 1")
+        self.trace = QueryTrace(template)
+        self.capacity = capacity
+
+    def record(self, query: Query) -> Query:
+        if query.template is not self.trace.template:
+            raise WorkloadError(
+                f"query from template {query.template.name!r} does not belong "
+                f"to trace of {self.trace.template.name!r}"
+            )
+        self.trace.queries.append(query)
+        if self.capacity is not None and len(self.trace.queries) > self.capacity:
+            del self.trace.queries[0]
+        return query
+
+    def record_all(self, queries: Iterable[Query]) -> None:
+        for query in queries:
+            self.record(query)
+
+    def wrap(self, execute: Callable[[Query], Any]) -> Callable[[Query], Any]:
+        """A recording proxy around an ``execute(query)`` callable."""
+
+        def recording_execute(query: Query, *args, **kwargs):
+            self.record(query)
+            return execute(query, *args, **kwargs)
+
+        return recording_execute

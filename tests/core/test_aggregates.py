@@ -1,0 +1,102 @@
+"""Unit tests for aggregate queries over PMVs (Section 3.6)."""
+
+import pytest
+
+from repro.core import AggregatePMVExecutor, AggregateSpec, aggregate_rows
+from repro.engine.datatypes import FLOAT, INTEGER
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.errors import PMVError
+from tests.conftest import eqt_query
+
+
+@pytest.fixture
+def rows():
+    schema = Schema([Column("g", INTEGER), Column("x", FLOAT)])
+    data = [(1, 10.0), (1, 20.0), (2, 5.0), (2, None), (3, 7.0)]
+    return [Row(values, schema) for values in data]
+
+
+class TestAggregateRows:
+    def test_count_star(self, rows):
+        out = aggregate_rows(rows, ["g"], [AggregateSpec("count")])
+        assert out[(1,)]["count(*)"] == 2
+        assert out[(2,)]["count(*)"] == 2
+        assert out[(3,)]["count(*)"] == 1
+
+    def test_count_column_skips_nulls(self, rows):
+        out = aggregate_rows(rows, ["g"], [AggregateSpec("count", "x")])
+        assert out[(2,)]["count(x)"] == 1
+
+    def test_sum_min_max_avg(self, rows):
+        specs = [
+            AggregateSpec("sum", "x"),
+            AggregateSpec("min", "x"),
+            AggregateSpec("max", "x"),
+            AggregateSpec("avg", "x"),
+        ]
+        out = aggregate_rows(rows, ["g"], specs)
+        assert out[(1,)]["sum(x)"] == 30.0
+        assert out[(1,)]["min(x)"] == 10.0
+        assert out[(1,)]["max(x)"] == 20.0
+        assert out[(1,)]["avg(x)"] == 15.0
+
+    def test_all_null_group_aggregates_to_none(self):
+        schema = Schema([Column("g", INTEGER), Column("x", FLOAT)])
+        rows = [Row((1, None), schema)]
+        out = aggregate_rows(rows, ["g"], [AggregateSpec("sum", "x")])
+        assert out[(1,)]["sum(x)"] is None
+
+    def test_alias(self, rows):
+        out = aggregate_rows(rows, ["g"], [AggregateSpec("sum", "x", alias="total")])
+        assert out[(1,)]["total"] == 30.0
+
+    def test_empty_group_by_single_group(self, rows):
+        out = aggregate_rows(rows, [], [AggregateSpec("count")])
+        assert out[()]["count(*)"] == 5
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(PMVError):
+            AggregateSpec("median", "x")
+        with pytest.raises(PMVError):
+            AggregateSpec("sum")
+
+
+class TestAggregatePMVExecutor:
+    def test_exact_groups_match_manual_aggregation(self, eqt_db, eqt, eqt_executor):
+        agg = AggregatePMVExecutor(eqt_executor)
+        query = eqt_query(eqt, [1, 3], [2, 4])
+        result = agg.execute(query, ["s.g"], [AggregateSpec("count")])
+        rows = eqt_db.run(query)
+        expected = aggregate_rows(rows, ["s.g"], [AggregateSpec("count")])
+        assert result.exact_groups == expected
+
+    def test_partial_groups_are_provisional_subsets(self, eqt_db, eqt, eqt_executor):
+        agg = AggregatePMVExecutor(eqt_executor)
+        query = eqt_query(eqt, [1, 3], [2, 4])
+        agg.execute(query, ["s.g"], [AggregateSpec("count")])  # warm
+        warm = agg.execute(query, ["s.g"], [AggregateSpec("count")])
+        assert warm.had_partial_results
+        for key, partial in warm.partial_groups.items():
+            assert key in warm.exact_groups
+            assert partial["count(*)"] <= warm.exact_groups[key]["count(*)"]
+
+    def test_partial_coverage(self, eqt_db, eqt, eqt_executor):
+        agg = AggregatePMVExecutor(eqt_executor)
+        query = eqt_query(eqt, [1], [2])
+        cold = agg.execute(query, ["r.f"], [AggregateSpec("count")])
+        assert cold.partial_coverage() == 0.0
+        warm = agg.execute(query, ["r.f"], [AggregateSpec("count")])
+        assert warm.partial_coverage() == 1.0
+
+    def test_unknown_group_column_rejected(self, eqt_db, eqt, eqt_executor):
+        agg = AggregatePMVExecutor(eqt_executor)
+        with pytest.raises(PMVError):
+            agg.execute(eqt_query(eqt, [1], [2]), ["r.zzz"], [AggregateSpec("count")])
+
+    def test_unknown_aggregate_column_rejected(self, eqt_db, eqt, eqt_executor):
+        agg = AggregatePMVExecutor(eqt_executor)
+        with pytest.raises(PMVError):
+            agg.execute(
+                eqt_query(eqt, [1], [2]), ["s.g"], [AggregateSpec("sum", "s.zzz")]
+            )

@@ -1,0 +1,90 @@
+"""Tests for the UB byte-budget bound and force_evict (Section 3.2)."""
+
+import pytest
+
+from repro.core import Discretization, PartialMaterializedView, PMVExecutor, make_policy
+from repro.errors import ViewCapacityError
+from tests.conftest import eqt_query
+
+
+class TestForceEvict:
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_force_evict_returns_resident_key(self, name):
+        policy = make_policy(name, 8)
+        for key in range(5):
+            policy.reference(key)
+            policy.reference(key)  # 2Q needs the second sighting
+        victim = policy.force_evict()
+        assert victim is not None
+        assert not policy.contains(victim)
+
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_force_evict_empty_returns_none(self, name):
+        assert make_policy(name, 8).force_evict() is None
+
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_force_evict_drains_everything(self, name):
+        policy = make_policy(name, 8)
+        for key in range(6):
+            policy.reference(key)
+            policy.reference(key)
+        drained = 0
+        while policy.force_evict() is not None:
+            drained += 1
+        assert drained == 6
+        assert len(policy) == 0
+        assert list(policy.resident_keys()) == []
+
+
+class TestViewBudget:
+    def test_budget_enforced_after_fills(self, eqt_db, eqt):
+        view = PartialMaterializedView(
+            eqt,
+            Discretization(eqt),
+            tuples_per_entry=2,
+            max_entries=1000,          # count bound is slack
+            upper_bound_bytes=120,     # ~a couple of entries' worth
+        )
+        executor = PMVExecutor(eqt_db, view)
+        for f in range(6):
+            for g in range(5):
+                executor.execute(eqt_query(eqt, [f], [g]))
+        assert view.current_bytes <= 120 or view.entry_count <= 1
+        view.check_invariants()
+        assert view.metrics.entries_evicted > 0
+
+    def test_large_budget_never_evicts(self, eqt_db, eqt):
+        view = PartialMaterializedView(
+            eqt,
+            Discretization(eqt),
+            tuples_per_entry=2,
+            max_entries=1000,
+            upper_bound_bytes=10_000_000,
+        )
+        executor = PMVExecutor(eqt_db, view)
+        for f in range(4):
+            executor.execute(eqt_query(eqt, [f], [0]))
+        assert view.metrics.entries_evicted == 0
+
+    def test_queries_stay_correct_under_budget_pressure(self, eqt_db, eqt):
+        view = PartialMaterializedView(
+            eqt,
+            Discretization(eqt),
+            tuples_per_entry=2,
+            max_entries=1000,
+            upper_bound_bytes=100,
+        )
+        executor = PMVExecutor(eqt_db, view)
+        from tests.conftest import brute_force_eqt
+
+        for _ in range(3):
+            for f in (1, 2):
+                result = executor.execute(eqt_query(eqt, [f], [2]))
+                got = sorted(tuple(r.values) for r in result.all_rows())
+                assert got == brute_force_eqt(eqt_db, {f}, {2})
+
+    def test_invalid_budget_rejected(self, eqt_db, eqt):
+        with pytest.raises(ViewCapacityError):
+            PartialMaterializedView(
+                eqt, Discretization(eqt), 2, 10, upper_bound_bytes=0
+            )

@@ -1,0 +1,120 @@
+"""Unit tests for condition parts and basic condition parts."""
+
+import pytest
+
+from repro.core.condition import (
+    BasicConditionPart,
+    ConditionPart,
+    EqualityDim,
+    IntervalDim,
+)
+from repro.engine.datatypes import INTEGER
+from repro.engine.predicate import Interval
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.errors import ConditionError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Column("f", INTEGER), Column("g", INTEGER)], relation_name="r"
+    )
+
+
+def basic(f_value=1, g_interval=(0, 10), g_id=0):
+    return BasicConditionPart(
+        (
+            EqualityDim("r.f", f_value),
+            IntervalDim("r.g", Interval(*g_interval), g_id),
+        )
+    )
+
+
+class TestDimensions:
+    def test_equality_dim(self, schema):
+        dim = EqualityDim("r.f", 3)
+        assert dim.matches(Row((3, 0), schema))
+        assert not dim.matches(Row((4, 0), schema))
+        assert dim.contains_value(3)
+
+    def test_interval_dim(self, schema):
+        dim = IntervalDim("r.g", Interval(2, 8), basic_id=4)
+        assert dim.matches(Row((0, 5), schema))
+        assert not dim.matches(Row((0, 8), schema))
+        assert dim.basic_id == 4
+
+
+class TestBasicConditionPart:
+    def test_key_stores_values_and_interval_ids(self):
+        bcp = basic(f_value=7, g_interval=(10, 20), g_id=3)
+        assert bcp.key == (7, 3)
+
+    def test_matches_row(self, schema):
+        bcp = basic(f_value=1, g_interval=(0, 10))
+        assert bcp.matches(Row((1, 5), schema))
+        assert not bcp.matches(Row((1, 15), schema))
+        assert not bcp.matches(Row((2, 5), schema))
+
+    def test_arity(self):
+        assert basic().arity == 2
+
+    def test_hashable(self):
+        assert basic() == basic()
+        assert hash(basic()) == hash(basic())
+
+
+class TestConditionPart:
+    def test_basic_detection_when_equal_to_containing(self):
+        containing = basic(g_interval=(0, 10))
+        part = ConditionPart(containing.dims, containing)
+        assert part.is_basic
+
+    def test_non_basic_when_interval_is_narrower(self):
+        containing = basic(g_interval=(0, 10))
+        part = ConditionPart(
+            (EqualityDim("r.f", 1), IntervalDim("r.g", Interval(2, 5), 0)),
+            containing,
+        )
+        assert not part.is_basic
+
+    def test_matches_uses_own_dims(self, schema):
+        containing = basic(g_interval=(0, 10))
+        part = ConditionPart(
+            (EqualityDim("r.f", 1), IntervalDim("r.g", Interval(2, 5), 0)),
+            containing,
+        )
+        assert part.matches(Row((1, 3), schema))
+        assert not part.matches(Row((1, 7), schema))  # in bcp but not in cp
+
+    def test_contained_in(self):
+        containing = basic(g_interval=(0, 10))
+        part = ConditionPart(
+            (EqualityDim("r.f", 1), IntervalDim("r.g", Interval(2, 5), 0)),
+            containing,
+        )
+        assert part.contained_in(containing)
+        other = basic(f_value=2, g_interval=(0, 10))
+        assert not part.contained_in(other)
+        narrower = BasicConditionPart(
+            (EqualityDim("r.f", 1), IntervalDim("r.g", Interval(3, 4), 0))
+        )
+        assert not part.contained_in(narrower)
+
+    def test_contained_in_equality_inside_interval(self):
+        container = BasicConditionPart(
+            (IntervalDim("r.f", Interval(0, 10), 0), EqualityDim("r.g", 5))
+        )
+        part = ConditionPart(
+            (EqualityDim("r.f", 3), EqualityDim("r.g", 5)), container
+        )
+        assert part.contained_in(container)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConditionError):
+            ConditionPart((EqualityDim("r.f", 1),), basic())
+
+    def test_contained_in_arity_mismatch_false(self):
+        part = ConditionPart(basic().dims, basic())
+        single = BasicConditionPart((EqualityDim("r.f", 1),))
+        assert not part.contained_in(single)

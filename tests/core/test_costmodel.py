@@ -1,0 +1,121 @@
+"""Unit tests for the analytical maintenance cost model (Figs 11-12)."""
+
+import math
+
+import pytest
+
+from repro.core.costmodel import CostParameters, MaintenanceCostModel
+from repro.errors import PMVError
+
+P_GRID = [i / 10 for i in range(11)]
+
+
+@pytest.fixture
+def model():
+    return MaintenanceCostModel()
+
+
+class TestPerTupleCosts:
+    def test_mv_delete_dearer_than_insert(self, model):
+        assert model.mv_delete_cost_per_tuple() > model.mv_insert_cost_per_tuple()
+
+    def test_pmv_insert_is_free(self, model):
+        assert model.pmv_insert_cost_per_tuple() == 0.0
+
+    def test_pmv_delete_is_tiny(self, model):
+        assert model.pmv_delete_cost_per_tuple() < 1.0
+
+
+class TestWorkloads:
+    def test_paper_shape_mv_decreasing_in_p(self, model):
+        values = [model.mv_workload(p) for p in P_GRID]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_paper_shape_pmv_decreasing_in_p(self, model):
+        values = [model.pmv_workload(p) for p in P_GRID]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_pmv_zero_at_all_inserts(self, model):
+        assert model.pmv_workload(1.0) == 0.0
+
+    def test_two_orders_of_magnitude_gap(self, model):
+        """The paper's headline: MV maintenance is at least two orders
+        of magnitude dearer for every p."""
+        assert model.minimum_gap_orders_of_magnitude(P_GRID) >= 2.0
+
+    def test_speedup_monotone_increasing(self, model):
+        points = model.sweep(P_GRID[:-1])  # exclude p=1 (infinite)
+        speedups = [point.speedup for point in points]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_speedup_infinite_at_p1(self, model):
+        assert math.isinf(model.evaluate(1.0).speedup)
+
+    def test_speedup_reaches_hundreds(self, model):
+        assert model.evaluate(0.9).speedup > 300
+
+    def test_workload_scales_with_delta_size(self):
+        small = MaintenanceCostModel(CostParameters(delta_size=100))
+        large = MaintenanceCostModel(CostParameters(delta_size=1000))
+        assert large.mv_workload(0.5) == pytest.approx(10 * small.mv_workload(0.5))
+
+    def test_sweep_returns_grid(self, model):
+        points = model.sweep([0.0, 0.5, 1.0])
+        assert [p.insert_fraction for p in points] == [0.0, 0.5, 1.0]
+
+
+class TestValidation:
+    def test_out_of_range_p_rejected(self, model):
+        with pytest.raises(PMVError):
+            model.mv_workload(1.5)
+        with pytest.raises(PMVError):
+            model.pmv_workload(-0.1)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(PMVError):
+            CostParameters(delta_size=0)
+        with pytest.raises(PMVError):
+            CostParameters(pmv_miss_probability=1.5)
+        with pytest.raises(PMVError):
+            CostParameters(join_fanout=-1)
+
+    def test_gap_undefined_when_pmv_always_zero(self):
+        model = MaintenanceCostModel(
+            CostParameters(pmv_miss_probability=0.0, memory_ops_per_pmv_delete=0.0)
+        )
+        with pytest.raises(PMVError):
+            model.minimum_gap_orders_of_magnitude([1.0])
+
+
+class TestMultiRelationExtension:
+    """The paper: "The above two-relation model can be easily extended
+    to handle a (partial) MV defined on multiple base relations."""
+
+    def test_two_relation_defaults_unchanged(self, model):
+        # fanout 2, descent 2, 1 read/match -> 2 + 2*1 = 4 I/Os.
+        assert model.delta_join_ios() == pytest.approx(4.0)
+        assert model.results_per_delta_tuple() == pytest.approx(2.0)
+
+    def test_three_relation_join_costs_more(self):
+        three = MaintenanceCostModel(CostParameters(n_relations=3))
+        two = MaintenanceCostModel(CostParameters(n_relations=2))
+        assert three.delta_join_ios() > two.delta_join_ios()
+        assert three.results_per_delta_tuple() == pytest.approx(4.0)
+
+    def test_gap_holds_for_wider_views(self):
+        for n in (2, 3, 4):
+            model = MaintenanceCostModel(CostParameters(n_relations=n))
+            assert model.minimum_gap_orders_of_magnitude(P_GRID) >= 2.0
+
+    def test_speedup_grows_with_relations(self):
+        """Wider views make immediate MV maintenance dearer while PMV
+        deletes stay in-memory, so the PMV advantage widens."""
+        ratios = [
+            MaintenanceCostModel(CostParameters(n_relations=n)).evaluate(0.5).speedup
+            for n in (2, 3, 4)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_single_relation_rejected(self):
+        with pytest.raises(PMVError):
+            CostParameters(n_relations=1)

@@ -1,0 +1,194 @@
+"""Unit tests for Operation O1 (Cselect decomposition) and bcp recovery."""
+
+import pytest
+
+from repro.core.condition import EqualityDim, IntervalDim
+from repro.core.decompose import bcp_of_row, decompose
+from repro.core.discretize import BasicIntervals, Discretization
+from repro.engine.datatypes import INTEGER
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+)
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.engine.template import QueryTemplate, SelectionSlot, SlotForm
+from repro.errors import ConditionError
+
+
+@pytest.fixture
+def template():
+    return QueryTemplate(
+        "qt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+
+
+@pytest.fixture
+def disc(template):
+    return Discretization(template, {"s.g": BasicIntervals([10, 20, 30])})
+
+
+class TestEqualityDecomposition:
+    def test_pure_equality_parts_are_basic(self, template, disc):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1, 2]),
+                # Exactly basic interval #1, [10, 20).
+                IntervalDisjunction(
+                    "s.g", [Interval(10, 20, low_inclusive=True)]
+                ),
+            ]
+        )
+        parts = decompose(query, disc)
+        assert len(parts) == 2
+        assert all(part.is_basic for part in parts)
+        assert {part.containing.key for part in parts} == {(1, 1), (2, 1)}
+
+    def test_open_interval_on_basic_bounds_is_not_basic(self, template, disc):
+        # (10, 20) open is a strict subset of the half-open basic
+        # interval [10, 20), so the part is contained-in, not basic.
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(10, 20)]),
+            ]
+        )
+        parts = decompose(query, disc)
+        assert len(parts) == 1
+        assert not parts[0].is_basic
+        assert parts[0].containing.key == (1, 1)
+
+
+class TestIntervalDecomposition:
+    def test_spanning_interval_splits_per_basic_interval(self, template, disc):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(5, 25)]),
+            ]
+        )
+        parts = decompose(query, disc)
+        # (5,25) overlaps basic intervals 0,1,2 -> 3 parts.
+        assert len(parts) == 3
+        ids = [part.containing.key[1] for part in parts]
+        assert ids == [0, 1, 2]
+        # The middle part covers basic interval 1 fully -> basic.
+        assert parts[1].is_basic
+        # The edge parts are strict subsets -> not basic.
+        assert not parts[0].is_basic
+        assert not parts[2].is_basic
+
+    def test_part_dims_are_intersections(self, template, disc):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(5, 15)]),
+            ]
+        )
+        parts = decompose(query, disc)
+        first = parts[0].dims[1]
+        assert isinstance(first, IntervalDim)
+        assert first.interval == Interval(5, 10)
+        second = parts[1].dims[1]
+        assert second.interval == Interval(10, 15, low_inclusive=True)
+
+    def test_multiple_query_intervals(self, template, disc):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(0, 5), Interval(25, 28)]),
+            ]
+        )
+        parts = decompose(query, disc)
+        assert len(parts) == 2
+        assert [p.containing.key[1] for p in parts] == [0, 2]
+
+    def test_cartesian_product_count(self, template, disc):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1, 2, 3]),
+                IntervalDisjunction("s.g", [Interval(5, 25)]),  # 3 basic intervals
+            ]
+        )
+        parts = decompose(query, disc)
+        assert len(parts) == 9
+
+    def test_parts_are_non_overlapping(self, template, disc):
+        schema = Schema([Column("f", INTEGER), Column("g", INTEGER)], relation_name=None)
+        # Alias qualified names used by dims.
+        schema._positions["r.f"] = 0
+        schema._positions["s.g"] = 1
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1, 2]),
+                IntervalDisjunction("s.g", [Interval(5, 25)]),
+            ]
+        )
+        parts = decompose(query, disc)
+        for g in range(6, 25, 2):
+            row = Row((1, g), schema)
+            owners = [p for p in parts if p.matches(row)]
+            assert len(owners) == 1, f"value {g} owned by {len(owners)} parts"
+
+    def test_wrong_discretization_rejected(self, template, disc):
+        other = QueryTemplate(
+            "other",
+            ("r",),
+            ("r.a",),
+            (),
+            (SelectionSlot("r", "r.f", SlotForm.EQUALITY),),
+        )
+        other_disc = Discretization(other)
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(5, 15)]),
+            ]
+        )
+        with pytest.raises(ConditionError):
+            decompose(query, other_disc)
+
+
+class TestBcpOfRow:
+    @pytest.fixture
+    def result_row(self):
+        schema = Schema(
+            [Column("a", INTEGER), Column("e", INTEGER), Column("f", INTEGER), Column("g", INTEGER)]
+        )
+        schema._positions["r.a"] = 0
+        schema._positions["s.e"] = 1
+        schema._positions["r.f"] = 2
+        schema._positions["s.g"] = 3
+        return Row((100, 200, 2, 15), schema)
+
+    def test_recovers_containing_bcp(self, template, disc, result_row):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [2]),
+                IntervalDisjunction("s.g", [Interval(5, 25)]),
+            ]
+        )
+        bcp = bcp_of_row(result_row, query, disc)
+        assert bcp.key == (2, 1)
+        assert isinstance(bcp.dims[0], EqualityDim)
+        assert isinstance(bcp.dims[1], IntervalDim)
+        assert bcp.dims[1].interval == Interval(10, 20, low_inclusive=True)
+
+    def test_recovered_bcp_matches_row(self, template, disc, result_row):
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [2]),
+                IntervalDisjunction("s.g", [Interval(5, 25)]),
+            ]
+        )
+        bcp = bcp_of_row(result_row, query, disc)
+        assert bcp.matches(result_row)

@@ -1,0 +1,146 @@
+"""Unit tests for dividing values, basic intervals, and trace learning."""
+
+import pytest
+
+from repro.core.discretize import BasicIntervals, Discretization, learn_dividing_values
+from repro.engine.datatypes import MINUS_INFINITY, PLUS_INFINITY
+from repro.engine.predicate import Interval, JoinEquality
+from repro.engine.template import QueryTemplate, SelectionSlot, SlotForm
+from repro.errors import DiscretizationError
+
+
+class TestBasicIntervals:
+    def test_count_is_dividers_plus_one(self):
+        grid = BasicIntervals([10, 20, 30])
+        assert grid.count == 4
+
+    def test_intervals_cover_and_do_not_overlap(self):
+        grid = BasicIntervals([10, 20], low=0, high=100)
+        intervals = grid.all_intervals()
+        for a, b in zip(intervals, intervals[1:]):
+            assert not a.overlaps(b)
+        # Every in-range value belongs to exactly one interval.
+        for value in (1, 10, 15, 20, 99):
+            owners = [iv for iv in intervals if iv.contains_value(value)]
+            assert len(owners) == 1
+
+    def test_id_for_value(self):
+        grid = BasicIntervals([10, 20, 30])
+        assert grid.id_for_value(5) == 0
+        assert grid.id_for_value(10) == 1  # boundaries belong to the right
+        assert grid.id_for_value(25) == 2
+        assert grid.id_for_value(1000) == 3
+
+    def test_id_for_value_respects_bounds(self):
+        grid = BasicIntervals([10], low=0, high=20)
+        with pytest.raises(DiscretizationError):
+            grid.id_for_value(-1)
+        with pytest.raises(DiscretizationError):
+            grid.id_for_value(20)
+
+    def test_interval_lookup(self):
+        grid = BasicIntervals([10, 20])
+        assert grid.interval(1) == Interval(10, 20, low_inclusive=True)
+        with pytest.raises(DiscretizationError):
+            grid.interval(5)
+
+    def test_overlapping_ids(self):
+        grid = BasicIntervals([10, 20, 30])
+        assert grid.overlapping_ids(Interval(5, 25)) == [0, 1, 2]
+        assert grid.overlapping_ids(Interval(10, 20)) == [1]
+        assert grid.overlapping_ids(Interval(MINUS_INFINITY, PLUS_INFINITY)) == [0, 1, 2, 3]
+
+    def test_string_dividing_values(self):
+        grid = BasicIntervals(["g", "n"])
+        assert grid.id_for_value("apple") == 0
+        assert grid.id_for_value("grape") == 1
+        assert grid.id_for_value("zebra") == 2
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(DiscretizationError):
+            BasicIntervals([20, 10])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DiscretizationError):
+            BasicIntervals([10, 10])
+
+    def test_out_of_range_divider_rejected(self):
+        with pytest.raises(DiscretizationError):
+            BasicIntervals([5], low=10, high=20)
+        with pytest.raises(DiscretizationError):
+            BasicIntervals([25], low=10, high=20)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DiscretizationError):
+            BasicIntervals([])
+
+
+@pytest.fixture
+def interval_template():
+    return QueryTemplate(
+        "qt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+
+
+class TestDiscretization:
+    def test_requires_grid_for_interval_slots(self, interval_template):
+        with pytest.raises(DiscretizationError):
+            Discretization(interval_template)
+
+    def test_grid_lookup(self, interval_template):
+        grid = BasicIntervals([10, 20])
+        disc = Discretization(interval_template, {"s.g": grid})
+        assert disc.grid("s.g") is grid
+        assert disc.has_grid("s.g")
+        assert not disc.has_grid("r.f")
+
+    def test_grid_on_equality_slot_rejected(self, interval_template):
+        with pytest.raises(DiscretizationError):
+            Discretization(
+                interval_template,
+                {"r.f": BasicIntervals([1]), "s.g": BasicIntervals([10])},
+            )
+
+    def test_grid_on_unknown_column_rejected(self, interval_template):
+        with pytest.raises(DiscretizationError):
+            Discretization(
+                interval_template,
+                {"s.zzz": BasicIntervals([10]), "s.g": BasicIntervals([10])},
+            )
+
+    def test_missing_grid_lookup_raises(self, interval_template):
+        disc = Discretization(interval_template, {"s.g": BasicIntervals([10])})
+        with pytest.raises(DiscretizationError):
+            disc.grid("r.f")
+
+
+class TestLearnDividingValues:
+    def test_equal_frequency_split(self):
+        values = list(range(100))
+        cuts = learn_dividing_values(values, bins=4)
+        assert cuts == [25, 50, 75]
+
+    def test_skewed_trace_collapses_duplicates(self):
+        values = [1] * 90 + [2] * 10
+        cuts = learn_dividing_values(values, bins=4)
+        assert cuts in ([1], [1, 2])
+
+    def test_usable_as_grid(self):
+        cuts = learn_dividing_values(range(1000), bins=10)
+        grid = BasicIntervals(cuts)
+        assert grid.count == len(cuts) + 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(DiscretizationError):
+            learn_dividing_values([], bins=2)
+
+    def test_single_bin_rejected(self):
+        with pytest.raises(DiscretizationError):
+            learn_dividing_values([1, 2], bins=1)

@@ -1,0 +1,68 @@
+"""Unit tests for the DS duplicate-suppression multiset."""
+
+import pytest
+
+from repro.core.duplicates import DuplicateSuppressor
+from repro.engine.datatypes import INTEGER
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.errors import PMVError
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("a", INTEGER), Column("b", INTEGER)])
+
+
+def row(schema, a, b):
+    return Row((a, b), schema)
+
+
+class TestMultisetSemantics:
+    def test_consume_removes_one_occurrence(self, schema):
+        ds = DuplicateSuppressor()
+        ds.add(row(schema, 1, 2))
+        ds.add(row(schema, 1, 2))
+        assert ds.consume(row(schema, 1, 2))
+        assert ds.contains(row(schema, 1, 2))
+        assert ds.consume(row(schema, 1, 2))
+        assert not ds.contains(row(schema, 1, 2))
+
+    def test_consume_missing_returns_false(self, schema):
+        ds = DuplicateSuppressor()
+        assert not ds.consume(row(schema, 1, 2))
+
+    def test_len_tracks_occurrences(self, schema):
+        ds = DuplicateSuppressor()
+        ds.add(row(schema, 1, 2))
+        ds.add(row(schema, 1, 2))
+        ds.add(row(schema, 3, 4))
+        assert len(ds) == 3
+        ds.consume(row(schema, 1, 2))
+        assert len(ds) == 2
+
+    def test_paper_duplicate_scenario(self, schema):
+        """The exact scenario of Section 3's Step 2 note: if t were not
+        removed from DS after the first match, the user would miss the
+        second occurrence of t."""
+        ds = DuplicateSuppressor()
+        ds.add(row(schema, 1, 2))  # delivered once in O2
+        delivered = []
+        for result in [row(schema, 1, 2), row(schema, 1, 2)]:  # O3 yields t twice
+            if not ds.consume(result):
+                delivered.append(result)
+        assert len(delivered) == 1, "the second occurrence must reach the user"
+
+
+class TestEmptinessInvariant:
+    def test_assert_empty_passes_when_drained(self, schema):
+        ds = DuplicateSuppressor()
+        ds.add(row(schema, 1, 2))
+        ds.consume(row(schema, 1, 2))
+        ds.assert_empty()
+
+    def test_assert_empty_raises_on_leftovers(self, schema):
+        ds = DuplicateSuppressor()
+        ds.add(row(schema, 1, 2))
+        with pytest.raises(PMVError, match="DS not empty"):
+            ds.assert_empty()

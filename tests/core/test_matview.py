@@ -1,0 +1,124 @@
+"""Unit tests for the traditional-MV baselines of Section 2."""
+
+import pytest
+
+from repro.core import MaterializedView, SmallMaterializedView
+from repro.core.condition import BasicConditionPart, EqualityDim
+from tests.conftest import brute_force_eqt, eqt_query
+
+
+@pytest.fixture
+def mv(eqt_db, eqt):
+    view = MaterializedView(eqt_db, eqt).attach()
+    yield eqt_db, eqt, view
+    view.detach()
+
+
+class TestRefreshAndAnswer:
+    def test_row_count_matches_join(self, mv):
+        db, eqt, view = mv
+        r_rows = list(db.catalog.relation("r").scan_rows())
+        s_rows = list(db.catalog.relation("s").scan_rows())
+        expected = sum(1 for r in r_rows for s in s_rows if r["c"] == s["d"])
+        assert view.row_count == expected
+
+    def test_answer_matches_brute_force(self, mv):
+        db, eqt, view = mv
+        answer = view.answer(eqt_query(eqt, [1, 3], [2, 4]))
+        assert sorted(tuple(r.values) for r in answer) == brute_force_eqt(
+            db, {1, 3}, {2, 4}
+        )
+
+    def test_contains(self, mv):
+        db, eqt, view = mv
+        some_row = view.rows()[0]
+        assert some_row in view
+
+
+class TestImmediateMaintenance:
+    def test_insert_propagates_immediately(self, mv):
+        db, eqt, view = mv
+        before = view.row_count
+        db.insert("r", (500, 3, 1, "fresh"))  # c=3 joins s rows with d=3
+        matches = sum(1 for s in db.catalog.relation("s").scan_rows() if s["d"] == 3)
+        assert view.row_count == before + matches
+        assert view.stats.tuples_added == matches
+
+    def test_delete_propagates_immediately(self, mv):
+        db, eqt, view = mv
+        before = view.row_count
+        deleted = db.delete_where("r", lambda row: row["id"] == 0)
+        assert len(deleted) == 1
+        matches = sum(1 for s in db.catalog.relation("s").scan_rows() if s["d"] == 0)
+        assert view.row_count == before - matches
+
+    def test_update_propagates_both_sides(self, mv):
+        db, eqt, view = mv
+        row_id, old = next(iter(db.catalog.relation("r").find(lambda r: r["id"] == 1)))
+        db.update("r", row_id, a="changed")
+        query = eqt_query(eqt, [old["f"]], list(range(5)))
+        answer = view.answer(query)
+        assert any(row["r.a"] == "changed" for row in answer)
+        assert all(row["r.a"] != old["a"] for row in answer if row["r.f"] == old["f"])
+        assert view.stats.updates_handled == 1
+
+    def test_answer_stays_consistent_under_churn(self, mv):
+        db, eqt, view = mv
+        db.insert("r", (600, 2, 2, "x"))
+        db.delete_where("r", lambda row: row["id"] == 2)
+        db.insert("s", (2, 2, "new-e"))
+        query = eqt_query(eqt, [2], [2])
+        assert sorted(tuple(r.values) for r in view.answer(query)) == brute_force_eqt(
+            db, {2}, {2}
+        )
+
+    def test_maintenance_work_counted_for_inserts(self, mv):
+        """The structural difference from PMVs: the MV pays a delta
+        join on *every* insert."""
+        db, eqt, view = mv
+        joins_before = view.stats.delta_joins
+        for i in range(5):
+            db.insert("r", (700 + i, 1, 1, "bulk"))
+        assert view.stats.delta_joins == joins_before + 5
+
+
+class TestSmallMV:
+    def test_holds_exactly_one_cell(self, eqt_db, eqt):
+        cell = BasicConditionPart((EqualityDim("r.f", 1), EqualityDim("s.g", 2)))
+        small = SmallMaterializedView(eqt_db, eqt, cell)
+        expected = [t for t in brute_force_eqt(eqt_db, {1}, {2})]
+        assert sorted(tuple(r.values) for r in small.rows()) == expected
+
+    def test_no_f_bound(self, eqt_db, eqt):
+        cell = BasicConditionPart((EqualityDim("r.f", 1), EqualityDim("s.g", 2)))
+        small = SmallMaterializedView(eqt_db, eqt, cell)
+        assert small.row_count == len(brute_force_eqt(eqt_db, {1}, {2}))
+
+    def test_insert_maintained_when_in_cell(self, eqt_db, eqt):
+        cell = BasicConditionPart((EqualityDim("r.f", 1), EqualityDim("s.g", 2)))
+        small = SmallMaterializedView(eqt_db, eqt, cell).attach()
+        before = small.row_count
+        # c=2 joins s rows with d=2; those with g=2 fall inside the cell.
+        eqt_db.insert("r", (800, 2, 1, "inside"))
+        in_cell = sum(
+            1
+            for s in eqt_db.catalog.relation("s").scan_rows()
+            if s["d"] == 2 and s["g"] == 2
+        )
+        assert small.row_count == before + in_cell
+        small.detach()
+
+    def test_insert_outside_cell_ignored(self, eqt_db, eqt):
+        cell = BasicConditionPart((EqualityDim("r.f", 1), EqualityDim("s.g", 2)))
+        small = SmallMaterializedView(eqt_db, eqt, cell).attach()
+        before = small.row_count
+        eqt_db.insert("r", (801, 2, 5, "outside"))  # f=5 not in cell
+        assert small.row_count == before
+        small.detach()
+
+    def test_arity_mismatch_rejected(self, eqt_db, eqt):
+        from repro.errors import ViewDefinitionError
+
+        bad_cell = BasicConditionPart((EqualityDim("r.f", 1),))
+        with pytest.raises(ViewDefinitionError):
+            SmallMaterializedView(eqt_db, eqt, bad_cell)

@@ -1,0 +1,54 @@
+"""Unit tests for PMV metrics aggregation."""
+
+from repro.core.metrics import PMVMetrics, QueryMetrics
+
+
+class TestQueryMetrics:
+    def test_hit_definition_is_partial_hit(self):
+        assert QueryMetrics(bcp_hits=1).hit
+        assert QueryMetrics(bcp_hits=5).hit
+        assert not QueryMetrics(bcp_hits=0).hit
+
+    def test_total_tuples(self):
+        metrics = QueryMetrics(partial_tuples=3, remaining_tuples=7)
+        assert metrics.total_tuples == 10
+
+
+class TestPMVMetrics:
+    def test_hit_probability(self):
+        agg = PMVMetrics()
+        agg.record_query(QueryMetrics(bcp_hits=1))
+        agg.record_query(QueryMetrics(bcp_hits=0))
+        agg.record_query(QueryMetrics(bcp_hits=2))
+        assert agg.hit_probability == 2 / 3
+
+    def test_empty_hit_probability_zero(self):
+        assert PMVMetrics().hit_probability == 0.0
+
+    def test_means(self):
+        agg = PMVMetrics()
+        agg.record_query(QueryMetrics(overhead_seconds=0.2, execution_seconds=2.0))
+        agg.record_query(QueryMetrics(overhead_seconds=0.4, execution_seconds=4.0))
+        import pytest
+
+        assert agg.mean_overhead_seconds == pytest.approx(0.3)
+        assert agg.mean_execution_seconds == pytest.approx(3.0)
+
+    def test_per_query_kept_only_when_enabled(self):
+        agg = PMVMetrics()
+        agg.record_query(QueryMetrics())
+        assert agg.per_query == []
+        agg.keep_per_query = True
+        agg.record_query(QueryMetrics())
+        assert len(agg.per_query) == 1
+
+    def test_reset(self):
+        agg = PMVMetrics(keep_per_query=True)
+        agg.record_query(QueryMetrics(bcp_hits=1, partial_tuples=4))
+        agg.tuples_cached = 9
+        agg.reset()
+        assert agg.queries == 0
+        assert agg.partial_tuples == 0
+        assert agg.tuples_cached == 0
+        assert agg.per_query == []
+        assert agg.hit_probability == 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for EXISTS acceleration via a PMV (Section 3.6)."""
+
+import pytest
+
+from repro.core import ExistsAccelerator, ExistsVerdictSource, PMVMaintainer
+from repro.errors import PMVError
+from tests.conftest import eqt_query
+
+
+@pytest.fixture
+def accelerator(eqt_db, eqt, eqt_executor):
+    return ExistsAccelerator(eqt_executor)
+
+
+class TestCheck:
+    def test_cold_check_executes(self, accelerator, eqt):
+        exists, source = accelerator.check(eqt_query(eqt, [1], [2]))
+        assert exists
+        assert source is ExistsVerdictSource.EXECUTION
+        assert accelerator.stats.executions == 1
+
+    def test_warm_check_short_circuits(self, accelerator, eqt):
+        query = eqt_query(eqt, [1], [2])
+        accelerator.check(query)  # warms the PMV via execution
+        exists, source = accelerator.check(query)
+        assert exists
+        assert source is ExistsVerdictSource.PMV_PROBE
+        assert accelerator.stats.pmv_confirmations == 1
+
+    def test_negative_exists_always_executes(self, accelerator, eqt):
+        query = eqt_query(eqt, [999], [2])
+        for _ in range(2):
+            exists, source = accelerator.check(query)
+            assert not exists
+            assert source is ExistsVerdictSource.EXECUTION
+
+    def test_probe_verdicts_stay_sound_after_delete(
+        self, accelerator, eqt, eqt_db, eqt_pmv
+    ):
+        query = eqt_query(eqt, [1], [2])
+        PMVMaintainer(eqt_db, eqt_pmv).attach()
+        accelerator.check(query)
+        # Remove every tuple that could satisfy the subquery.
+        eqt_db.delete_where("r", lambda row: row["f"] == 1)
+        exists, source = accelerator.check(query)
+        assert not exists  # a stale probe would have said True
+        assert source is ExistsVerdictSource.EXECUTION
+
+    def test_wrong_template_rejected(self, accelerator, eqt_db):
+        from repro.engine import (
+            Column,
+            EqualityDisjunction,
+            INTEGER,
+            QueryTemplate,
+            SelectionSlot,
+            SlotForm,
+        )
+
+        eqt_db.create_relation("t", [Column("x", INTEGER)])
+        other = QueryTemplate(
+            "other", ("t",), ("t.x",), (), (SelectionSlot("t", "t.x", SlotForm.EQUALITY),)
+        )
+        with pytest.raises(PMVError):
+            accelerator.check(other.bind([EqualityDisjunction("t.x", [1])]))
+
+
+class TestFilterExists:
+    def test_filters_and_reports_sources(self, accelerator, eqt, eqt_db):
+        # Candidates are f-values; the correlated subquery asks whether
+        # any (f, g=2) result exists.
+        # f = id % 6 in the fixture, so 8 candidates repeat two f-values.
+        candidates = list(eqt_db.catalog.relation("r").scan_rows())[:8]
+
+        def subquery_for(row):
+            return eqt_query(eqt, [row["f"]], [2])
+
+        passed = list(accelerator.filter_exists(candidates, subquery_for))
+        # Every candidate f joins something with g=2 in the fixture data.
+        assert len(passed) == len(candidates)
+        sources = [source for _, source in passed]
+        # Repeated f-values are confirmed by probe after the first
+        # execution warms the cell.
+        assert ExistsVerdictSource.PMV_PROBE in sources
+
+    def test_short_circuit_fraction(self, accelerator, eqt, eqt_db):
+        candidates = [row for row in eqt_db.catalog.relation("r").scan_rows()][:12]
+        list(
+            accelerator.filter_exists(
+                candidates, lambda row: eqt_query(eqt, [row["f"]], [2])
+            )
+        )
+        stats = accelerator.stats
+        assert stats.checks == 12
+        assert stats.pmv_confirmations + stats.executions == 12
+        assert stats.short_circuit_fraction > 0.3

@@ -1,0 +1,93 @@
+"""Unit tests for popularity tracking and ranked execution."""
+
+import pytest
+
+from repro.core import PopularityTracker, RankedPMVExecutor
+from repro.engine.datatypes import INTEGER
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.errors import PMVError
+from tests.conftest import eqt_query
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("a", INTEGER)])
+
+
+def row(schema, value):
+    return Row((value,), schema)
+
+
+class TestTracker:
+    def test_counts_accumulate(self, schema):
+        tracker = PopularityTracker(capacity=10)
+        for _ in range(3):
+            tracker.record(row(schema, 1))
+        tracker.record(row(schema, 2))
+        assert tracker.popularity(row(schema, 1)) == 3
+        assert tracker.popularity(row(schema, 2)) == 1
+        assert tracker.popularity(row(schema, 9)) == 0
+
+    def test_top(self, schema):
+        tracker = PopularityTracker(capacity=10)
+        for value, count in [(1, 5), (2, 3), (3, 8)]:
+            tracker.record(row(schema, value), amount=count)
+        top = tracker.top(2)
+        assert [r.values[0] for r, _ in top] == [3, 1]
+        assert [count for _, count in top] == [8, 5]
+
+    def test_bounded_capacity_space_saving(self, schema):
+        tracker = PopularityTracker(capacity=3)
+        for value in range(3):
+            tracker.record(row(schema, value), amount=value + 1)  # counts 1,2,3
+        tracker.record(row(schema, 99))  # evicts the min (count 1), inherits it
+        assert len(tracker) == 3
+        assert tracker.popularity(row(schema, 99)) == 2  # inherited 1 + 1
+        assert tracker.popularity(row(schema, 0)) == 0
+
+    def test_heavy_hitters_survive_churn(self, schema):
+        tracker = PopularityTracker(capacity=5)
+        for _ in range(50):
+            tracker.record(row(schema, 1))
+        for value in range(100, 140):
+            tracker.record(row(schema, value))
+        assert tracker.popularity(row(schema, 1)) >= 50
+
+    def test_invalid_capacity(self):
+        with pytest.raises(PMVError):
+            PopularityTracker(capacity=0)
+
+
+class TestRankedExecutor:
+    def test_partial_rows_lead(self, eqt_db, eqt, eqt_executor):
+        ranked = RankedPMVExecutor(eqt_executor)
+        query = eqt_query(eqt, [1, 3], [2, 4])
+        ranked.execute(query)  # warm
+        result = ranked.execute(query)
+        assert result.had_partial_results
+        n_partial = len(result.underlying.partial_rows)
+        assert result.ranked_rows[:n_partial] == sorted(
+            result.underlying.partial_rows,
+            key=lambda r: -ranked.tracker.popularity(r),
+        )
+
+    def test_ranked_rows_are_complete_answer(self, eqt_db, eqt, eqt_executor):
+        ranked = RankedPMVExecutor(eqt_executor)
+        query = eqt_query(eqt, [1], [2])
+        result = ranked.execute(query)
+        assert sorted(tuple(r.values) for r in result.ranked_rows) == sorted(
+            tuple(r.values) for r in result.underlying.all_rows()
+        )
+
+    def test_popular_tuples_rank_first(self, eqt_db, eqt, eqt_executor):
+        ranked = RankedPMVExecutor(eqt_executor)
+        hot_query = eqt_query(eqt, [1], [2])
+        wide_query = eqt_query(eqt, [1, 3], [2, 4])
+        hot_values = {tuple(r.values) for r in ranked.execute(hot_query).ranked_rows}
+        for _ in range(4):
+            ranked.execute(hot_query)
+        result = ranked.execute(wide_query)
+        n_hot = len(hot_values)
+        leading = {tuple(r.values) for r in result.ranked_rows[:n_hot]}
+        assert leading == hot_values

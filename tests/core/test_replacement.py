@@ -1,0 +1,202 @@
+"""Unit tests for the replacement policies (CLOCK, 2Q, LRU, FIFO)."""
+
+import pytest
+
+from repro.core.replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    TwoQueuePolicy,
+    make_policy,
+)
+from repro.errors import ViewCapacityError
+
+
+class TestClock:
+    def test_admits_immediately(self):
+        policy = ClockPolicy(4)
+        result = policy.reference("a")
+        assert not result.resident_before
+        assert result.admitted
+        assert policy.contains("a")
+
+    def test_hit_on_second_reference(self):
+        policy = ClockPolicy(4)
+        policy.reference("a")
+        assert policy.reference("a").resident_before
+
+    def test_capacity_enforced(self):
+        policy = ClockPolicy(3)
+        for key in "abcdef":
+            policy.reference(key)
+        assert len(policy) == 3
+
+    def test_eviction_reported(self):
+        policy = ClockPolicy(2)
+        policy.reference("a")
+        policy.reference("b")
+        result = policy.reference("c")
+        assert len(result.evicted) == 1
+        assert result.evicted[0] in {"a", "b"}
+
+    def test_second_chance(self):
+        policy = ClockPolicy(3)
+        for key in "abc":
+            policy.reference(key)
+        # First eviction sweep clears every bit, wraps, and evicts "a".
+        assert policy.reference("d").evicted == ("a",)
+        # Now b and c have clear bits; touching b grants it a second
+        # chance, so the next eviction must pick c.
+        policy.reference("b")
+        result = policy.reference("e")
+        assert result.evicted == ("c",)
+        assert policy.contains("b")
+
+    def test_discard(self):
+        policy = ClockPolicy(4)
+        policy.reference("a")
+        assert policy.discard("a")
+        assert not policy.contains("a")
+        assert not policy.discard("a")
+
+    def test_discard_then_refill_many_times(self):
+        # Exercises the tombstone/compaction path of the ring.
+        policy = ClockPolicy(8)
+        for round_no in range(50):
+            for i in range(8):
+                policy.reference((round_no, i))
+            for i in range(4):
+                policy.discard((round_no, i))
+        assert len(policy) <= 8
+
+    def test_resident_keys(self):
+        policy = ClockPolicy(4)
+        for key in "ab":
+            policy.reference(key)
+        assert set(policy.resident_keys()) == {"a", "b"}
+
+
+class TestTwoQueue:
+    def test_first_reference_only_stages(self):
+        policy = TwoQueuePolicy(4)
+        result = policy.reference("a")
+        assert not result.resident_before
+        assert not result.admitted
+        assert not policy.contains("a")
+        assert policy.staged("a")
+
+    def test_second_reference_promotes(self):
+        policy = TwoQueuePolicy(4)
+        policy.reference("a")
+        result = policy.reference("a")
+        assert not result.resident_before  # was only staged
+        assert result.admitted
+        assert policy.contains("a")
+
+    def test_third_reference_hits(self):
+        policy = TwoQueuePolicy(4)
+        policy.reference("a")
+        policy.reference("a")
+        assert policy.reference("a").resident_before
+
+    def test_a1_is_fifo_bounded(self):
+        policy = TwoQueuePolicy(4, a1_ratio=0.5)  # A1 holds 2 ghosts
+        policy.reference("a")
+        policy.reference("b")
+        policy.reference("c")  # evicts ghost "a"
+        assert not policy.staged("a")
+        # "a" must restart the staging protocol.
+        assert not policy.reference("a").admitted
+
+    def test_am_eviction_on_promotion(self):
+        policy = TwoQueuePolicy(1, a1_ratio=2.0)
+        for key in ("a", "b"):
+            policy.reference(key)
+            policy.reference(key)
+        assert len(policy) == 1
+        assert policy.contains("b")
+
+    def test_one_hit_wonders_never_pollute_am(self):
+        policy = TwoQueuePolicy(4, a1_ratio=1.0)
+        for i in range(100):
+            policy.reference(f"scan-{i}")
+        assert len(policy) == 0
+
+    def test_discard_clears_both_queues(self):
+        policy = TwoQueuePolicy(4)
+        policy.reference("a")          # staged
+        policy.discard("a")
+        assert not policy.staged("a")
+        policy.reference("b")
+        policy.reference("b")          # resident
+        assert policy.discard("b")
+        assert not policy.contains("b")
+
+    def test_invalid_a1_ratio(self):
+        with pytest.raises(ViewCapacityError):
+            TwoQueuePolicy(4, a1_ratio=0)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy(2)
+        policy.reference("a")
+        policy.reference("b")
+        policy.reference("a")  # refresh a
+        result = policy.reference("c")
+        assert result.evicted == ("b",)
+
+    def test_discard(self):
+        policy = LRUPolicy(2)
+        policy.reference("a")
+        assert policy.discard("a")
+        assert not policy.discard("a")
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy(2)
+        policy.reference("a")
+        policy.reference("b")
+        policy.reference("a")  # no refresh under FIFO
+        result = policy.reference("c")
+        assert result.evicted == ("a",)
+
+    def test_discard_then_evict_skips_stale(self):
+        policy = FIFOPolicy(2)
+        policy.reference("a")
+        policy.reference("b")
+        policy.discard("a")
+        result = policy.reference("c")
+        assert result.evicted == ()  # room was free after discard
+        assert policy.contains("b") and policy.contains("c")
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_factory(self, name):
+        policy = make_policy(name, 8)
+        policy.reference("x")
+        assert policy.references == 1
+
+    def test_unknown_policy(self):
+        with pytest.raises(ViewCapacityError):
+            make_policy("arc", 8)
+
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_capacity_never_exceeded(self, name):
+        policy = make_policy(name, 5)
+        for i in range(200):
+            policy.reference(i % 37)
+        assert len(policy) <= 5
+
+    @pytest.mark.parametrize("name", ["clock", "2q", "lru", "fifo"])
+    def test_hit_ratio_counts(self, name):
+        policy = make_policy(name, 5)
+        for _ in range(10):
+            policy.reference("hot")
+        assert policy.hit_ratio > 0.5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ViewCapacityError):
+            ClockPolicy(0)

@@ -1,0 +1,130 @@
+"""Unit tests for the CLOCK buffer pool."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.disk import DiskManager
+from repro.errors import BufferPoolError
+
+
+@pytest.fixture
+def disk():
+    return DiskManager()
+
+
+def fill(pool: BufferPool, disk: DiskManager, n: int) -> list[int]:
+    """Allocate n pages through the pool, unpinned; return page numbers."""
+    numbers = []
+    for _ in range(n):
+        page = pool.new_page()
+        pool.unpin(page.page_no)
+        numbers.append(page.page_no)
+    return numbers
+
+
+class TestFetch:
+    def test_hit_costs_no_io(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        [page_no] = fill(pool, disk, 1)
+        reads_before = disk.stats.reads
+        pool.fetch(page_no)
+        pool.unpin(page_no)
+        assert disk.stats.reads == reads_before
+        assert pool.stats.hits == 1
+
+    def test_miss_reads_from_disk(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        numbers = fill(pool, disk, 3)  # first page evicted
+        assert not pool.contains(numbers[0])
+        reads_before = disk.stats.reads
+        pool.fetch(numbers[0])
+        pool.unpin(numbers[0])
+        assert disk.stats.reads == reads_before + 1
+        assert pool.stats.misses >= 1
+
+    def test_capacity_bound_respected(self, disk):
+        pool = BufferPool(disk, capacity=3)
+        fill(pool, disk, 10)
+        assert pool.resident_pages <= 3
+
+    def test_hit_ratio(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        [page_no] = fill(pool, disk, 1)
+        for _ in range(3):
+            pool.fetch(page_no)
+            pool.unpin(page_no)
+        assert pool.stats.hit_ratio == 1.0
+
+
+class TestPinning:
+    def test_pinned_pages_never_evicted(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        pinned = pool.new_page()  # stays pinned
+        fill(pool, disk, 5)
+        assert pool.contains(pinned.page_no)
+
+    def test_unpin_unpinned_raises(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        [page_no] = fill(pool, disk, 1)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page_no)
+
+    def test_all_pinned_eviction_fails(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        pool.new_page()  # pinned
+        with pytest.raises(BufferPoolError):
+            pool.new_page()
+
+    def test_multiple_pins(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page()
+        pool.fetch(page.page_no)  # second pin
+        pool.unpin(page.page_no)
+        pool.unpin(page.page_no)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page.page_no)
+
+
+class TestEviction:
+    def test_dirty_victim_flushed(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        page = pool.new_page()
+        pool.unpin(page.page_no, dirty=True)
+        writes_before = disk.stats.writes
+        fill(pool, disk, 1)  # forces eviction of the dirty page
+        assert disk.stats.writes > writes_before
+
+    def test_second_chance_protects_referenced_page(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        a, b = fill(pool, disk, 2)
+        # Touch `a` so its reference bit is set; the next admission
+        # should evict `b` (clock clears a's bit, then victimizes b
+        # only if b's bit is clear — both were referenced on admit, so
+        # the hand sweeps; ultimately exactly one of them is evicted).
+        pool.fetch(a)
+        pool.unpin(a)
+        fill(pool, disk, 1)
+        assert pool.resident_pages == 2
+        assert pool.stats.evictions == 1
+
+    def test_clock_eventually_evicts_everything_unreferenced(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        first_batch = fill(pool, disk, 4)
+        fill(pool, disk, 4)
+        assert all(not pool.contains(n) for n in first_batch)
+
+    def test_flush_all(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        numbers = fill(pool, disk, 3)
+        for n in numbers:
+            pool.fetch(n)
+            pool.unpin(n, dirty=True)
+        writes_before = disk.stats.writes
+        pool.flush_all()
+        assert disk.stats.writes == writes_before + 3
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self, disk):
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, capacity=0)

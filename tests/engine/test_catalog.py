@@ -1,0 +1,106 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.engine import Column, Database, INTEGER, JoinEquality
+from repro.engine.template import QueryTemplate, SelectionSlot, SlotForm
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def populated(db: Database) -> Database:
+    db.create_relation("r", [Column("c", INTEGER), Column("f", INTEGER)])
+    db.create_relation("s", [Column("d", INTEGER), Column("g", INTEGER)])
+    db.create_index("r_f", "r", ["f"])
+    db.create_index("s_d_ordered", "s", ["d"], ordered=True)
+    return db
+
+
+class TestRelations:
+    def test_lookup(self, populated):
+        assert populated.catalog.relation("r").name == "r"
+
+    def test_missing_raises(self, populated):
+        with pytest.raises(CatalogError):
+            populated.catalog.relation("x")
+
+    def test_duplicate_rejected(self, populated):
+        with pytest.raises(CatalogError):
+            populated.create_relation("r", [Column("c", INTEGER)])
+
+    def test_has_relation(self, populated):
+        assert populated.catalog.has_relation("r")
+        assert not populated.catalog.has_relation("x")
+
+    def test_drop_relation_removes_indexes(self, populated):
+        populated.catalog.drop_relation("r")
+        assert not populated.catalog.has_relation("r")
+        with pytest.raises(CatalogError):
+            populated.catalog.index("r_f")
+
+    def test_iteration(self, populated):
+        names = {rel.name for rel in populated.catalog.relations()}
+        assert names == {"r", "s"}
+
+
+class TestIndexes:
+    def test_lookup_by_name(self, populated):
+        assert populated.catalog.index("r_f").name == "r_f"
+
+    def test_duplicate_name_rejected(self, populated):
+        with pytest.raises(CatalogError):
+            populated.create_index("r_f", "r", ["c"])
+
+    def test_indexes_on(self, populated):
+        assert [i.name for i in populated.catalog.indexes_on("r")] == ["r_f"]
+        assert populated.catalog.indexes_on("nope") == ()
+
+    def test_find_index_bare_and_qualified(self, populated):
+        assert populated.catalog.find_index("r", "f") is not None
+        assert populated.catalog.find_index("r", "r.f") is not None
+        assert populated.catalog.find_index("r", "c") is None
+
+    def test_find_index_require_range(self, populated):
+        assert populated.catalog.find_index("r", "f", require_range=True) is None
+        assert populated.catalog.find_index("s", "d", require_range=True) is not None
+
+
+class TestTemplates:
+    def test_register_and_lookup(self, populated):
+        template = QueryTemplate(
+            "qt",
+            ("r", "s"),
+            ("r.f", "s.g"),
+            (JoinEquality("r", "c", "s", "d"),),
+            (SelectionSlot("r", "r.f", SlotForm.EQUALITY),),
+        )
+        populated.register_template(template)
+        assert populated.catalog.template("qt") is template
+        assert [t.name for t in populated.catalog.templates()] == ["qt"]
+
+    def test_unknown_relation_rejected(self, populated):
+        template = QueryTemplate(
+            "bad",
+            ("x",),
+            ("x.a",),
+            (),
+            (SelectionSlot("x", "x.a", SlotForm.EQUALITY),),
+        )
+        with pytest.raises(CatalogError):
+            populated.register_template(template)
+
+    def test_duplicate_template_rejected(self, populated):
+        template = QueryTemplate(
+            "qt",
+            ("r",),
+            ("r.f",),
+            (),
+            (SelectionSlot("r", "r.f", SlotForm.EQUALITY),),
+        )
+        populated.register_template(template)
+        with pytest.raises(CatalogError):
+            populated.register_template(template)
+
+    def test_missing_template_raises(self, populated):
+        with pytest.raises(CatalogError):
+            populated.catalog.template("ghost")

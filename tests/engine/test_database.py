@@ -1,0 +1,101 @@
+"""Unit tests for the Database facade: DML with index maintenance and
+change notification."""
+
+import pytest
+
+from repro.engine import Column, Database, INTEGER, TEXT
+from repro.engine.transactions import ChangeKind
+
+
+@pytest.fixture
+def tdb(db: Database) -> Database:
+    db.create_relation(
+        "t",
+        [Column("id", INTEGER, nullable=False), Column("k", INTEGER), Column("v", TEXT)],
+    )
+    db.create_index("t_k", "t", ["k"])
+    return db
+
+
+class TestInsert:
+    def test_insert_updates_indexes(self, tdb):
+        row_id = tdb.insert("t", (1, 5, "x"))
+        assert tdb.catalog.index("t_k").probe(5) == [row_id]
+
+    def test_insert_many(self, tdb):
+        tdb.insert_many("t", [(i, i % 2, "v") for i in range(6)])
+        assert len(tdb.catalog.index("t_k").probe(0)) == 3
+
+    def test_listener_notified(self, tdb):
+        seen = []
+        tdb.add_change_listener(lambda change, txn: seen.append(change))
+        tdb.insert("t", (1, 5, "x"))
+        assert len(seen) == 1
+        assert seen[0].kind is ChangeKind.INSERT
+        assert seen[0].new_row.values == (1, 5, "x")
+
+
+class TestDelete:
+    def test_delete_updates_indexes(self, tdb):
+        row_id = tdb.insert("t", (1, 5, "x"))
+        tdb.delete("t", row_id)
+        assert tdb.catalog.index("t_k").probe(5) == []
+
+    def test_delete_where(self, tdb):
+        tdb.insert_many("t", [(i, i % 3, "v") for i in range(9)])
+        deleted = tdb.delete_where("t", lambda row: row["k"] == 1)
+        assert len(deleted) == 3
+        assert tdb.catalog.relation("t").row_count == 6
+        assert tdb.catalog.index("t_k").probe(1) == []
+
+    def test_delete_notifies_with_old_row(self, tdb):
+        seen = []
+        row_id = tdb.insert("t", (1, 5, "x"))
+        tdb.add_change_listener(lambda change, txn: seen.append(change))
+        tdb.delete("t", row_id)
+        assert seen[0].kind is ChangeKind.DELETE
+        assert seen[0].old_row.values == (1, 5, "x")
+
+
+class TestUpdate:
+    def test_update_moves_index_entries(self, tdb):
+        row_id = tdb.insert("t", (1, 5, "x"))
+        _, _, new_id = tdb.update("t", row_id, k=9)
+        assert tdb.catalog.index("t_k").probe(5) == []
+        assert tdb.catalog.index("t_k").probe(9) == [new_id]
+
+    def test_update_notifies_both_rows(self, tdb):
+        seen = []
+        row_id = tdb.insert("t", (1, 5, "x"))
+        tdb.add_change_listener(lambda change, txn: seen.append(change))
+        tdb.update("t", row_id, v="y")
+        change = seen[0]
+        assert change.kind is ChangeKind.UPDATE
+        assert change.old_row.values == (1, 5, "x")
+        assert change.new_row.values == (1, 5, "y")
+
+    def test_update_records_in_transaction(self, tdb):
+        row_id = tdb.insert("t", (1, 5, "x"))
+        with tdb.begin() as txn:
+            tdb.update("t", row_id, v="z", txn=txn)
+            assert len(txn.changes) == 1
+
+
+class TestListeners:
+    def test_remove_listener(self, tdb):
+        seen = []
+        listener = lambda change, txn: seen.append(change)  # noqa: E731
+        tdb.add_change_listener(listener)
+        tdb.insert("t", (1, 1, "a"))
+        tdb.remove_change_listener(listener)
+        tdb.insert("t", (2, 2, "b"))
+        assert len(seen) == 1
+
+
+class TestIOAccounting:
+    def test_io_snapshot_delta(self, tdb):
+        before = tdb.io_snapshot()
+        for i in range(200):
+            tdb.insert("t", (i, i, "x" * 100))
+        delta = tdb.io_since(before)
+        assert delta.writes > 0

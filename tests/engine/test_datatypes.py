@@ -1,0 +1,112 @@
+"""Unit tests for column datatypes and the Infinity sentinels."""
+
+import math
+
+import pytest
+
+from repro.engine.datatypes import (
+    BIGINT,
+    DATE,
+    FLOAT,
+    INTEGER,
+    MINUS_INFINITY,
+    PLUS_INFINITY,
+    Infinity,
+    TEXT,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestValidate:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(1.5)
+
+    def test_bigint_accepts_large(self):
+        assert BIGINT.validate(2**60) == 2**60
+
+    def test_float_coerces_int(self):
+        value = FLOAT.validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_nan(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate(math.nan)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate("1.0")
+
+    def test_text_accepts_str(self):
+        assert TEXT.validate("hello") == "hello"
+
+    def test_text_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(b"hello")
+
+    def test_date_accepts_iso(self):
+        assert DATE.validate("1994-06-15") == "1994-06-15"
+
+    @pytest.mark.parametrize(
+        "bad", ["1994/06/15", "94-06-15", "1994-13-01", "1994-00-10", "1994-01-32", "199a-01-01"]
+    )
+    def test_date_rejects_malformed(self, bad):
+        with pytest.raises(TypeMismatchError):
+            DATE.validate(bad)
+
+    def test_null_accepted_everywhere(self):
+        for dtype in (INTEGER, BIGINT, FLOAT, TEXT, DATE):
+            assert dtype.validate(None) is None
+
+
+class TestByteSize:
+    def test_fixed_widths(self):
+        assert INTEGER.byte_size(1) == 4
+        assert BIGINT.byte_size(1) == 8
+        assert FLOAT.byte_size(1.0) == 8
+        assert DATE.byte_size("1994-06-15") == 10
+
+    def test_text_scales_with_length(self):
+        assert TEXT.byte_size("ab") == 4
+        assert TEXT.byte_size("a" * 100) == 102
+
+    def test_null_costs_one_byte(self):
+        for dtype in (INTEGER, TEXT, DATE):
+            assert dtype.byte_size(None) == 1
+
+
+class TestInfinity:
+    def test_minus_below_everything(self):
+        assert MINUS_INFINITY < -(10**18)
+        assert MINUS_INFINITY < "aaa"
+        assert MINUS_INFINITY < PLUS_INFINITY
+
+    def test_plus_above_everything(self):
+        assert PLUS_INFINITY > 10**18
+        assert PLUS_INFINITY > "zzz"
+        assert PLUS_INFINITY > MINUS_INFINITY
+
+    def test_equality_and_hash(self):
+        assert MINUS_INFINITY == Infinity(-1)
+        assert hash(MINUS_INFINITY) == hash(Infinity(-1))
+        assert MINUS_INFINITY != PLUS_INFINITY
+
+    def test_le_ge(self):
+        assert MINUS_INFINITY <= Infinity(-1)
+        assert PLUS_INFINITY >= Infinity(1)
+        assert MINUS_INFINITY <= 5
+        assert PLUS_INFINITY >= 5
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Infinity(0)
+
+    def test_not_equal_to_numbers(self):
+        assert MINUS_INFINITY != float("-inf")

@@ -1,0 +1,90 @@
+"""Unit tests for the simulated disk manager and I/O accounting."""
+
+import pytest
+
+from repro.engine.disk import DiskManager, IOStats, LatencyModel
+from repro.errors import StorageError
+
+
+class TestAllocation:
+    def test_allocate_assigns_sequential_numbers(self):
+        disk = DiskManager()
+        assert disk.allocate_page().page_no == 0
+        assert disk.allocate_page().page_no == 1
+
+    def test_allocation_charged_as_write(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        assert disk.stats.writes == 1
+        assert disk.stats.allocations == 1
+
+    def test_page_count(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        disk.allocate_page()
+        assert disk.page_count == 2
+
+
+class TestReadWrite:
+    def test_read_charges(self):
+        disk = DiskManager()
+        page = disk.allocate_page()
+        disk.read_page(page.page_no)
+        assert disk.stats.reads == 1
+
+    def test_write_clears_dirty(self):
+        disk = DiskManager()
+        page = disk.allocate_page()
+        page.dirty = True
+        disk.write_page(page)
+        assert not page.dirty
+        assert disk.stats.writes == 2  # allocation + flush
+
+    def test_missing_page_raises(self):
+        with pytest.raises(StorageError):
+            DiskManager().read_page(99)
+
+    def test_write_unallocated_raises(self):
+        from repro.engine.page import Page
+
+        with pytest.raises(StorageError):
+            DiskManager().write_page(Page(5))
+
+    def test_free_page(self):
+        disk = DiskManager()
+        page = disk.allocate_page()
+        disk.free_page(page.page_no)
+        assert not disk.exists(page.page_no)
+
+
+class TestIOStats:
+    def test_snapshot_is_independent(self):
+        disk = DiskManager()
+        snap = disk.stats.snapshot()
+        disk.allocate_page()
+        assert snap.writes == 0
+        assert disk.stats.writes == 1
+
+    def test_delta(self):
+        stats = IOStats(reads=10, writes=5, allocations=2)
+        earlier = IOStats(reads=4, writes=1, allocations=1)
+        delta = stats.delta(earlier)
+        assert (delta.reads, delta.writes, delta.allocations) == (6, 4, 1)
+
+    def test_total_and_add(self):
+        a = IOStats(reads=1, writes=2)
+        b = IOStats(reads=3, writes=4, allocations=1)
+        combined = a + b
+        assert combined.total == 10
+        assert combined.allocations == 1
+
+
+class TestLatencyModel:
+    def test_defaults_charge_disk_heavily(self):
+        model = LatencyModel()
+        assert model.cost(reads=1, writes=0) == pytest.approx(0.005)
+        assert model.cost(reads=0, writes=0, memory_touches=1) < 1e-6
+
+    def test_cost_is_linear(self):
+        model = LatencyModel(read_seconds=0.01, write_seconds=0.02)
+        assert model.cost(2, 3) == pytest.approx(2 * 0.01 + 3 * 0.02)

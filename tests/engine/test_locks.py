@@ -1,0 +1,98 @@
+"""Unit tests for the lock manager (Section 3.6's S/X protocol)."""
+
+import pytest
+
+from repro.engine.locks import LockManager, LockMode
+from repro.errors import LockError
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+class TestSharedLocks:
+    def test_multiple_readers(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        lm.acquire(2, "pmv", LockMode.SHARED)
+        assert lm.holds(1, "pmv", LockMode.SHARED)
+        assert lm.holds(2, "pmv", LockMode.SHARED)
+
+    def test_shared_blocked_by_exclusive(self, lm):
+        lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+        with pytest.raises(LockError):
+            lm.acquire(2, "pmv", LockMode.SHARED)
+
+    def test_reacquire_idempotent(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        shared, exclusive = lm.holders("pmv")
+        assert shared == {1} and exclusive is None
+
+
+class TestExclusiveLocks:
+    def test_exclusive_blocked_by_shared(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        with pytest.raises(LockError):
+            lm.acquire(2, "pmv", LockMode.EXCLUSIVE)
+
+    def test_exclusive_blocked_by_exclusive(self, lm):
+        lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+        with pytest.raises(LockError):
+            lm.acquire(2, "pmv", LockMode.EXCLUSIVE)
+
+    def test_upgrade_when_sole_holder(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+        assert lm.holds(1, "pmv", LockMode.EXCLUSIVE)
+
+    def test_upgrade_blocked_by_other_reader(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        lm.acquire(2, "pmv", LockMode.SHARED)
+        with pytest.raises(LockError):
+            lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+
+    def test_x_subsumes_s(self, lm):
+        lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+        assert lm.holds(1, "pmv", LockMode.SHARED)
+
+
+class TestRelease:
+    def test_release_frees_object(self, lm):
+        lm.acquire(1, "pmv", LockMode.EXCLUSIVE)
+        lm.release(1, "pmv")
+        lm.acquire(2, "pmv", LockMode.EXCLUSIVE)
+
+    def test_release_all(self, lm):
+        lm.acquire(1, "a", LockMode.SHARED)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        lm.release_all(1)
+        lm.acquire(2, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+
+    def test_release_unheld_is_noop(self, lm):
+        lm.release(1, "nothing")
+
+    def test_other_holders_survive_release(self, lm):
+        lm.acquire(1, "pmv", LockMode.SHARED)
+        lm.acquire(2, "pmv", LockMode.SHARED)
+        lm.release(1, "pmv")
+        assert lm.holds(2, "pmv", LockMode.SHARED)
+        with pytest.raises(LockError):
+            lm.acquire(3, "pmv", LockMode.EXCLUSIVE)
+
+
+class TestAccounting:
+    def test_grants_and_denials_counted(self, lm):
+        lm.acquire(1, "a", LockMode.SHARED)
+        try:
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)
+        except LockError:
+            pass
+        assert lm.grants == 1
+        assert lm.denials == 1
+
+    def test_compatibility_matrix(self):
+        assert LockMode.SHARED.compatible_with(LockMode.SHARED)
+        assert not LockMode.SHARED.compatible_with(LockMode.EXCLUSIVE)
+        assert not LockMode.EXCLUSIVE.compatible_with(LockMode.EXCLUSIVE)

@@ -1,0 +1,122 @@
+"""Unit tests for slotted pages."""
+
+import pytest
+
+from repro.engine.page import PAGE_HEADER, SLOT_OVERHEAD, Page
+from repro.errors import PageFullError, StorageError
+
+
+class TestInsert:
+    def test_insert_returns_slot_numbers(self):
+        page = Page(0)
+        assert page.insert(("a",), 10) == 0
+        assert page.insert(("b",), 10) == 1
+
+    def test_byte_accounting(self):
+        page = Page(0)
+        page.insert(("a",), 10)
+        assert page.used_bytes == PAGE_HEADER + 10 + SLOT_OVERHEAD
+
+    def test_page_full_raises(self):
+        page = Page(0, capacity=PAGE_HEADER + 30)
+        page.insert(("a",), 20)
+        with pytest.raises(PageFullError):
+            page.insert(("b",), 20)
+
+    def test_fits_predicts_insert(self):
+        page = Page(0, capacity=PAGE_HEADER + 30)
+        assert page.fits(20)
+        page.insert(("a",), 20)
+        assert not page.fits(20)
+
+    def test_none_payload_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0).insert(None, 4)
+
+    def test_tombstone_slot_reused(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        page.delete(slot)
+        assert page.insert(("b",), 10) == slot
+
+
+class TestDelete:
+    def test_delete_returns_payload(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        assert page.delete(slot) == ("a",)
+        assert page.read(slot) is None
+
+    def test_double_delete_raises(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.delete(slot)
+
+    def test_delete_frees_bytes(self):
+        page = Page(0, capacity=PAGE_HEADER + 30)
+        slot = page.insert(("a",), 20)
+        page.delete(slot)
+        assert page.fits(20)
+
+    def test_other_slots_stable_after_delete(self):
+        page = Page(0)
+        page.insert(("a",), 10)
+        slot_b = page.insert(("b",), 10)
+        page.delete(0)
+        assert page.read(slot_b) == ("b",)
+
+
+class TestUpdate:
+    def test_in_place_update(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        page.update(slot, ("bb",), 12)
+        assert page.read(slot) == ("bb",)
+
+    def test_update_grows_accounting(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        used = page.used_bytes
+        page.update(slot, ("bb",), 15)
+        assert page.used_bytes == used + 5
+
+    def test_update_overflow_raises(self):
+        page = Page(0, capacity=PAGE_HEADER + 20)
+        slot = page.insert(("a",), 10)
+        with pytest.raises(PageFullError):
+            page.update(slot, ("b" * 50,), 50)
+
+    def test_update_deleted_slot_raises(self):
+        page = Page(0)
+        slot = page.insert(("a",), 10)
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.update(slot, ("b",), 10)
+
+
+class TestIteration:
+    def test_live_slots_skips_tombstones(self):
+        page = Page(0)
+        page.insert(("a",), 10)
+        page.insert(("b",), 10)
+        page.insert(("c",), 10)
+        page.delete(1)
+        assert [(s, p) for s, p in page.live_slots()] == [(0, ("a",)), (2, ("c",))]
+
+    def test_counts(self):
+        page = Page(0)
+        page.insert(("a",), 10)
+        page.insert(("b",), 10)
+        page.delete(0)
+        assert page.live_count == 1
+        assert page.slot_count == 2
+
+    def test_bad_slot_raises(self):
+        with pytest.raises(StorageError):
+            Page(0).read(0)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0, capacity=PAGE_HEADER)

@@ -1,0 +1,261 @@
+"""Unit tests for the SQL-ish template/query parser."""
+
+import pytest
+
+from repro.engine.parser import parse_query, parse_template, tokenize
+from repro.engine.predicate import EqualityDisjunction, Interval, IntervalDisjunction
+from repro.engine.template import SlotForm
+from repro.errors import ParseError
+
+EQT_SQL = (
+    "select r.a, s.e from r, s "
+    "where r.c = s.d and r.f = ? and s.g = ?"
+)
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("select r.a from r where r.f = 1 and r.s = 'x y'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "keyword", "qident", "keyword", "ident", "keyword",
+            "qident", "punct", "literal", "keyword", "qident", "punct", "literal",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 -3")
+        assert [t.value for t in tokens] == [1, 2.5, -3]
+
+    def test_string_escapes(self):
+        [token] = tokenize(r"'it\'s'")
+        assert token.value == "it's"
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select ; from")
+
+    def test_case_insensitive_keywords(self):
+        tokens = tokenize("SELECT r.a FROM r WHERE r.f BETWEEN 1 AND 2")
+        assert tokens[0].value == "select"
+        assert any(t.value == "between" for t in tokens)
+
+
+class TestParseTemplate:
+    def test_eqt(self):
+        template = parse_template("Eqt", EQT_SQL)
+        assert template.relations == ("r", "s")
+        assert template.select_list == ("r.a", "s.e")
+        assert template.joins[0].qualified_left() == "r.c"
+        assert [s.column for s in template.slots] == ["r.f", "s.g"]
+        assert all(s.form is SlotForm.EQUALITY for s in template.slots)
+
+    def test_interval_slot(self):
+        template = parse_template(
+            "offers",
+            "select related.item, sale.item from related, sale "
+            "where related.related_item = sale.item "
+            "and related.item = ? and sale.discount between ?",
+        )
+        assert template.slots[1].form is SlotForm.INTERVAL
+
+    def test_fixed_equality_condition(self):
+        template = parse_template(
+            "fx",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b = 100 and r.f = ? and s.g = ?",
+        )
+        assert len(template.fixed_conditions) == 1
+        fixed = template.fixed_conditions[0]
+        assert isinstance(fixed, EqualityDisjunction)
+        assert fixed.values == (100,)
+
+    def test_fixed_between_condition(self):
+        template = parse_template(
+            "fx2",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b between 5 and 10 and r.f = ? and s.g = ?",
+        )
+        fixed = template.fixed_conditions[0]
+        assert isinstance(fixed, IntervalDisjunction)
+        assert fixed.intervals[0].contains_value(5)
+        assert fixed.intervals[0].contains_value(10)
+
+    def test_three_relations(self):
+        template = parse_template(
+            "T2ish",
+            "select o.k, l.s, c.n from o, l, c "
+            "where o.k = l.k and o.ck = c.ck and o.d = ? and l.s = ? and c.n = ?",
+        )
+        assert template.relations == ("o", "l", "c")
+        assert len(template.joins) == 2
+        assert template.arity == 3
+
+    def test_or_in_template_rejected(self):
+        with pytest.raises(ParseError):
+            parse_template(
+                "bad",
+                "select r.a, s.e from r, s "
+                "where r.c = s.d and (r.f = 1 or r.f = 2) and s.g = ?",
+            )
+
+    def test_string_literals(self):
+        template = parse_template(
+            "strfix",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.kind = 'retail' and r.f = ? and s.g = ?",
+        )
+        assert template.fixed_conditions[0].values == ("retail",)
+
+
+class TestParseQuery:
+    @pytest.fixture
+    def template(self):
+        return parse_template("Eqt", EQT_SQL)
+
+    def test_figure1_query(self, template):
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and (r.f = 1 or r.f = 3) and (s.g = 2 or s.g = 4)",
+        )
+        assert query.cselect.conditions[0].values == (1, 3)
+        assert query.cselect.conditions[1].values == (2, 4)
+        assert query.combination_factor == 4
+
+    def test_single_value_conditions(self, template):
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s where r.c = s.d and r.f = 1 and s.g = 2",
+        )
+        assert query.combination_factor == 1
+
+    def test_between_disjunction(self):
+        template = parse_template(
+            "iv",
+            "select r.a, s.e from r, s where r.c = s.d and r.f = ? and s.g between ?",
+        )
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s where r.c = s.d and r.f = 1 "
+            "and (s.g between 0 and 4 or s.g between 10 and 14)",
+        )
+        condition = query.cselect.conditions[1]
+        assert isinstance(condition, IntervalDisjunction)
+        assert len(condition.intervals) == 2
+        assert condition.intervals[0] == Interval(0, 4, True, True)
+
+    def test_join_order_insensitive(self, template):
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s where s.d = r.c and r.f = 1 and s.g = 2",
+        )
+        assert query.combination_factor == 1
+
+    def test_missing_join_rejected(self, template):
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s where r.f = 1 and s.g = 2",
+            )
+
+    def test_wrong_relations_rejected(self, template):
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, t where r.c = t.d and r.f = 1 and t.g = 2",
+            )
+
+    def test_wrong_select_list_rejected(self, template):
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.g from r, s where r.c = s.d and r.f = 1 and s.g = 2",
+            )
+
+    def test_unknown_attribute_rejected(self, template):
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s where r.c = s.d and r.f = 1 "
+                "and s.g = 2 and s.z = 9",
+            )
+
+    def test_mixed_forms_rejected(self):
+        template = parse_template(
+            "iv",
+            "select r.a, s.e from r, s where r.c = s.d and r.f = ? and s.g between ?",
+        )
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s where r.c = s.d and r.f = 1 "
+                "and (s.g = 2 or s.g between 3 and 4)",
+            )
+
+    def test_multi_attribute_disjunction_rejected(self, template):
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s where r.c = s.d "
+                "and (r.f = 1 or s.g = 2) and s.g = 3",
+            )
+
+    def test_fixed_condition_accepted(self):
+        template = parse_template(
+            "fx",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b = 100 and r.f = ? and s.g = ?",
+        )
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b = 100 and r.f = 1 and s.g = 2",
+        )
+        assert query.combination_factor == 1
+
+    def test_end_to_end_with_engine(self, eqt_db):
+        template = parse_template("EqtP", EQT_SQL)
+        eqt_db.register_template(template)
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and (r.f = 1 or r.f = 3) and (s.g = 2 or s.g = 4)",
+        )
+        rows = eqt_db.run(query)
+        from tests.conftest import brute_force_eqt
+
+        assert sorted(tuple(r.values) for r in rows) == brute_force_eqt(
+            eqt_db, {1, 3}, {2, 4}
+        )
+
+    def test_fixed_condition_value_mismatch_rejected(self):
+        template = parse_template(
+            "fx3",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b = 100 and r.f = ? and s.g = ?",
+        )
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s "
+                "where r.c = s.d and r.b = 999 and r.f = 1 and s.g = 2",
+            )
+
+    def test_fixed_between_condition_roundtrip(self):
+        template = parse_template(
+            "fx4",
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b between 5 and 10 and r.f = ? and s.g = ?",
+        )
+        query = parse_query(
+            template,
+            "select r.a, s.e from r, s "
+            "where r.c = s.d and r.b between 5 and 10 and r.f = 1 and s.g = 2",
+        )
+        assert query.combination_factor == 1
+        with pytest.raises(ParseError):
+            parse_query(
+                template,
+                "select r.a, s.e from r, s "
+                "where r.c = s.d and r.b between 6 and 10 and r.f = 1 and s.g = 2",
+            )

@@ -1,0 +1,180 @@
+"""Unit tests for the predicate AST (intervals, disjunctions, Cselect)."""
+
+import pytest
+
+from repro.engine.datatypes import INTEGER, MINUS_INFINITY, PLUS_INFINITY, TEXT
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    SelectionConjunction,
+)
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.errors import ConditionError
+
+
+@pytest.fixture
+def row():
+    schema = Schema(
+        [Column("f", INTEGER), Column("g", INTEGER), Column("name", TEXT)],
+        relation_name="r",
+    )
+    return Row((3, 7, "carol"), schema)
+
+
+class TestInterval:
+    def test_open_membership(self):
+        iv = Interval(1, 5)
+        assert iv.contains_value(3)
+        assert not iv.contains_value(1)
+        assert not iv.contains_value(5)
+
+    def test_closed_membership(self):
+        iv = Interval(1, 5, low_inclusive=True, high_inclusive=True)
+        assert iv.contains_value(1)
+        assert iv.contains_value(5)
+
+    def test_unbounded(self):
+        iv = Interval(MINUS_INFINITY, 10)
+        assert iv.contains_value(-(10**9))
+        assert not iv.contains_value(10)
+        everything = Interval.everything()
+        assert everything.contains_value(0) and everything.contains_value("zzz")
+
+    def test_none_never_contained(self):
+        assert not Interval(1, 5).contains_value(None)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConditionError):
+            Interval(5, 1)
+        with pytest.raises(ConditionError):
+            Interval(3, 3)  # open at both ends => empty
+
+    def test_degenerate_point_allowed_when_closed(self):
+        iv = Interval(3, 3, low_inclusive=True, high_inclusive=True)
+        assert iv.contains_value(3)
+
+    def test_bad_infinity_bounds_rejected(self):
+        with pytest.raises(ConditionError):
+            Interval(PLUS_INFINITY, 3)
+        with pytest.raises(ConditionError):
+            Interval(3, MINUS_INFINITY)
+
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(4, 8))
+        assert not Interval(1, 5).overlaps(Interval(5, 8))
+        assert Interval(1, 5, high_inclusive=True).overlaps(
+            Interval(5, 8, low_inclusive=True)
+        )
+        assert Interval(MINUS_INFINITY, PLUS_INFINITY).overlaps(Interval(1, 2))
+
+    def test_contains_interval(self):
+        assert Interval(1, 10).contains_interval(Interval(2, 5))
+        assert Interval(1, 10, low_inclusive=True).contains_interval(
+            Interval(1, 5, low_inclusive=True)
+        )
+        assert not Interval(1, 10).contains_interval(Interval(1, 5, low_inclusive=True))
+        assert Interval.everything().contains_interval(Interval(1, 2))
+        assert not Interval(1, 5).contains_interval(Interval(1, 9))
+
+    def test_intersect(self):
+        out = Interval(1, 5).intersect(Interval(3, 9))
+        assert out == Interval(3, 5)
+        assert Interval(1, 2).intersect(Interval(3, 4)) is None
+
+    def test_intersect_respects_closure(self):
+        a = Interval(1, 5, high_inclusive=True)
+        b = Interval(5, 9, low_inclusive=True)
+        point = a.intersect(b)
+        assert point is not None and point.contains_value(5)
+
+    def test_intersect_unbounded(self):
+        out = Interval(MINUS_INFINITY, 5).intersect(Interval(2, PLUS_INFINITY))
+        assert out == Interval(2, 5)
+
+
+class TestEqualityDisjunction:
+    def test_matches(self, row):
+        cond = EqualityDisjunction("r.f", [1, 3, 5])
+        assert cond.matches(row)
+        assert not EqualityDisjunction("r.f", [2]).matches(row)
+
+    def test_fanout(self):
+        assert EqualityDisjunction("r.f", [1, 2, 3]).fanout == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConditionError):
+            EqualityDisjunction("r.f", [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConditionError):
+            EqualityDisjunction("r.f", [1, 1])
+
+
+class TestIntervalDisjunction:
+    def test_matches(self, row):
+        cond = IntervalDisjunction("r.g", [Interval(0, 2), Interval(5, 9)])
+        assert cond.matches(row)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ConditionError):
+            IntervalDisjunction("r.g", [Interval(0, 5), Interval(3, 9)])
+
+    def test_disjoint_touching_ok(self):
+        cond = IntervalDisjunction("r.g", [Interval(0, 5), Interval(5, 9)])
+        assert cond.fanout == 2
+
+    def test_string_intervals(self, row):
+        cond = IntervalDisjunction("r.name", [Interval("b", "d")])
+        assert cond.matches(row)
+
+
+class TestSelectionConjunction:
+    def test_matches_requires_all(self, row):
+        cselect = SelectionConjunction(
+            [
+                EqualityDisjunction("r.f", [3]),
+                IntervalDisjunction("r.g", [Interval(6, 8)]),
+            ]
+        )
+        assert cselect.matches(row)
+
+    def test_one_false_fails(self, row):
+        cselect = SelectionConjunction(
+            [EqualityDisjunction("r.f", [3]), EqualityDisjunction("r.g", [1])]
+        )
+        assert not cselect.matches(row)
+
+    def test_combination_factor(self):
+        cselect = SelectionConjunction(
+            [EqualityDisjunction("r.f", [1, 2]), EqualityDisjunction("r.g", [1, 2, 3])]
+        )
+        assert cselect.combination_factor() == 6
+
+    def test_repeated_attribute_rejected(self):
+        with pytest.raises(ConditionError):
+            SelectionConjunction(
+                [EqualityDisjunction("r.f", [1]), EqualityDisjunction("r.f", [2])]
+            )
+
+    def test_columns_order_preserved(self):
+        cselect = SelectionConjunction(
+            [EqualityDisjunction("r.g", [1]), EqualityDisjunction("r.f", [2])]
+        )
+        assert cselect.columns() == ("r.g", "r.f")
+
+
+class TestJoinEquality:
+    def test_matches(self):
+        left_schema = Schema([Column("c", INTEGER)], relation_name="r")
+        right_schema = Schema([Column("d", INTEGER)], relation_name="s")
+        join = JoinEquality("r", "c", "s", "d")
+        assert join.matches(Row((5,), left_schema), Row((5,), right_schema))
+        assert not join.matches(Row((5,), left_schema), Row((6,), right_schema))
+
+    def test_qualified_names(self):
+        join = JoinEquality("r", "c", "s", "d")
+        assert join.qualified_left() == "r.c"
+        assert join.qualified_right() == "s.d"

@@ -1,0 +1,122 @@
+"""Unit tests for Schema and Column."""
+
+import pytest
+
+from repro.engine.datatypes import INTEGER, TEXT
+from repro.engine.schema import Column, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+def make_schema(relation="r"):
+    return Schema(
+        [Column("id", INTEGER, nullable=False), Column("name", TEXT)],
+        relation_name=relation,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("x", INTEGER), Column("x", TEXT)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_qualified_bare_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("r.id", INTEGER)
+
+
+class TestLookup:
+    def test_bare_and_qualified_position(self):
+        schema = make_schema()
+        assert schema.position("id") == 0
+        assert schema.position("r.id") == 0
+        assert schema.position("name") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().position("nope")
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("r.name")
+        assert not schema.has_column("s.name")
+
+    def test_names(self):
+        schema = make_schema()
+        assert schema.names() == ("id", "name")
+        assert schema.qualified_names() == ("r.id", "r.name")
+
+
+class TestConcat:
+    def test_concat_preserves_qualified_lookup(self):
+        left = make_schema("r")
+        right = Schema([Column("id", INTEGER), Column("e", TEXT)], relation_name="s")
+        joined = left.concat(right)
+        assert joined.position("r.id") == 0
+        assert joined.position("s.id") == 2
+        assert joined.position("s.e") == 3
+
+    def test_concat_renames_collisions(self):
+        left = make_schema("r")
+        right = Schema([Column("id", INTEGER)], relation_name="s")
+        joined = left.concat(right)
+        assert joined.names() == ("id", "name", "s_id")
+
+    def test_nested_concat_keeps_all_aliases(self):
+        a = Schema([Column("k", INTEGER)], relation_name="a")
+        b = Schema([Column("k", INTEGER)], relation_name="b")
+        c = Schema([Column("k", INTEGER)], relation_name="c")
+        joined = a.concat(b).concat(c)
+        assert joined.position("a.k") == 0
+        assert joined.position("b.k") == 1
+        assert joined.position("c.k") == 2
+
+
+class TestProject:
+    def test_project_by_qualified_names(self):
+        left = make_schema("r")
+        right = Schema([Column("e", TEXT)], relation_name="s")
+        joined = left.concat(right)
+        projected = joined.project(["s.e", "r.id"])
+        assert projected.names() == ("e", "id")
+        # Requested (qualified) names stay resolvable.
+        assert projected.position("s.e") == 0
+        assert projected.position("r.id") == 1
+
+    def test_project_disambiguates_duplicates(self):
+        a = Schema([Column("k", INTEGER)], relation_name="a")
+        b = Schema([Column("k", INTEGER)], relation_name="b")
+        joined = a.concat(b)
+        projected = joined.project(["a.k", "b.k"])
+        assert projected.position("a.k") == 0
+        assert projected.position("b.k") == 1
+        assert len(set(projected.names())) == 2
+
+
+class TestValidateValues:
+    def test_accepts_valid_row(self):
+        assert make_schema().validate_values((1, "x")) == (1, "x")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_values((1,))
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_values((None, "x"))
+
+    def test_nullable_allows_none(self):
+        assert make_schema().validate_values((1, None)) == (1, None)
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+    def test_rename_changes_equality(self):
+        assert make_schema("r") != make_schema("s")
+        assert make_schema("r").rename("s") == make_schema("s")

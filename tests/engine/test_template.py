@@ -1,0 +1,176 @@
+"""Unit tests for QueryTemplate and Query binding."""
+
+import pytest
+
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+)
+from repro.engine.template import Query, QueryTemplate, SelectionSlot, SlotForm
+from repro.errors import ConditionError, ViewDefinitionError
+
+
+def make_template(**overrides):
+    kwargs = dict(
+        name="qt",
+        relations=("r", "s"),
+        select_list=("r.a", "s.e"),
+        joins=(JoinEquality("r", "c", "s", "d"),),
+        slots=(
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+    kwargs.update(overrides)
+    return QueryTemplate(**kwargs)
+
+
+class TestSlot:
+    def test_unqualified_column_rejected(self):
+        with pytest.raises(ConditionError):
+            SelectionSlot("r", "f", SlotForm.EQUALITY)
+
+    def test_wrong_relation_rejected(self):
+        with pytest.raises(ConditionError):
+            SelectionSlot("r", "s.g", SlotForm.EQUALITY)
+
+    def test_bare_column(self):
+        slot = SelectionSlot("r", "r.f", SlotForm.EQUALITY)
+        assert slot.bare_column == "f"
+
+
+class TestTemplateValidation:
+    def test_valid_template(self):
+        template = make_template()
+        assert template.arity == 2
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(relations=("r", "r"))
+
+    def test_slot_on_unknown_relation_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(
+                slots=(SelectionSlot("x", "x.f", SlotForm.EQUALITY),)
+            )
+
+    def test_join_on_unknown_relation_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(joins=(JoinEquality("r", "c", "x", "d"),))
+
+    def test_too_few_joins_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(joins=())
+
+    def test_no_slots_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(slots=())
+
+    def test_duplicate_slot_column_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(
+                slots=(
+                    SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+                    SelectionSlot("r", "r.f", SlotForm.INTERVAL),
+                )
+            )
+
+    def test_unqualified_select_item_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            make_template(select_list=("a",))
+
+    def test_single_relation_needs_no_join(self):
+        template = QueryTemplate(
+            name="single",
+            relations=("r",),
+            select_list=("r.a",),
+            joins=(),
+            slots=(SelectionSlot("r", "r.f", SlotForm.EQUALITY),),
+        )
+        assert template.arity == 1
+
+
+class TestExpandedSelectList:
+    def test_adds_missing_cselect_attributes(self):
+        template = make_template()
+        assert template.expanded_select_list() == ("r.a", "s.e", "r.f", "s.g")
+
+    def test_no_duplicates_when_already_selected(self):
+        template = make_template(select_list=("r.a", "r.f", "s.e"))
+        expanded = template.expanded_select_list()
+        assert expanded.count("r.f") == 1
+
+    def test_slot_index(self):
+        template = make_template()
+        assert template.slot_index("s.g") == 1
+        with pytest.raises(ConditionError):
+            template.slot_index("r.a")
+
+
+class TestBind:
+    def test_bind_orders_conditions_by_slot(self):
+        template = make_template()
+        query = template.bind(
+            [
+                IntervalDisjunction("s.g", [Interval(0, 10)]),
+                EqualityDisjunction("r.f", [1]),
+            ]
+        )
+        assert query.cselect.columns() == ("r.f", "s.g")
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ConditionError):
+            make_template().bind([EqualityDisjunction("r.f", [1])])
+
+    def test_wrong_form_rejected(self):
+        template = make_template()
+        with pytest.raises(ConditionError):
+            template.bind(
+                [
+                    EqualityDisjunction("r.f", [1]),
+                    EqualityDisjunction("s.g", [1]),  # slot wants intervals
+                ]
+            )
+
+    def test_missing_slot_condition_rejected(self):
+        template = make_template()
+        with pytest.raises(ConditionError):
+            template.bind(
+                [
+                    EqualityDisjunction("r.f", [1]),
+                    EqualityDisjunction("r.a", [1]),
+                ]
+            )
+
+    def test_combination_factor(self):
+        template = make_template()
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1, 2, 3]),
+                IntervalDisjunction("s.g", [Interval(0, 5), Interval(5, 10)]),
+            ]
+        )
+        assert query.combination_factor == 6
+
+    def test_query_str_mentions_relations(self):
+        template = make_template()
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(0, 5)]),
+            ]
+        )
+        text = str(query)
+        assert "from r, s" in text and "r.c=s.d" in text
+
+    def test_direct_query_construction_checks_columns(self):
+        template = make_template()
+        from repro.engine.predicate import SelectionConjunction
+
+        with pytest.raises(ConditionError):
+            Query(
+                template,
+                SelectionConjunction([EqualityDisjunction("r.f", [1])]),
+            )

@@ -1,0 +1,100 @@
+"""Smoke/shape tests for the benchmark drivers (tiny scales)."""
+
+import pytest
+
+from repro.bench.figures import (
+    build_experiment_database,
+    measure_overhead,
+    run_fig6,
+    run_fig7,
+    run_fig11,
+    run_fig12,
+    run_table1,
+)
+from repro.bench.reporting import Series, format_series, format_table
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_series_requires_shared_x(self):
+        s1 = Series("one", [1, 2], [0.1, 0.2])
+        s2 = Series("two", [1, 3], [0.3, 0.4])
+        with pytest.raises(ValueError):
+            format_series("x", [s1, s2])
+
+    def test_format_series_output(self):
+        s1 = Series("one", [1, 2], [0.1, 0.2])
+        text = format_series("x", [s1])
+        assert "one" in text and "0.1" in text
+
+
+class TestTable1:
+    def test_rows_cover_all_scales(self):
+        rows = run_table1(scale_factors=(0.5, 1.0), verbose=False)
+        assert len(rows) == 6
+        scales = {r["scale"] for r in rows}
+        assert scales == {0.5, 1.0}
+
+
+class TestSimulationFigures:
+    def test_fig6_shape(self):
+        series = run_fig6(scale=0.002, hs=(1, 3), verbose=False)
+        assert len(series) == 4  # 2 policies x 2 alphas
+        for line in series:
+            assert line.x == [1, 3]
+            assert line.y[0] <= line.y[1] + 0.05  # rises with h
+
+    def test_fig7_shape(self):
+        series = run_fig7(scale=0.002, verbose=False)
+        assert len(series) == 2
+        for line in series:
+            assert len(line.x) == 3
+            # hit probability rises with N
+            assert line.y[0] <= line.y[-1] + 0.05
+
+
+class TestEngineMeasurement:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return build_experiment_database(
+            scale_factor=1.0,
+            downscale=5000,
+            distinct_order_dates=20,
+            suppliers=8,
+            nations=3,
+        )
+
+    def test_measure_overhead_t1(self, env):
+        m = measure_overhead(env, "T1", h=2, tuples_per_entry=2, runs=3)
+        assert m.mean_overhead_seconds > 0
+        assert m.hit_fraction == 1.0  # the hot cell is always resident
+        assert m.mean_partial_tuples > 0
+
+    def test_measure_overhead_t2(self, env):
+        m = measure_overhead(env, "T2", h=2, tuples_per_entry=2, runs=3)
+        assert m.mean_overhead_seconds > 0
+        assert m.template == "T2"
+
+    def test_overhead_far_below_simulated_execution(self, env):
+        m = measure_overhead(env, "T1", h=2, tuples_per_entry=2, runs=3)
+        assert m.mean_overhead_seconds < m.mean_simulated_execution_seconds
+
+
+class TestAnalyticalFigures:
+    def test_fig11_shapes(self):
+        mv, pmv = run_fig11(verbose=False)
+        assert mv.y[0] > pmv.y[0] * 100  # >= 2 orders of magnitude at p=0
+        assert pmv.y[-1] == 0.0  # p=1 -> zero PMV maintenance
+        assert all(a >= b for a, b in zip(mv.y, mv.y[1:]))
+        assert all(a >= b for a, b in zip(pmv.y, pmv.y[1:]))
+
+    def test_fig12_speedup_increases(self):
+        line = run_fig12(verbose=False)
+        finite = [y for y in line.y if y != float("inf")]
+        assert all(a < b for a, b in zip(finite, finite[1:]))
+        assert line.y[-1] == float("inf")

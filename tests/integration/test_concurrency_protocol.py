@@ -1,0 +1,146 @@
+"""Scripted interleavings of the Section 3.6 locking protocol.
+
+The paper's argument: a query S-locks the PMV across O2→O3, so no
+concurrent transaction can change what the query already read from the
+PMV — "Q would not have read anomaly."  These tests script the
+interleavings directly (the engine is single-process, so interleaving
+points are explicit calls):
+
+1. maintenance attempted *while a query holds its S lock* is denied;
+2. with the protocol disabled (an unsafe maintainer that skips the X
+   lock), the exact anomaly the paper warns about appears: the PMV
+   serves a tuple in O2 that full execution no longer derives, and the
+   DS invariant catches it;
+3. a caller-scoped transaction serializes a full read-then-read
+   sequence against writers.
+"""
+
+import pytest
+
+from repro.core import PMVMaintainer
+from repro.core.maintenance import MaintenanceStrategy
+from repro.errors import LockError, PMVError
+from tests.conftest import eqt_query
+
+
+class _UnsafeMaintainer(PMVMaintainer):
+    """A maintainer that violates the protocol: no X lock, neither in
+    the prepare phase nor before touching the PMV."""
+
+    def prepare_change(self, change, txn):
+        pass
+
+    def abort_change(self, change, txn):
+        pass
+
+    def _remove_derived(self, relation, old_row, txn):
+        if self.strategy is MaintenanceStrategy.AUX_INDEX:
+            self._remove_via_aux_index(relation, old_row)
+        else:
+            self._remove_via_delta_join(relation, old_row)
+
+
+class _SkippingMaintainer(PMVMaintainer):
+    """Worse: a 'maintainer' that silently does nothing on deletes,
+    leaving stale tuples in the PMV."""
+
+    def prepare_change(self, change, txn):
+        pass
+
+    def abort_change(self, change, txn):
+        pass
+
+    def _remove_derived(self, relation, old_row, txn):
+        pass
+
+
+class TestProtocolEnforced:
+    def test_maintenance_denied_while_query_holds_s_lock(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        PMVMaintainer(eqt_db, eqt_pmv).attach()
+        eqt_executor.execute(eqt_query(eqt, [1], [2]))
+        reader = eqt_db.begin(read_only=True)
+        # The query is "between O2 and O3": it holds the S lock.
+        reader.lock_shared(eqt_pmv.name)
+        with pytest.raises(LockError):
+            eqt_db.delete_where("r", lambda row: row["f"] == 1)
+        reader.commit()
+        # After the reader finishes, maintenance proceeds.
+        eqt_db.delete_where("r", lambda row: row["f"] == 1)
+        assert eqt_pmv.tuple_count((1, 2)) == 0
+
+    def test_writer_blocks_new_queries_until_done(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        writer = eqt_db.begin()
+        writer.lock_exclusive(eqt_pmv.name)
+        with pytest.raises(LockError):
+            eqt_executor.execute(eqt_query(eqt, [1], [2]))
+        writer.commit()
+        result = eqt_executor.execute(eqt_query(eqt, [1], [2]))
+        assert result.metrics.remaining_tuples > 0
+
+    def test_two_readers_coexist(self, eqt_db, eqt, eqt_pmv, eqt_executor):
+        txn_a = eqt_db.begin(read_only=True)
+        txn_b = eqt_db.begin(read_only=True)
+        ra = eqt_executor.execute(eqt_query(eqt, [1], [2]), txn=txn_a)
+        rb = eqt_executor.execute(eqt_query(eqt, [1], [2]), txn=txn_b)
+        assert sorted(tuple(r.values) for r in ra.all_rows()) == sorted(
+            tuple(r.values) for r in rb.all_rows()
+        )
+        txn_a.commit()
+        txn_b.commit()
+
+
+class TestAnomalyWithoutProtocol:
+    def test_stale_partial_detected_when_maintenance_skipped(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        """With a broken maintainer that never removes stale tuples,
+        the PMV serves O2 results that O3 cannot re-derive — exactly
+        the inconsistency the protocol + maintenance rule out — and the
+        DS emptiness check raises."""
+        _SkippingMaintainer(eqt_db, eqt_pmv).attach()
+        eqt_executor.execute(eqt_query(eqt, [1], [2]))  # cache (1,2)
+        eqt_db.delete_where("r", lambda row: row["f"] == 1)  # silently unmaintained
+        with pytest.raises(PMVError, match="DS not empty"):
+            eqt_executor.execute(eqt_query(eqt, [1], [2]))
+
+    def test_unsafe_maintainer_mutates_under_readers(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        """An X-lock-skipping maintainer changes the PMV even while a
+        reader transaction holds the S lock — demonstrating what the
+        protocol exists to prevent (the engine is single-threaded, so
+        this shows the *permission*, not a torn read)."""
+        _UnsafeMaintainer(eqt_db, eqt_pmv).attach()
+        eqt_executor.execute(eqt_query(eqt, [1], [2]))
+        assert eqt_pmv.tuple_count((1, 2)) == 2
+        reader = eqt_db.begin(read_only=True)
+        reader.lock_shared(eqt_pmv.name)
+        # No LockError: the unsafe maintainer ignores the protocol and
+        # shrinks the PMV out from under the reader.
+        eqt_db.delete_where("s", lambda row: row["g"] == 2)
+        assert eqt_pmv.tuple_count((1, 2)) == 0
+        reader.commit()
+
+
+class TestSerializableSequences:
+    def test_repeatable_pmv_reads_within_transaction(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        """Two O2 probes inside one transaction see the same PMV state
+        because the S lock is held for the transaction's duration and
+        writers are denied in between."""
+        PMVMaintainer(eqt_db, eqt_pmv).attach()
+        eqt_executor.execute(eqt_query(eqt, [1], [2]))
+        txn = eqt_db.begin(read_only=True)
+        first = eqt_executor.preview(eqt_query(eqt, [1], [2]), txn=txn)
+        with pytest.raises(LockError):
+            eqt_db.delete_where("s", lambda row: row["g"] == 2)
+        second = eqt_executor.preview(eqt_query(eqt, [1], [2]), txn=txn)
+        assert [tuple(r.values) for r in first.partial_rows] == [
+            tuple(r.values) for r in second.partial_rows
+        ]
+        txn.commit()

@@ -1,0 +1,168 @@
+"""End-to-end scenarios on the TPC-R-like data: T1/T2 through the full
+stack (generator → planner → PMV executor → maintenance)."""
+
+import pytest
+
+from repro.core import (
+    Discretization,
+    MaintenanceStrategy,
+    MaterializedView,
+    PartialMaterializedView,
+    PMVExecutor,
+    PMVMaintainer,
+)
+from repro.engine import EqualityDisjunction
+from repro.workload import ControlledQueryFactory, ZipfianQueryStream, make_t1, make_t2
+
+
+@pytest.fixture
+def t1_world(tiny_tpcr):
+    template = make_t1()
+    tiny_tpcr.register_template(template)
+    view = PartialMaterializedView(
+        template, Discretization(template), tuples_per_entry=3, max_entries=32
+    )
+    executor = PMVExecutor(tiny_tpcr, view)
+    return tiny_tpcr, template, view, executor
+
+
+@pytest.fixture
+def t2_world(tiny_tpcr):
+    template = make_t2()
+    tiny_tpcr.register_template(template)
+    view = PartialMaterializedView(
+        template, Discretization(template), tuples_per_entry=3, max_entries=32
+    )
+    executor = PMVExecutor(tiny_tpcr, view)
+    return tiny_tpcr, template, view, executor
+
+
+def t1_query(template, dates, supps):
+    return template.bind(
+        [
+            EqualityDisjunction("orders.orderdate", dates),
+            EqualityDisjunction("lineitem.suppkey", supps),
+        ]
+    )
+
+
+def t2_query(template, dates, supps, nations):
+    return template.bind(
+        [
+            EqualityDisjunction("orders.orderdate", dates),
+            EqualityDisjunction("lineitem.suppkey", supps),
+            EqualityDisjunction("customer.nationkey", nations),
+        ]
+    )
+
+
+class TestT1:
+    def test_cold_then_warm_matches_oracle(self, t1_world):
+        db, template, view, executor = t1_world
+        oracle = MaterializedView(db, template)
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        query = t1_query(template, dates[:2], [1, 2])
+        expected = sorted(tuple(r.values) for r in oracle.answer(query))
+        cold = executor.execute(query)
+        assert sorted(tuple(r.values) for r in cold.all_rows()) == expected
+        warm = executor.execute(query)
+        assert sorted(tuple(r.values) for r in warm.all_rows()) == expected
+        if expected:
+            assert warm.metrics.bcp_hits > 0
+
+    def test_zipfian_stream_drives_hits_up(self, t1_world):
+        db, template, view, executor = t1_world
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        stream = ZipfianQueryStream(
+            template, [dates, list(range(1, 7))], alpha=1.3, seed=17
+        )
+        for query in stream.queries(40):
+            executor.execute(query)
+        view.metrics.reset()
+        for query in stream.queries(40):
+            executor.execute(query)
+        assert view.metrics.hit_probability > 0.3
+        view.check_invariants()
+
+
+class TestT2:
+    def test_three_way_join_consistency(self, t2_world):
+        db, template, view, executor = t2_world
+        oracle = MaterializedView(db, template)
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        query = t2_query(template, dates[:2], [1, 2, 3], [0, 1])
+        expected = sorted(tuple(r.values) for r in oracle.answer(query))
+        for _ in range(2):
+            result = executor.execute(query)
+            assert sorted(tuple(r.values) for r in result.all_rows()) == expected
+
+    def test_maintenance_through_three_relations(self, t2_world):
+        db, template, view, executor = t2_world
+        PMVMaintainer(db, view, strategy=MaintenanceStrategy.DELTA_JOIN).attach()
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        query = t2_query(template, dates[:3], [1, 2], [0, 1, 2])
+        executor.execute(query)
+        # Delete some customers, which invalidates join results two hops
+        # away from lineitem.
+        db.delete_where("customer", lambda row: row["nationkey"] == 0)
+        oracle = MaterializedView(db, template)
+        result = executor.execute(query)
+        assert sorted(tuple(r.values) for r in result.all_rows()) == sorted(
+            tuple(r.values) for r in oracle.answer(query)
+        )
+        view.check_invariants()
+
+
+class TestControlledProtocol:
+    def test_hot_cell_hits_after_warming(self, t1_world):
+        db, template, view, executor = t1_world
+        config = None
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        factory = ControlledQueryFactory(template, [dates, list(range(1, 7))], seed=3)
+        hot = factory.hot_cell()
+        executor.execute(factory.query(1, hot))
+        for h in (2, 4, 6):
+            result = executor.execute(factory.query(h, hot))
+            assert result.metrics.bcp_hits >= 1
+
+    def test_partial_latency_below_execution(self, t1_world):
+        """The headline claim: partial results arrive much sooner than
+        the full (blocking) execution finishes."""
+        db, template, view, executor = t1_world
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        factory = ControlledQueryFactory(template, [dates, list(range(1, 7))], seed=3)
+        hot = factory.hot_cell()
+        executor.execute(factory.query(1, hot))
+        result = executor.execute(factory.query(4, hot))
+        metrics = result.metrics
+        assert metrics.partial_latency_seconds < metrics.execution_seconds * 5
+        # (On real data sizes the gap is orders of magnitude; the tiny
+        # test fixture only supports a sanity bound.)
+
+
+class TestMultiplePMVs:
+    def test_t1_and_t2_pmvs_coexist(self, tiny_tpcr):
+        """'Many PMVs can reside in the RDBMS simultaneously.'"""
+        db = tiny_tpcr
+        t1, t2 = make_t1(), make_t2()
+        v1 = PartialMaterializedView(t1, Discretization(t1), 2, 16)
+        v2 = PartialMaterializedView(t2, Discretization(t2), 2, 16)
+        e1, e2 = PMVExecutor(db, v1), PMVExecutor(db, v2)
+        PMVMaintainer(db, v1).attach()
+        PMVMaintainer(db, v2).attach()
+        dates = sorted({o["orderdate"] for o in db.catalog.relation("orders").scan_rows()})
+        q1 = t1_query(t1, dates[:2], [1, 2])
+        q2 = t2_query(t2, dates[:2], [1, 2], [0, 1])
+        for _ in range(2):
+            r1, r2 = e1.execute(q1), e2.execute(q2)
+        db.delete_where("orders", lambda row: row["orderdate"] == dates[0])
+        oracle1 = MaterializedView(db, t1)
+        oracle2 = MaterializedView(db, t2)
+        assert sorted(tuple(r.values) for r in e1.execute(q1).all_rows()) == sorted(
+            tuple(r.values) for r in oracle1.answer(q1)
+        )
+        assert sorted(tuple(r.values) for r in e2.execute(q2).all_rows()) == sorted(
+            tuple(r.values) for r in oracle2.answer(q2)
+        )
+        v1.check_invariants()
+        v2.check_invariants()

@@ -1,0 +1,136 @@
+"""Full-stack scenario tests combining subsystems that individual test
+files exercise in isolation: manager + 2Q + budget + WAL + trace +
+extensions, all at once."""
+
+import pytest
+
+from repro.core import (
+    AggregatePMVExecutor,
+    AggregateSpec,
+    Discretization,
+    ExistsAccelerator,
+    MaintenanceStrategy,
+    MaterializedView,
+    PMVManager,
+    PartialMaterializedView,
+    PMVExecutor,
+    PMVMaintainer,
+    RankedPMVExecutor,
+)
+from repro.engine import Database, EqualityDisjunction, WriteAheadLog, recover
+from repro.workload import (
+    QueryTraceRecorder,
+    TPCRConfig,
+    ZipfianQueryStream,
+    load_tpcr,
+    make_t1,
+)
+from tests.conftest import eqt_query
+
+
+class TestBudgetedTwoQManagedFleet:
+    def test_budgeted_2q_views_stay_consistent_under_churn(self, eqt_db, eqt):
+        """A 2Q view with a tight byte budget, managed maintenance, and
+        a shifting workload — every answer must stay exact."""
+        manager = PMVManager(eqt_db, maintenance_strategy=MaintenanceStrategy.AUX_INDEX)
+        view = manager.create_view(
+            eqt,
+            tuples_per_entry=2,
+            max_entries=500,
+            policy="2q",
+            aux_index_columns=("r.a", "s.e"),
+            upper_bound_bytes=400,
+        )
+        oracle = MaterializedView(eqt_db, eqt).attach()
+        for round_no in range(3):
+            for f in range(6):
+                query = eqt_query(eqt, [f], [round_no % 5])
+                got = sorted(
+                    tuple(r.values) for r in manager.execute(query).all_rows()
+                )
+                assert got == sorted(tuple(r.values) for r in oracle.answer(query))
+            eqt_db.delete_where("r", lambda row: row["id"] == 10 + round_no)
+            eqt_db.insert("r", (500 + round_no, round_no, round_no, f"new{round_no}"))
+        view.check_invariants()
+        assert view.current_bytes <= 400 or view.entry_count <= 1
+
+
+class TestDurableWarehouse:
+    def test_trace_survives_crash_and_tunes_recovered_instance(self):
+        """Record a morning, crash, recover, and use the trace to size
+        the replacement PMV — the full operational loop."""
+        wal = WriteAheadLog()
+        db = Database(buffer_pool_pages=64, wal=wal)
+        config = TPCRConfig(
+            scale_factor=1.0, downscale=5000, seed=3,
+            distinct_order_dates=12, suppliers=6, nations=3,
+        )
+        load_tpcr(db, config)
+        t1 = make_t1()
+        db.register_template(t1)
+        view = PartialMaterializedView(t1, Discretization(t1), 2, 64, policy="2q")
+        executor = PMVExecutor(db, view)
+        PMVMaintainer(db, view).attach()
+        recorder = QueryTraceRecorder(t1)
+        stream = ZipfianQueryStream(
+            t1, [config.order_dates(), list(range(1, 7))], alpha=1.3, seed=8
+        )
+        run = recorder.wrap(executor.execute)
+        results = [run(q) for q in stream.queries(60)]
+        reference = sorted(tuple(r.values) for r in results[0].all_rows())
+
+        recovered = recover(wal)
+        hot_cells = recorder.trace.hot_cells(top=5)
+        sized = max(8, 2 * len(hot_cells))
+        fresh_view = PartialMaterializedView(t1, Discretization(t1), 2, sized)
+        fresh_executor = PMVExecutor(recovered, fresh_view)
+        replayed = recorder.trace.replay(fresh_executor.execute)
+        assert sorted(tuple(r.values) for r in replayed[0].all_rows()) == reference
+        # The trace-sized PMV serves the recorded hot set.
+        fresh_view.metrics.reset()
+        for query in recorder.trace.queries[-20:]:
+            fresh_executor.execute(query)
+        assert fresh_view.metrics.hit_probability > 0.5
+
+
+class TestExtensionsCompose:
+    def test_aggregate_over_ranked_executor_base(self, eqt_db, eqt, eqt_executor):
+        """Aggregates, EXISTS, and ranking all share one executor/PMV."""
+        agg = AggregatePMVExecutor(eqt_executor)
+        ranked = RankedPMVExecutor(eqt_executor)
+        exists = ExistsAccelerator(eqt_executor)
+        query = eqt_query(eqt, [1, 3], [2, 4])
+        ranked.execute(query)
+        result = agg.execute(query, ["s.g"], [AggregateSpec("count")])
+        assert result.exact_groups
+        verdict, _ = exists.check(eqt_query(eqt, [1], [2]))
+        assert verdict
+        # Sharing paid off: the two executions warmed the PMV enough
+        # that the EXISTS check was answered by a probe alone.
+        assert exists.stats.pmv_confirmations == 1
+        assert eqt_executor.view.metrics.queries == 2
+
+    def test_distinct_preview_and_order_by_together(self, eqt_db, eqt, eqt_executor):
+        eqt_db.insert("r", (2000, 1, 1, "a1"))  # force duplicates
+        query = eqt_query(eqt, [1], [2])
+        eqt_executor.execute(query, distinct=True)
+        warm = eqt_executor.execute(query, distinct=True)
+        ordered = warm.ordered_rows(["r.a"], partial_first=False)
+        keys = [row["r.a"] for row in ordered]
+        assert keys == sorted(keys)
+        assert len(set(map(tuple, (r.values for r in ordered)))) == len(ordered)
+        glimpse = eqt_executor.preview(query)
+        assert {tuple(r.values) for r in glimpse.partial_rows} <= {
+            tuple(r.values) for r in warm.all_rows()
+        }
+
+
+class TestStatisticsWithPMV:
+    def test_analyze_keeps_pmv_answers_identical(self, eqt_db, eqt, eqt_executor):
+        """Switching the plan driver via ANALYZE must not change what
+        the PMV pipeline returns — only how O3 computes it."""
+        query = eqt_query(eqt, [1, 3], [2, 4])
+        before = sorted(tuple(r.values) for r in eqt_executor.execute(query).all_rows())
+        eqt_db.analyze()
+        after = sorted(tuple(r.values) for r in eqt_executor.execute(query).all_rows())
+        assert before == after

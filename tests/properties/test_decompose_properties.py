@@ -1,0 +1,158 @@
+"""Property-based tests for Operation O1 decomposition.
+
+Three invariants the paper's correctness rests on, checked on random
+queries over a random discretization grid:
+
+1. **Partition** — the condition parts are pairwise non-overlapping and
+   their union is exactly the query's ``Cselect`` (every value
+   combination satisfying Cselect lies in exactly one part);
+2. **Containment** — each part is contained in its containing bcp;
+3. **Consistency** — ``bcp_of_row`` assigns a satisfying tuple to the
+   same containing bcp as the part that matches it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import bcp_of_row, decompose
+from repro.core.discretize import BasicIntervals, Discretization
+from repro.engine.datatypes import INTEGER
+from repro.engine.predicate import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+)
+from repro.engine.row import Row
+from repro.engine.schema import Column, Schema
+from repro.engine.template import QueryTemplate, SelectionSlot, SlotForm
+
+
+def make_template():
+    return QueryTemplate(
+        "qt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+
+
+TEMPLATE = make_template()
+
+
+def probe_schema():
+    schema = Schema(
+        [Column("a", INTEGER), Column("e", INTEGER), Column("f", INTEGER), Column("g", INTEGER)]
+    )
+    schema._positions["r.a"] = 0
+    schema._positions["s.e"] = 1
+    schema._positions["r.f"] = 2
+    schema._positions["s.g"] = 3
+    return schema
+
+
+SCHEMA = probe_schema()
+
+
+@st.composite
+def grids(draw):
+    cuts = draw(
+        st.lists(st.integers(0, 100), min_size=1, max_size=6, unique=True).map(sorted)
+    )
+    return BasicIntervals(cuts)
+
+
+@st.composite
+def queries(draw, grid):
+    f_values = draw(st.lists(st.integers(0, 5), min_size=1, max_size=3, unique=True))
+    # Disjoint intervals over 0..100: pick sorted distinct endpoints and
+    # pair them up.
+    n_intervals = draw(st.integers(1, 2))
+    endpoints = draw(
+        st.lists(
+            st.integers(-5, 105),
+            min_size=2 * n_intervals,
+            max_size=2 * n_intervals,
+            unique=True,
+        ).map(sorted)
+    )
+    intervals = []
+    for i in range(n_intervals):
+        low, high = endpoints[2 * i], endpoints[2 * i + 1]
+        low_inc = draw(st.booleans())
+        high_inc = draw(st.booleans())
+        if i > 0 and endpoints[2 * i - 1] == low:
+            low_inc = False  # keep the disjunction's intervals disjoint
+        intervals.append(Interval(low, high, low_inc, high_inc))
+    return TEMPLATE.bind(
+        [
+            EqualityDisjunction("r.f", f_values),
+            IntervalDisjunction("s.g", intervals),
+        ]
+    )
+
+
+@st.composite
+def grid_and_query(draw):
+    grid = draw(grids())
+    return grid, draw(queries(grid))
+
+
+probe_values = st.tuples(st.integers(0, 5), st.integers(-5, 105))
+
+
+@given(grid_and_query(), st.lists(probe_values, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_parts_partition_cselect(gq, probes):
+    grid, query = gq
+    disc = Discretization(TEMPLATE, {"s.g": grid})
+    parts = decompose(query, disc)
+    for f, g in probes:
+        row = Row((0, 0, f, g), SCHEMA)
+        satisfies = query.cselect.matches(row)
+        owners = [p for p in parts if p.matches(row)]
+        assert len(owners) == (1 if satisfies else 0)
+
+
+@given(grid_and_query())
+@settings(max_examples=100, deadline=None)
+def test_parts_contained_in_their_bcp(gq):
+    grid, query = gq
+    disc = Discretization(TEMPLATE, {"s.g": grid})
+    for part in decompose(query, disc):
+        assert part.contained_in(part.containing)
+        if part.is_basic:
+            # A basic part's dims coincide with the bcp's.
+            for dim, basic_dim in zip(part.dims, part.containing.dims):
+                assert dim == basic_dim
+
+
+@given(grid_and_query(), st.lists(probe_values, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_bcp_of_row_agrees_with_owning_part(gq, probes):
+    grid, query = gq
+    disc = Discretization(TEMPLATE, {"s.g": grid})
+    parts = decompose(query, disc)
+    for f, g in probes:
+        row = Row((0, 0, f, g), SCHEMA)
+        if not query.cselect.matches(row):
+            continue
+        owner = next(p for p in parts if p.matches(row))
+        recovered = bcp_of_row(row, query, disc)
+        assert recovered.key == owner.containing.key
+        assert recovered.matches(row)
+
+
+@given(grid_and_query())
+@settings(max_examples=100, deadline=None)
+def test_part_count_bounds(gq):
+    grid, query = gq
+    disc = Discretization(TEMPLATE, {"s.g": grid})
+    parts = decompose(query, disc)
+    f_count = len(query.cselect.conditions[0].values)
+    interval_count = len(query.cselect.conditions[1].intervals)
+    assert len(parts) >= f_count * interval_count
+    assert len(parts) <= f_count * interval_count * grid.count

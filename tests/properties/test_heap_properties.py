@@ -1,0 +1,102 @@
+"""Property-based test: the heap relation against a dict reference model.
+
+Random insert/delete/update traces must leave the heap's visible
+contents identical to a plain in-memory model, regardless of page
+spills, tombstone reuse, or record relocation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.datatypes import INTEGER, TEXT
+from repro.engine.disk import DiskManager
+from repro.engine.heap import HeapRelation
+from repro.engine.schema import Column, Schema
+
+
+def fresh_heap(pool_pages=4, page_size=512):
+    disk = DiskManager(page_size=page_size)
+    pool = BufferPool(disk, capacity=pool_pages)
+    schema = Schema(
+        [Column("k", INTEGER, nullable=False), Column("v", TEXT)], relation_name="t"
+    )
+    return HeapRelation("t", schema, pool)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 99),
+            st.text(alphabet="abc", min_size=0, max_size=40),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.just("")),
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 30),
+            st.text(alphabet="xyz", min_size=0, max_size=60),
+        ),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_heap_matches_dict_model(trace):
+    heap = fresh_heap()
+    model: dict = {}  # row_id -> (k, v)
+    live_ids: list = []
+    for op, arg, text in trace:
+        if op == "insert":
+            row_id = heap.insert((arg, text))
+            assert row_id not in model
+            model[row_id] = (arg, text)
+            live_ids.append(row_id)
+        elif op == "delete" and live_ids:
+            victim = live_ids[arg % len(live_ids)]
+            deleted = heap.delete(victim)
+            assert deleted.values == model.pop(victim)
+            live_ids.remove(victim)
+        elif op == "update" and live_ids:
+            target = live_ids[arg % len(live_ids)]
+            old_values = model[target]
+            old, new, new_id = heap.update(target, v=text)
+            assert old.values == old_values
+            del model[target]
+            live_ids.remove(target)
+            model[new_id] = (old_values[0], text)
+            live_ids.append(new_id)
+        # Invariants after every operation:
+        assert heap.row_count == len(model)
+    scanned = {row_id: row.values for row_id, row in heap.scan()}
+    assert scanned == {row_id: values for row_id, values in model.items()}
+
+
+@given(ops)
+@settings(max_examples=25, deadline=None)
+def test_heap_correct_under_tiny_buffer_pool(trace):
+    """Same model check with a 2-page pool: every operation faults pages
+    in and out, exercising eviction + dirty write-back."""
+    heap = fresh_heap(pool_pages=2, page_size=256)
+    model: dict = {}
+    live_ids: list = []
+    for op, arg, text in trace:
+        if op == "insert":
+            row_id = heap.insert((arg, text))
+            model[row_id] = (arg, text)
+            live_ids.append(row_id)
+        elif op == "delete" and live_ids:
+            victim = live_ids[arg % len(live_ids)]
+            heap.delete(victim)
+            del model[victim]
+            live_ids.remove(victim)
+        elif op == "update" and live_ids:
+            target = live_ids[arg % len(live_ids)]
+            old_values = model.pop(target)
+            live_ids.remove(target)
+            _, _, new_id = heap.update(target, v=text)
+            model[new_id] = (old_values[0], text)
+            live_ids.append(new_id)
+    assert {rid: row.values for rid, row in heap.scan()} == model

@@ -1,0 +1,102 @@
+"""Property-based tests for interval algebra (hypothesis).
+
+The O1 decomposition's correctness rests on interval algebra:
+overlap/containment/intersection must behave like their set-theoretic
+definitions over the rationals.  We model each interval by membership
+of probe points and check the operations against that model.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.engine.datatypes import MINUS_INFINITY, PLUS_INFINITY
+from repro.engine.predicate import Interval
+from repro.errors import ConditionError
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def intervals(draw):
+    """Random (possibly unbounded, possibly closed) non-empty intervals."""
+    unbounded_low = draw(st.booleans())
+    unbounded_high = draw(st.booleans())
+    low = MINUS_INFINITY if unbounded_low else draw(values)
+    high = PLUS_INFINITY if unbounded_high else draw(values)
+    low_inc = draw(st.booleans())
+    high_inc = draw(st.booleans())
+    try:
+        return Interval(low, high, low_inc, high_inc)
+    except ConditionError:
+        # Empty combination drawn; retry with a guaranteed-valid one.
+        base = draw(values)
+        return Interval(base, base + draw(st.integers(1, 10)), low_inc, high_inc)
+
+
+probe_points = st.lists(
+    st.one_of(values, st.floats(min_value=-51, max_value=51, allow_nan=False)),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(intervals(), intervals(), probe_points)
+def test_overlap_agrees_with_membership(a, b, points):
+    """If any probe point is in both intervals, they must overlap."""
+    both = [p for p in points if a.contains_value(p) and b.contains_value(p)]
+    if both:
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+
+@given(intervals(), intervals())
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(intervals(), intervals(), probe_points)
+def test_intersection_is_conjunction_of_membership(a, b, points):
+    inter = a.intersect(b)
+    for p in points:
+        in_both = a.contains_value(p) and b.contains_value(p)
+        in_inter = inter is not None and inter.contains_value(p)
+        assert in_both == in_inter
+
+
+@given(intervals(), intervals())
+def test_intersection_symmetric(a, b):
+    ab = a.intersect(b)
+    ba = b.intersect(a)
+    assert ab == ba
+
+
+@given(intervals(), intervals(), probe_points)
+def test_containment_implies_membership_subset(a, b, points):
+    if a.contains_interval(b):
+        for p in points:
+            if b.contains_value(p):
+                assert a.contains_value(p)
+
+
+@given(intervals())
+def test_interval_contains_itself(a):
+    assert a.contains_interval(a)
+    assert a.overlaps(a)
+    assert a.intersect(a) == a
+
+
+@given(intervals(), intervals(), intervals())
+def test_containment_transitive(a, b, c):
+    if a.contains_interval(b) and b.contains_interval(c):
+        assert a.contains_interval(c)
+
+
+@given(intervals())
+def test_everything_contains_all(a):
+    assert Interval.everything().contains_interval(a)
+
+
+@given(intervals(), intervals())
+def test_disjoint_intervals_have_no_common_point(a, b):
+    if not a.overlaps(b):
+        inter = a.intersect(b)
+        assert inter is None

@@ -1,0 +1,72 @@
+"""Property-based round-trip test for the SQL parser.
+
+Random equality-form queries are rendered to the paper's SQL syntax and
+parsed back; the reparsed query must bind identically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.parser import parse_query, parse_template
+
+EQT_SQL = "select r.a, s.e from r, s where r.c = s.d and r.f = ? and s.g = ?"
+TEMPLATE = parse_template("Eqt", EQT_SQL)
+
+value_lists = st.lists(
+    st.integers(-20, 20), min_size=1, max_size=4, unique=True
+)
+
+
+def render(fs, gs):
+    def disjunction(column, values):
+        body = " or ".join(f"{column} = {v}" for v in values)
+        return f"({body})" if len(values) > 1 else body
+
+    return (
+        "select r.a, s.e from r, s where r.c = s.d "
+        f"and {disjunction('r.f', fs)} and {disjunction('s.g', gs)}"
+    )
+
+
+@given(value_lists, value_lists)
+@settings(max_examples=120, deadline=None)
+def test_roundtrip_equality_queries(fs, gs):
+    query = parse_query(TEMPLATE, render(fs, gs))
+    assert query.cselect.conditions[0].values == tuple(fs)
+    assert query.cselect.conditions[1].values == tuple(gs)
+    assert query.combination_factor == len(fs) * len(gs)
+
+
+@given(value_lists, value_lists)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_is_idempotent(fs, gs):
+    first = parse_query(TEMPLATE, render(fs, gs))
+    # Rendering the parsed conditions again parses to the same binding.
+    again = parse_query(
+        TEMPLATE,
+        render(list(first.cselect.conditions[0].values),
+               list(first.cselect.conditions[1].values)),
+    )
+    assert again.cselect.conditions[0].values == first.cselect.conditions[0].values
+    assert again.cselect.conditions[1].values == first.cselect.conditions[1].values
+
+
+string_values = st.lists(
+    st.text(alphabet="abc xyz", min_size=1, max_size=8).filter(
+        lambda s: "'" not in s
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+@given(string_values)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_string_literals(values):
+    body = " or ".join(f"r.f = '{v}'" for v in values)
+    clause = f"({body})" if len(values) > 1 else body
+    query = parse_query(
+        TEMPLATE,
+        f"select r.a, s.e from r, s where r.c = s.d and {clause} and s.g = 1",
+    )
+    assert query.cselect.conditions[0].values == tuple(values)

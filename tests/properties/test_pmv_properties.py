@@ -1,0 +1,179 @@
+"""Property-based end-to-end test of the PMV method.
+
+Random interleavings of template queries, inserts, deletes, and updates
+are executed through the PMV; after every query the answer must equal
+the brute-force join (the transactional-consistency guarantee), and the
+PMV's structural invariants must hold.  This is the strongest statement
+of the paper's correctness claim, checked under adversarial workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Discretization,
+    MaintenanceStrategy,
+    PartialMaterializedView,
+    PMVExecutor,
+    PMVMaintainer,
+)
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+
+F_VALUES = st.sampled_from([1, 2, 3])
+POLICIES = st.sampled_from(["clock", "2q", "lru"])
+STRATEGIES = st.sampled_from(
+    [MaintenanceStrategy.DELTA_JOIN, MaintenanceStrategy.AUX_INDEX]
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, 4), min_size=1, max_size=3, unique=True),
+            st.lists(st.integers(0, 3), min_size=1, max_size=2, unique=True),
+        ),
+        st.tuples(st.just("insert"), st.integers(0, 7), st.integers(0, 4)),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.integers(0, 0)),
+        st.tuples(st.just("update"), st.integers(0, 30), st.integers(0, 4)),
+    ),
+    min_size=3,
+    max_size=25,
+)
+
+
+def build_world(policy, F, strategy):
+    db = Database()
+    db.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+        ],
+    )
+    db.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    db.create_index("r_f", "r", ["f"])
+    db.create_index("r_c", "r", ["c"])
+    db.create_index("s_d", "s", ["d"])
+    db.create_index("s_g", "s", ["g"])
+    for i in range(40):
+        db.insert("r", (i, i % 8, i % 5, f"a{i}"))
+    for j in range(24):
+        db.insert("s", (j % 8, j % 4, f"e{j}"))
+    template = QueryTemplate(
+        "Eqt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+    view = PartialMaterializedView(
+        template,
+        Discretization(template),
+        tuples_per_entry=F,
+        max_entries=6,
+        policy=policy,
+        aux_index_columns=("r.a", "s.e"),
+    )
+    executor = PMVExecutor(db, view)
+    PMVMaintainer(db, view, strategy=strategy).attach()
+    return db, template, view, executor
+
+
+def brute_force(db, fs, gs):
+    r_rows = list(db.catalog.relation("r").scan_rows())
+    s_rows = list(db.catalog.relation("s").scan_rows())
+    return sorted(
+        (r["a"], s["e"], r["f"], s["g"])
+        for r in r_rows
+        for s in s_rows
+        if r["c"] == s["d"] and r["f"] in fs and s["g"] in gs
+    )
+
+
+@given(POLICIES, F_VALUES, STRATEGIES, operations)
+@settings(max_examples=30, deadline=None)
+def test_pmv_answers_stay_consistent_under_churn(policy, F, strategy, trace):
+    db, template, view, executor = build_world(policy, F, strategy)
+    next_id = 1000
+    for op, x, y in trace:
+        if op == "query":
+            fs, gs = x, y
+            query = template.bind(
+                [EqualityDisjunction("r.f", fs), EqualityDisjunction("s.g", gs)]
+            )
+            result = executor.execute(query)
+            got = sorted(tuple(row.values) for row in result.all_rows())
+            assert got == brute_force(db, set(fs), set(gs))
+            view.check_invariants()
+        elif op == "insert":
+            db.insert("r", (next_id, x, y, f"new{next_id}"))
+            next_id += 1
+        elif op == "delete":
+            live = list(db.catalog.relation("r").scan())
+            if live:
+                row_id, _ = live[x % len(live)]
+                db.delete("r", row_id)
+        elif op == "update":
+            live = list(db.catalog.relation("r").scan())
+            if live:
+                row_id, _ = live[x % len(live)]
+                db.update("r", row_id, f=y)
+    view.check_invariants()
+
+
+@given(POLICIES, F_VALUES, operations)
+@settings(max_examples=20, deadline=None)
+def test_stored_tuples_never_exceed_f_times_entries(policy, F, trace):
+    db, template, view, executor = build_world(
+        policy, F, MaintenanceStrategy.DELTA_JOIN
+    )
+    for op, x, y in trace:
+        if op == "query":
+            query = template.bind(
+                [EqualityDisjunction("r.f", x), EqualityDisjunction("s.g", y)]
+            )
+            executor.execute(query)
+            assert view.stored_tuple_count <= F * view.max_entries
+            assert view.entry_count <= view.max_entries
+
+
+@given(F_VALUES, operations)
+@settings(max_examples=20, deadline=None)
+def test_partial_plus_remaining_is_exact_multiset(F, trace):
+    """No tuple is ever delivered twice and none is lost, even with
+    duplicate join results."""
+    db, template, view, executor = build_world("clock", F, MaintenanceStrategy.DELTA_JOIN)
+    # Duplicate some r rows to force duplicate result tuples.
+    for i in range(5):
+        db.insert("r", (2000 + i, i % 8, i % 5, f"a{i}"))
+    for op, x, y in trace:
+        if op != "query":
+            continue
+        query = template.bind(
+            [EqualityDisjunction("r.f", x), EqualityDisjunction("s.g", y)]
+        )
+        result = executor.execute(query)
+        got = sorted(tuple(row.values) for row in result.all_rows())
+        assert got == brute_force(db, set(x), set(y))

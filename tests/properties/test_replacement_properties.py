@@ -1,0 +1,132 @@
+"""Property-based tests for the replacement policies.
+
+Each policy is driven with random reference/discard traces and checked
+against universal cache invariants, plus per-policy reference models
+(LRU against an OrderedDict model, FIFO against a queue model).
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.replacement import make_policy
+
+POLICY_NAMES = ["clock", "2q", "lru", "fifo"]
+
+keys = st.integers(min_value=0, max_value=40)
+ops = st.lists(
+    st.tuples(st.sampled_from(["ref", "discard"]), keys), min_size=1, max_size=300
+)
+capacities = st.integers(min_value=1, max_value=12)
+
+
+@given(st.sampled_from(POLICY_NAMES), capacities, ops)
+@settings(max_examples=60)
+def test_capacity_never_exceeded(name, capacity, trace):
+    policy = make_policy(name, capacity)
+    for op, key in trace:
+        if op == "ref":
+            policy.reference(key)
+        else:
+            policy.discard(key)
+        assert len(policy) <= capacity
+
+
+@given(st.sampled_from(POLICY_NAMES), capacities, ops)
+@settings(max_examples=60)
+def test_contains_agrees_with_resident_keys(name, capacity, trace):
+    policy = make_policy(name, capacity)
+    for op, key in trace:
+        if op == "ref":
+            policy.reference(key)
+        else:
+            policy.discard(key)
+    resident = set(policy.resident_keys())
+    assert len(resident) == len(policy)
+    for key in range(41):
+        assert policy.contains(key) == (key in resident)
+
+
+@given(st.sampled_from(POLICY_NAMES), capacities, ops)
+@settings(max_examples=60)
+def test_reference_result_is_consistent(name, capacity, trace):
+    policy = make_policy(name, capacity)
+    for op, key in trace:
+        if op == "discard":
+            policy.discard(key)
+            continue
+        was_resident = policy.contains(key)
+        result = policy.reference(key)
+        assert result.resident_before == was_resident
+        assert result.admitted == policy.contains(key)
+        for victim in result.evicted:
+            assert not policy.contains(victim) or victim == key
+
+
+@given(st.sampled_from(POLICY_NAMES), capacities, ops)
+@settings(max_examples=60)
+def test_evicted_keys_were_resident(name, capacity, trace):
+    policy = make_policy(name, capacity)
+    resident: set = set()
+    for op, key in trace:
+        if op == "discard":
+            if policy.discard(key):
+                resident.discard(key)
+            continue
+        result = policy.reference(key)
+        for victim in result.evicted:
+            assert victim in resident
+            resident.discard(victim)
+        if result.admitted:
+            resident.add(key)
+    assert resident == set(policy.resident_keys())
+
+
+@given(capacities, st.lists(keys, min_size=1, max_size=300))
+@settings(max_examples=60)
+def test_lru_matches_reference_model(capacity, trace):
+    policy = make_policy("lru", capacity)
+    model: OrderedDict = OrderedDict()
+    for key in trace:
+        result = policy.reference(key)
+        if key in model:
+            assert result.resident_before
+            model.move_to_end(key)
+        else:
+            assert not result.resident_before
+            if len(model) >= capacity:
+                victim, _ = model.popitem(last=False)
+                assert result.evicted == (victim,)
+            model[key] = None
+        assert list(policy.resident_keys()) == list(model)
+
+
+@given(capacities, st.lists(keys, min_size=1, max_size=300))
+@settings(max_examples=60)
+def test_fifo_matches_reference_model(capacity, trace):
+    policy = make_policy("fifo", capacity)
+    queue: list = []
+    for key in trace:
+        result = policy.reference(key)
+        if key in queue:
+            assert result.resident_before
+            assert result.evicted == ()
+        else:
+            if len(queue) >= capacity:
+                assert result.evicted == (queue[0],)
+                queue.pop(0)
+            queue.append(key)
+        assert set(policy.resident_keys()) == set(queue)
+
+
+@given(capacities, st.lists(keys, min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_2q_admission_requires_two_sightings(capacity, trace):
+    policy = make_policy("2q", capacity)
+    ever_seen: set = set()
+    for key in trace:
+        result = policy.reference(key)
+        if key not in ever_seen:
+            # A first-ever sighting can never be admitted directly.
+            assert not result.admitted
+        ever_seen.add(key)

@@ -1,0 +1,111 @@
+"""Tests for the Che-approximation analytic model, cross-checked
+against the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import SimulationConfig, che_approximation, simulate_hit_probability
+
+UNIVERSE = 10_000
+CAPACITY = 300
+
+
+def simulate(policy: str, alpha: float = 1.07, h: int = 2, capacity: int = CAPACITY):
+    return simulate_hit_probability(
+        SimulationConfig(
+            universe=UNIVERSE,
+            capacity=capacity,
+            alpha=alpha,
+            cells_per_query=h,
+            warmup_queries=15_000,
+            measured_queries=15_000,
+            policy=policy,
+            clock_budget_factor=1.0,
+            seed=5,
+        )
+    )
+
+
+class TestAgreementWithSimulation:
+    @pytest.mark.parametrize("alpha", [1.01, 1.07, 1.3])
+    def test_matches_lru_simulation(self, alpha):
+        predicted = che_approximation(UNIVERSE, alpha, CAPACITY, cells_per_query=2)
+        simulated = simulate("lru", alpha=alpha)
+        assert predicted.query_hit_probability == pytest.approx(
+            simulated.hit_probability, abs=0.03
+        )
+
+    @pytest.mark.parametrize("h", [1, 3, 5])
+    def test_matches_across_h(self, h):
+        predicted = che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=h)
+        simulated = simulate("lru", h=h)
+        assert predicted.query_hit_probability == pytest.approx(
+            simulated.hit_probability, abs=0.03
+        )
+
+    def test_clock_tracks_prediction_from_below(self):
+        predicted = che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=2)
+        clock = simulate("clock")
+        assert clock.hit_probability == pytest.approx(
+            predicted.query_hit_probability, abs=0.05
+        )
+        assert clock.hit_probability <= predicted.query_hit_probability + 0.01
+
+    def test_2q_beats_the_lru_prediction(self):
+        """2Q's scan-resistant admission is not modelled by Che; on a
+        skewed workload it beats the LRU-class prediction."""
+        predicted = che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=2)
+        two_q = simulate("2q")
+        assert two_q.hit_probability > predicted.query_hit_probability
+
+
+class TestModelShape:
+    def test_occupancy_equals_capacity_at_t(self):
+        import numpy as np
+
+        from repro.workload.zipf import ZipfianDistribution
+
+        pred = che_approximation(UNIVERSE, 1.07, CAPACITY)
+        probabilities = ZipfianDistribution(UNIVERSE, 1.07).probabilities
+        occupancy = float(np.sum(-np.expm1(-probabilities * pred.characteristic_time)))
+        assert occupancy == pytest.approx(CAPACITY, rel=1e-6)
+
+    def test_monotone_in_h(self):
+        values = [
+            che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=h).query_hit_probability
+            for h in (1, 2, 4)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_monotone_in_capacity(self):
+        values = [
+            che_approximation(UNIVERSE, 1.07, n).query_hit_probability
+            for n in (100, 300, 900)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_monotone_in_alpha(self):
+        low = che_approximation(UNIVERSE, 1.01, CAPACITY).query_hit_probability
+        high = che_approximation(UNIVERSE, 1.07, CAPACITY).query_hit_probability
+        assert high > low
+
+    def test_h1_equals_reference_ratio(self):
+        pred = che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=1)
+        assert pred.query_hit_probability == pytest.approx(pred.reference_hit_ratio)
+
+    def test_probabilities_in_unit_interval(self):
+        pred = che_approximation(UNIVERSE, 1.07, CAPACITY, cells_per_query=5)
+        assert 0.0 < pred.reference_hit_ratio < 1.0
+        assert 0.0 < pred.query_hit_probability < 1.0
+
+
+class TestValidation:
+    def test_capacity_bounds(self):
+        with pytest.raises(WorkloadError):
+            che_approximation(100, 1.07, 0)
+        with pytest.raises(WorkloadError):
+            che_approximation(100, 1.07, 100)
+
+    def test_h_bounds(self):
+        with pytest.raises(WorkloadError):
+            che_approximation(100, 1.07, 10, cells_per_query=0)

@@ -1,0 +1,113 @@
+"""Tests for the Section 4.1 hit-probability simulation."""
+
+import pytest
+
+from repro.core.replacement import ClockPolicy, TwoQueuePolicy
+from repro.errors import WorkloadError
+from repro.sim.hitprob import (
+    SimulationConfig,
+    build_sim_policy,
+    simulate_hit_probability,
+)
+
+SMALL = dict(universe=5_000, capacity=200, warmup_queries=5_000, measured_queries=5_000)
+
+
+def run(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return simulate_hit_probability(SimulationConfig(**params))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SimulationConfig(cells_per_query=0)
+        with pytest.raises(WorkloadError):
+            SimulationConfig(universe=10, capacity=100)
+
+    def test_scaled_preserves_ratios(self):
+        base = SimulationConfig()
+        scaled = base.scaled(0.01)
+        assert scaled.universe == base.universe // 100
+        assert scaled.capacity == base.capacity // 100
+        assert scaled.measured_queries == base.measured_queries // 100
+        assert scaled.alpha == base.alpha
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            SimulationConfig().scaled(0)
+
+
+class TestPolicyBudget:
+    def test_clock_gets_two_percent_bonus(self):
+        config = SimulationConfig(universe=100_000, capacity=1000, policy="clock")
+        policy = build_sim_policy(config)
+        assert isinstance(policy, ClockPolicy)
+        assert policy.capacity == 1020
+
+    def test_2q_capacity_is_n(self):
+        config = SimulationConfig(universe=100_000, capacity=1000, policy="2q")
+        policy = build_sim_policy(config)
+        assert isinstance(policy, TwoQueuePolicy)
+        assert policy.capacity == 1000
+        assert policy.a1_capacity == 500
+
+    def test_other_policies_supported(self):
+        config = SimulationConfig(universe=100_000, capacity=1000, policy="lru")
+        assert build_sim_policy(config).capacity == 1000
+
+
+class TestPaperShapes:
+    """Each test asserts one qualitative claim of Figures 6-7."""
+
+    def test_hit_probability_in_unit_interval(self):
+        result = run()
+        assert 0.0 <= result.hit_probability <= 1.0
+
+    def test_hit_probability_increases_with_h(self):
+        values = [run(cells_per_query=h).hit_probability for h in (1, 3, 5)]
+        assert values[0] < values[1] < values[2]
+
+    def test_hit_probability_increases_with_alpha(self):
+        low = run(alpha=1.01).hit_probability
+        high = run(alpha=1.07).hit_probability
+        assert high > low
+
+    def test_2q_beats_clock(self):
+        clock = run(policy="clock").hit_probability
+        two_q = run(policy="2q").hit_probability
+        assert two_q > clock
+
+    def test_hit_probability_increases_with_capacity(self):
+        values = [
+            run(capacity=n).hit_probability for n in (100, 200, 400)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_deterministic_for_seed(self):
+        assert run(seed=3).hit_probability == run(seed=3).hit_probability
+
+    def test_resident_entries_bounded(self):
+        result = run(policy="clock")
+        assert result.resident_entries <= int(round(1.02 * SMALL["capacity"]))
+
+    def test_reference_ratio_below_query_ratio(self):
+        """Partial hits (any of h cells) must be at least as frequent
+        as per-reference hits."""
+        result = run(cells_per_query=3)
+        assert result.hit_probability >= result.reference_hit_ratio - 0.05
+
+
+class TestWarmup:
+    def test_measured_phase_excludes_warmup(self):
+        # With a large cache and a short measurement window, skipping
+        # warm-up clearly depresses the measured hit probability: the
+        # cache cannot even fill during the window.
+        cold = run(
+            capacity=1_000, warmup_queries=1, measured_queries=1_000
+        ).hit_probability
+        warm = run(
+            capacity=1_000, warmup_queries=20_000, measured_queries=1_000
+        ).hit_probability
+        assert warm > cold + 0.02

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy — every library error is catchable
+as ReproError, and layer-specific bases partition cleanly."""
+
+import pytest
+
+from repro import errors
+
+
+ENGINE_ERRORS = [
+    errors.SchemaError,
+    errors.TypeMismatchError,
+    errors.UnknownColumnError,
+    errors.CatalogError,
+    errors.StorageError,
+    errors.PageFullError,
+    errors.BufferPoolError,
+    errors.IndexError_,
+    errors.PlanningError,
+    errors.ParseError,
+    errors.TransactionError,
+    errors.LockError,
+    errors.DeadlockError,
+]
+
+PMV_ERRORS = [
+    errors.ConditionError,
+    errors.DiscretizationError,
+    errors.ViewDefinitionError,
+    errors.ViewCapacityError,
+    errors.MaintenanceError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ENGINE_ERRORS)
+    def test_engine_errors_under_engine_base(self, exc):
+        assert issubclass(exc, errors.EngineError)
+        assert issubclass(exc, errors.ReproError)
+
+    @pytest.mark.parametrize("exc", PMV_ERRORS)
+    def test_pmv_errors_under_pmv_base(self, exc):
+        assert issubclass(exc, errors.PMVError)
+        assert issubclass(exc, errors.ReproError)
+
+    def test_workload_error_is_repro_error(self):
+        assert issubclass(errors.WorkloadError, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.TypeMismatchError, errors.SchemaError)
+        assert issubclass(errors.PageFullError, errors.StorageError)
+        assert issubclass(errors.DeadlockError, errors.LockError)
+        assert issubclass(errors.LockError, errors.TransactionError)
+
+    def test_layers_do_not_overlap(self):
+        for exc in ENGINE_ERRORS:
+            assert not issubclass(exc, errors.PMVError)
+        for exc in PMV_ERRORS:
+            assert not issubclass(exc, errors.EngineError)
+
+    def test_library_failures_catchable_at_top(self):
+        from repro.engine import Column, Database, INTEGER
+
+        db = Database()
+        db.create_relation("t", [Column("x", INTEGER, nullable=False)])
+        with pytest.raises(errors.ReproError):
+            db.insert("t", ("not-an-int",))
+        with pytest.raises(errors.ReproError):
+            db.catalog.relation("ghost")
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)

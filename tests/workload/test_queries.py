@@ -1,0 +1,135 @@
+"""Unit tests for query-stream generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.queries import ControlledQueryFactory, ZipfianQueryStream, factorize
+from repro.workload.templates import make_t1, make_t2
+
+
+class TestFactorize:
+    @pytest.mark.parametrize(
+        "h,dims,expected",
+        [
+            (1, 2, (1, 1)),
+            (4, 2, (2, 2)),
+            (6, 2, (3, 2)),
+            (7, 2, (7, 1)),
+            (10, 2, (5, 2)),
+            (4, 3, (2, 2, 1)),
+            (8, 3, (2, 2, 2)),
+            (12, 3, (3, 2, 2)),
+        ],
+    )
+    def test_balanced_descending(self, h, dims, expected):
+        assert factorize(h, dims) == expected
+
+    def test_product_invariant(self):
+        import math
+
+        for h in range(1, 31):
+            for dims in (1, 2, 3):
+                assert math.prod(factorize(h, dims)) == h
+
+    def test_invalid_rejected(self):
+        with pytest.raises(WorkloadError):
+            factorize(0, 2)
+        with pytest.raises(WorkloadError):
+            factorize(4, 0)
+
+
+@pytest.fixture
+def t1_factory():
+    dates = [f"1994-01-{d:02d}" for d in range(1, 21)]
+    suppliers = list(range(1, 11))
+    return ControlledQueryFactory(make_t1(), [dates, suppliers], seed=5)
+
+
+class TestControlledFactory:
+    def test_query_has_exact_h(self, t1_factory):
+        for h in (1, 2, 4, 6, 9):
+            query = t1_factory.query(h)
+            assert query.combination_factor == h
+
+    def test_hot_cell_always_included(self, t1_factory):
+        hot = ("1994-01-03", 7)
+        query = t1_factory.query(6, hot)
+        dates = query.cselect.conditions[0].values
+        supps = query.cselect.conditions[1].values
+        assert hot[0] in dates and hot[1] in supps
+
+    def test_values_are_distinct(self, t1_factory):
+        query = t1_factory.query(9)
+        for condition in query.cselect.conditions:
+            assert len(set(condition.values)) == len(condition.values)
+
+    def test_h_too_large_for_domain_rejected(self, t1_factory):
+        with pytest.raises(WorkloadError):
+            t1_factory.query(1000)
+
+    def test_t2_three_dimensions(self):
+        dates = [f"1994-02-{d:02d}" for d in range(1, 11)]
+        factory = ControlledQueryFactory(
+            make_t2(), [dates, list(range(1, 6)), list(range(3))], seed=5
+        )
+        query = factory.query(4)
+        assert query.combination_factor == 4
+        assert len(query.cselect.conditions) == 3
+
+    def test_domain_count_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            ControlledQueryFactory(make_t1(), [[1, 2]])
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            ControlledQueryFactory(make_t1(), [[1], [1, 2]])
+
+    def test_wrong_hot_arity_rejected(self, t1_factory):
+        with pytest.raises(WorkloadError):
+            t1_factory.query(2, hot=("1994-01-03",))
+
+
+class TestZipfianStream:
+    @pytest.fixture
+    def stream(self):
+        dates = [f"1994-01-{d:02d}" for d in range(1, 29)]
+        return ZipfianQueryStream(
+            make_t1(), [dates, list(range(1, 21))], alpha=1.2, seed=3
+        )
+
+    def test_queries_bind_to_template(self, stream):
+        query = stream.next_query()
+        assert query.template.name == "T1"
+        assert query.combination_factor == 4  # 2 x 2 defaults
+
+    def test_values_within_domains(self, stream):
+        for query in stream.queries(20):
+            dates, supps = query.cselect.conditions
+            assert all(d.startswith("1994-01-") for d in dates.values)
+            assert all(1 <= s <= 20 for s in supps.values)
+
+    def test_skew_is_visible(self, stream):
+        from collections import Counter
+
+        counts = Counter()
+        for query in stream.queries(300):
+            counts.update(query.cselect.conditions[1].values)
+        most = counts.most_common()
+        assert most[0][1] > 3 * most[-1][1]
+
+    def test_values_per_slot(self):
+        stream = ZipfianQueryStream(
+            make_t1(),
+            [[f"1994-01-{d:02d}" for d in range(1, 11)], list(range(1, 11))],
+            values_per_slot=[3, 1],
+            seed=3,
+        )
+        query = stream.next_query()
+        assert len(query.cselect.conditions[0].values) == 3
+        assert len(query.cselect.conditions[1].values) == 1
+
+    def test_bad_values_per_slot(self):
+        with pytest.raises(WorkloadError):
+            ZipfianQueryStream(
+                make_t1(), [["a", "b"], [1, 2]], values_per_slot=[3, 1]
+            )

@@ -1,0 +1,83 @@
+"""Unit tests for the T1/T2/Eqt template builders."""
+
+import pytest
+
+from repro.core import Discretization
+from repro.workload.templates import (
+    T1_SELECT_LIST,
+    T2_SELECT_LIST,
+    equality_discretization,
+    make_eqt,
+    make_t1,
+    make_t2,
+)
+
+
+class TestT1:
+    def test_shape(self):
+        t1 = make_t1()
+        assert t1.relations == ("orders", "lineitem")
+        assert t1.arity == 2
+        assert [s.column for s in t1.slots] == ["orders.orderdate", "lineitem.suppkey"]
+
+    def test_join_on_orderkey(self):
+        t1 = make_t1()
+        join = t1.joins[0]
+        assert join.qualified_left() == "orders.orderkey"
+        assert join.qualified_right() == "lineitem.orderkey"
+
+    def test_expanded_list_contains_cselect_attrs(self):
+        expanded = make_t1().expanded_select_list()
+        assert "orders.orderdate" in expanded
+        assert "lineitem.suppkey" in expanded
+
+    def test_custom_name_and_select_list(self):
+        t1 = make_t1(name="mine", select_list=("orders.orderkey", "lineitem.suppkey"))
+        assert t1.name == "mine"
+        assert t1.select_list == ("orders.orderkey", "lineitem.suppkey")
+
+
+class TestT2:
+    def test_shape(self):
+        t2 = make_t2()
+        assert t2.relations == ("orders", "lineitem", "customer")
+        assert t2.arity == 3
+        assert [s.column for s in t2.slots] == [
+            "orders.orderdate",
+            "lineitem.suppkey",
+            "customer.nationkey",
+        ]
+
+    def test_two_join_edges(self):
+        t2 = make_t2()
+        edges = {(j.qualified_left(), j.qualified_right()) for j in t2.joins}
+        assert ("orders.orderkey", "lineitem.orderkey") in edges
+        assert ("orders.custkey", "customer.custkey") in edges
+
+    def test_select_list_superset_of_t1(self):
+        assert set(T1_SELECT_LIST) <= set(T2_SELECT_LIST)
+
+
+class TestEqt:
+    def test_default_shape(self):
+        eqt = make_eqt()
+        assert eqt.relations == ("r", "s")
+        assert [s.column for s in eqt.slots] == ["r.f", "s.g"]
+
+    def test_custom_relations(self):
+        eqt = make_eqt(left="items", right="sales", join_left="k", join_right="k2",
+                       slot_left="cat", slot_right="disc",
+                       select_list=("items.a", "sales.e"))
+        assert eqt.relations == ("items", "sales")
+        assert eqt.joins[0].qualified_left() == "items.k"
+        assert [s.column for s in eqt.slots] == ["items.cat", "sales.disc"]
+
+
+class TestDiscretization:
+    @pytest.mark.parametrize("maker", [make_t1, make_t2, make_eqt])
+    def test_all_equality_templates_need_no_grids(self, maker):
+        template = maker()
+        disc = equality_discretization(template)
+        assert isinstance(disc, Discretization)
+        for slot in template.slots:
+            assert not disc.has_grid(slot.column)

@@ -1,0 +1,152 @@
+"""Unit tests for the TPC-R-like data generator (Table 1)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import WorkloadError
+from repro.workload.tpcr import (
+    CUSTOMER_TUPLE_BYTES,
+    LINEITEM_TUPLE_BYTES,
+    ORDERS_TUPLE_BYTES,
+    TPCRConfig,
+    load_tpcr,
+    table1_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    db = Database(buffer_pool_pages=256)
+    config = TPCRConfig(
+        scale_factor=1.0,
+        downscale=5000,
+        seed=11,
+        distinct_order_dates=15,
+        suppliers=6,
+        nations=4,
+    )
+    dataset = load_tpcr(db, config)
+    return db, config, dataset
+
+
+class TestRowCounts:
+    def test_paper_ratios(self, loaded):
+        _, config, dataset = loaded
+        assert dataset.row_counts["orders"] == 10 * dataset.row_counts["customer"]
+        assert dataset.row_counts["lineitem"] == 4 * dataset.row_counts["orders"]
+
+    def test_scale_factor_scales_counts(self):
+        half = TPCRConfig(scale_factor=0.5, downscale=1000)
+        full = TPCRConfig(scale_factor=1.0, downscale=1000)
+        assert full.customers == 2 * half.customers
+        assert full.lineitems == 2 * half.lineitems
+
+    def test_paper_counts_at_downscale_one(self):
+        config = TPCRConfig(scale_factor=1.0, downscale=1)
+        assert config.customers == 150_000
+        assert config.orders == 1_500_000
+        assert config.lineitems == 6_000_000
+
+
+class TestJoinStructure:
+    def test_every_order_has_a_customer(self, loaded):
+        db, config, _ = loaded
+        for order in db.catalog.relation("orders").scan_rows():
+            assert 1 <= order["custkey"] <= config.customers
+
+    def test_each_customer_has_ten_orders(self, loaded):
+        db, config, _ = loaded
+        from collections import Counter
+
+        counts = Counter(
+            order["custkey"] for order in db.catalog.relation("orders").scan_rows()
+        )
+        assert all(count == 10 for count in counts.values())
+
+    def test_each_order_has_four_lineitems(self, loaded):
+        db, _, _ = loaded
+        from collections import Counter
+
+        counts = Counter(
+            li["orderkey"] for li in db.catalog.relation("lineitem").scan_rows()
+        )
+        assert all(count == 4 for count in counts.values())
+
+    def test_domains_respected(self, loaded):
+        db, config, _ = loaded
+        dates = set(config.order_dates())
+        for order in db.catalog.relation("orders").scan_rows():
+            assert order["orderdate"] in dates
+        for li in db.catalog.relation("lineitem").scan_rows():
+            assert 1 <= li["suppkey"] <= config.suppliers
+        for customer in db.catalog.relation("customer").scan_rows():
+            assert 0 <= customer["nationkey"] < config.nations
+
+
+class TestPhysicalDesign:
+    def test_selection_and_join_indexes_exist(self, loaded):
+        db, _, _ = loaded
+        for name in (
+            "customer_custkey",
+            "customer_nationkey",
+            "orders_orderkey",
+            "orders_custkey",
+            "orders_orderdate",
+            "lineitem_orderkey",
+            "lineitem_suppkey",
+        ):
+            assert db.catalog.index(name) is not None
+
+    def test_orderdate_index_supports_ranges(self, loaded):
+        db, _, _ = loaded
+        assert db.catalog.index("orders_orderdate").supports_range()
+
+
+class TestSizes:
+    def test_tuple_sizes_near_paper_values(self, loaded):
+        _, _, dataset = loaded
+        per_tuple = {
+            "customer": CUSTOMER_TUPLE_BYTES,
+            "orders": ORDERS_TUPLE_BYTES,
+            "lineitem": LINEITEM_TUPLE_BYTES,
+        }
+        for name, expected in per_tuple.items():
+            actual = dataset.byte_sizes[name] / dataset.row_counts[name]
+            assert actual == pytest.approx(expected, rel=0.25)
+
+    def test_table1_reproduces_paper_numbers(self):
+        rows = {r["relation"]: r for r in table1_rows(1.0)}
+        assert rows["customer"]["tuples"] == 150_000
+        assert rows["customer"]["megabytes"] == pytest.approx(23, rel=0.05)
+        assert rows["orders"]["megabytes"] == pytest.approx(114, rel=0.05)
+        assert rows["lineitem"]["megabytes"] == pytest.approx(755, rel=0.05)
+
+    def test_table1_scales_linearly(self):
+        one = {r["relation"]: r for r in table1_rows(1.0)}
+        two = {r["relation"]: r for r in table1_rows(2.0)}
+        for name in one:
+            assert two[name]["tuples"] == 2 * one[name]["tuples"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        def checksum(seed):
+            db = Database(buffer_pool_pages=256)
+            load_tpcr(db, TPCRConfig(downscale=20_000, seed=seed))
+            return [
+                tuple(row.values)
+                for row in db.catalog.relation("lineitem").scan_rows()
+            ]
+
+        assert checksum(5) == checksum(5)
+        assert checksum(5) != checksum(6)
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            TPCRConfig(scale_factor=0)
+        with pytest.raises(WorkloadError):
+            TPCRConfig(downscale=0)
+        with pytest.raises(WorkloadError):
+            TPCRConfig(suppliers=0)

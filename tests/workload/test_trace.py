@@ -1,0 +1,159 @@
+"""Unit tests for query-trace recording, analysis, and replay."""
+
+import pytest
+
+from repro.core import learn_dividing_values
+from repro.engine import (
+    EqualityDisjunction,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+)
+from repro.errors import WorkloadError
+from repro.workload import QueryTraceRecorder, make_eqt
+from tests.conftest import eqt_query
+
+
+@pytest.fixture
+def interval_template():
+    return QueryTemplate(
+        "ivt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+
+
+class TestRecording:
+    def test_record_accumulates_in_order(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template)
+        q1 = eqt_query(template, [1], [2])
+        q2 = eqt_query(template, [3], [4])
+        recorder.record(q1)
+        recorder.record(q2)
+        assert list(recorder.trace) == [q1, q2]
+        assert len(recorder.trace) == 2
+
+    def test_wrong_template_rejected(self):
+        recorder = QueryTraceRecorder(make_eqt())
+        other = make_eqt(name="other")
+        with pytest.raises(WorkloadError):
+            recorder.record(eqt_query(other, [1], [2]))
+
+    def test_capacity_keeps_most_recent(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template, capacity=3)
+        queries = [eqt_query(template, [i], [0]) for i in range(5)]
+        recorder.record_all(queries)
+        assert list(recorder.trace) == queries[2:]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(WorkloadError):
+            QueryTraceRecorder(make_eqt(), capacity=0)
+
+    def test_wrap_records_and_forwards(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template)
+        executed = []
+        recording = recorder.wrap(lambda q: executed.append(q) or "ran")
+        result = recording(eqt_query(template, [1], [2]))
+        assert result == "ran"
+        assert len(executed) == 1
+        assert len(recorder.trace) == 1
+
+
+class TestAnalysis:
+    def test_observed_equality_values(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template)
+        recorder.record(eqt_query(template, [1, 3], [2]))
+        recorder.record(eqt_query(template, [1], [4]))
+        assert sorted(recorder.trace.observed_values("r.f")) == [1, 1, 3]
+        assert sorted(recorder.trace.observed_values("s.g")) == [2, 4]
+
+    def test_observed_interval_endpoints(self, interval_template):
+        recorder = QueryTraceRecorder(interval_template)
+        query = interval_template.bind(
+            [
+                EqualityDisjunction("r.f", [1]),
+                IntervalDisjunction("s.g", [Interval(5, 10), Interval(20, 30)]),
+            ]
+        )
+        recorder.record(query)
+        assert sorted(recorder.trace.observed_values("s.g")) == [5, 10, 20, 30]
+
+    def test_value_frequencies(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template)
+        for _ in range(3):
+            recorder.record(eqt_query(template, [7], [0]))
+        recorder.record(eqt_query(template, [9], [0]))
+        freq = recorder.trace.value_frequencies("r.f")
+        assert freq[7] == 3 and freq[9] == 1
+
+    def test_hot_cells(self):
+        template = make_eqt()
+        recorder = QueryTraceRecorder(template)
+        for _ in range(4):
+            recorder.record(eqt_query(template, [1], [2]))
+        recorder.record(eqt_query(template, [1, 5], [2, 6]))
+        [(cell, count), *_] = recorder.trace.hot_cells(top=1)
+        assert cell == (1, 2)
+        assert count == 5
+
+    def test_hot_cells_rejects_interval_templates(self, interval_template):
+        recorder = QueryTraceRecorder(interval_template)
+        recorder.record(
+            interval_template.bind(
+                [
+                    EqualityDisjunction("r.f", [1]),
+                    IntervalDisjunction("s.g", [Interval(0, 5)]),
+                ]
+            )
+        )
+        with pytest.raises(WorkloadError):
+            recorder.trace.hot_cells()
+
+    def test_trace_feeds_discretization_learner(self, interval_template):
+        """The Section 3.1 pipeline: record interval endpoints from a
+        trace, learn dividing values from them."""
+        recorder = QueryTraceRecorder(interval_template)
+        for low in range(0, 100, 5):
+            recorder.record(
+                interval_template.bind(
+                    [
+                        EqualityDisjunction("r.f", [1]),
+                        IntervalDisjunction("s.g", [Interval(low, low + 5)]),
+                    ]
+                )
+            )
+        endpoints = recorder.trace.observed_values("s.g")
+        cuts = learn_dividing_values(endpoints, bins=5)
+        assert len(cuts) >= 3
+        assert cuts == sorted(cuts)
+
+
+class TestReplay:
+    def test_replay_preserves_order_and_results(self, eqt_db, eqt, eqt_executor):
+        recorder = QueryTraceRecorder(eqt)
+        recording_execute = recorder.wrap(eqt_executor.execute)
+        for fs, gs in [([1], [2]), ([3], [4]), ([1], [2])]:
+            recording_execute(eqt_query(eqt, fs, gs))
+        # Replay the recorded day against a fresh PMV configuration.
+        from repro.core import Discretization, PartialMaterializedView, PMVExecutor
+
+        view = PartialMaterializedView(eqt, Discretization(eqt), 3, 8, policy="2q")
+        fresh = PMVExecutor(eqt_db, view)
+        results = recorder.trace.replay(fresh.execute)
+        assert len(results) == 3
+        assert sorted(tuple(r.values) for r in results[0].all_rows()) == sorted(
+            tuple(r.values) for r in results[2].all_rows()
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for the Zipfian distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.zipf import ZipfianDistribution
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfianDistribution(1000, 1.07, seed=1)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_rank_order(self):
+        dist = ZipfianDistribution(100, 1.07, seed=1)
+        probs = dist.probabilities
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_probability_lookup(self):
+        dist = ZipfianDistribution(10, 1.0, seed=1)
+        assert dist.probability(0) == pytest.approx(float(dist.probabilities[0]))
+        with pytest.raises(WorkloadError):
+            dist.probability(10)
+
+    def test_higher_alpha_more_skewed(self):
+        low = ZipfianDistribution(1000, 1.01, seed=1)
+        high = ZipfianDistribution(1000, 1.07, seed=1)
+        assert high.probability(0) > low.probability(0)
+
+
+class TestPaperCharacterization:
+    def test_alpha_107_ten_percent_cover_ninety(self):
+        """Paper: at α=1.07 over 1M cells, 10% of the bcps get 90% of
+        the accesses."""
+        dist = ZipfianDistribution(1_000_000, 1.07, seed=1)
+        assert dist.coverage_fraction(0.9) == pytest.approx(0.10, abs=0.03)
+
+    def test_alpha_101_twenty_one_percent_cover_ninety(self):
+        """Paper: at α=1.01, 21% of the bcps get 90% of the accesses."""
+        dist = ZipfianDistribution(1_000_000, 1.01, seed=1)
+        assert dist.coverage_fraction(0.9) == pytest.approx(0.21, abs=0.04)
+
+    def test_coverage_bounds(self):
+        dist = ZipfianDistribution(100, 1.07, seed=1)
+        assert dist.coverage_fraction(1.0) == 1.0
+        with pytest.raises(WorkloadError):
+            dist.coverage_fraction(0.0)
+
+
+class TestSampling:
+    def test_samples_in_range(self):
+        dist = ZipfianDistribution(50, 1.07, seed=3)
+        samples = dist.sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 50
+
+    def test_empirical_frequencies_track_probabilities(self):
+        dist = ZipfianDistribution(20, 1.2, seed=3)
+        samples = dist.sample(200_000)
+        counts = np.bincount(samples, minlength=20) / len(samples)
+        assert counts[0] == pytest.approx(dist.probability(0), rel=0.05)
+        assert counts[5] == pytest.approx(dist.probability(5), rel=0.15)
+
+    def test_deterministic_for_seed(self):
+        a = ZipfianDistribution(100, 1.07, seed=9).sample(1000)
+        b = ZipfianDistribution(100, 1.07, seed=9).sample(1000)
+        assert (a == b).all()
+
+    def test_sample_one(self):
+        value = ZipfianDistribution(10, 1.0, seed=1).sample_one()
+        assert isinstance(value, int) and 0 <= value < 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfianDistribution(10, 1.0).sample(-1)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfianDistribution(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfianDistribution(10, 0.0)
