@@ -1,0 +1,64 @@
+"""Hot-path regression: the default executor must beat the legacy path.
+
+Runs a 1000-query Zipfian workload through two identically-built
+databases — once with every hot-path optimization on (O1 memo, plan
+cache, batched O3) and once with all of them off (the original
+per-row, re-derive-everything path) — and asserts:
+
+- the PMV overhead (O1 + O2 + O3's checking) drops by at least 2x;
+- both paths return row-for-row identical results for every query.
+
+The measured summary is persisted to ``BENCH_hotpath.json`` at the
+repository root so CI can archive the trend.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.hotpath import run_hotpath_benchmark
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_hotpath_overhead_regression(benchmark, report):
+    result = run_once(benchmark, lambda: run_hotpath_benchmark())
+    config = result.config
+
+    report("\n== Hot-path regression: cached/batched vs legacy executor ==")
+    report(
+        f"workload: {config.queries} queries, Zipf alpha={config.alpha}, "
+        f"h={math.prod(config.values_per_slot)}, F={config.tuples_per_entry}"
+    )
+    report(
+        f"overhead: fast {result.fast_overhead_seconds * 1e3:.1f} ms, "
+        f"slow {result.slow_overhead_seconds * 1e3:.1f} ms "
+        f"-> {result.speedup:.2f}x reduction"
+    )
+    report(
+        f"O1 memo hit ratio {result.o1_cache_hit_ratio:.1%}, "
+        f"bcp hit probability {result.bcp_hit_probability:.1%}, "
+        f"plan cache {result.plan_cache}"
+    )
+
+    RESULT_PATH.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+    report(f"wrote {RESULT_PATH.name}")
+
+    # The hot path must never change query answers.
+    assert result.rows_identical, "cached/batched path altered query results"
+    assert result.result_rows > 0
+
+    # The workload actually exercises the caches.
+    assert result.o1_cache_hit_ratio > 0.5
+    assert result.plan_cache.get("hits", 0) > 0
+
+    # The acceptance bar: >= 2x cheaper per-query PMV overhead.
+    assert result.speedup >= 2.0, (
+        f"hot path speedup {result.speedup:.2f}x below the 2x bar "
+        f"(fast {result.fast_overhead_seconds:.4f}s, "
+        f"slow {result.slow_overhead_seconds:.4f}s)"
+    )

@@ -18,10 +18,13 @@ from repro.bench.figures import (
     run_table1,
     sim_scale,
 )
+from repro.bench.hotpath import HotpathConfig, HotpathResult, run_hotpath_benchmark
 from repro.bench.reporting import Series, format_series, format_table, scale_note
 
 __all__ = [
     "ExperimentDatabase",
+    "HotpathConfig",
+    "HotpathResult",
     "OverheadMeasurement",
     "Series",
     "build_experiment_database",
@@ -37,6 +40,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_hotpath_benchmark",
     "run_table1",
     "scale_note",
     "sim_scale",

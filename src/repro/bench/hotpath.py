@@ -1,0 +1,196 @@
+"""The hot-path regression experiment: cached vs. uncached executor.
+
+Runs one Zipfian workload twice through identically-built databases:
+
+- **fast**: the default :class:`~repro.core.executor.PMVExecutor` —
+  memoized O1 decomposition, template-level plan cache, batched O3
+  with bulk duplicate suppression;
+- **slow**: the same executor with every hot-path knob off
+  (``o1_cache_size=0, use_plan_cache=False, batched=False``) — the
+  original per-row, re-derive-everything path.
+
+The deliverable is the ratio of the two PMV *overheads* (O1 + O2 +
+O3's checking, the quantity Figures 8-10 report) plus a row-for-row
+identity check: the hot path must change how fast answers are
+produced, never which answers.
+
+The workload leans into the regime the optimizations target — a
+skewed (Zipf α=3) stream over narrowed value domains so basic
+condition parts are dense, with ``F`` large enough that a hot entry
+caches its bcp's full result.  Wall-clock noise is handled by taking
+the *minimum* overhead across ``repeats`` runs of each path (spikes
+only ever inflate a run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.figures import build_experiment_database
+from repro.core.discretize import Discretization
+from repro.core.executor import PMVExecutor
+from repro.core.view import PartialMaterializedView
+from repro.workload.queries import ZipfianQueryStream
+from repro.workload.templates import make_t1
+
+__all__ = ["HotpathConfig", "HotpathResult", "run_hotpath_benchmark"]
+
+
+@dataclass(frozen=True)
+class HotpathConfig:
+    """Parameters of one hot-path comparison run."""
+
+    queries: int = 1_000
+    repeats: int = 2
+    alpha: float = 3.0
+    values_per_slot: tuple[int, ...] = (2, 2)
+    tuples_per_entry: int = 64
+    max_entries: int = 20_000
+    policy: str = "clock"
+    distinct_order_dates: int = 20
+    suppliers: int = 8
+    seed: int = 99
+
+
+@dataclass
+class HotpathResult:
+    """Outcome of :func:`run_hotpath_benchmark`."""
+
+    config: HotpathConfig
+    fast_overhead_seconds: float
+    slow_overhead_seconds: float
+    fast_runs: list[float]
+    slow_runs: list[float]
+    rows_identical: bool
+    result_rows: int
+    o1_cache_hit_ratio: float
+    bcp_hit_probability: float
+    plan_cache: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """How many times cheaper the hot path's per-query overhead is."""
+        return self.slow_overhead_seconds / self.fast_overhead_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (persisted as ``BENCH_hotpath.json``)."""
+        c = self.config
+        per_query = 1e6 / c.queries
+        return {
+            "benchmark": "hotpath_regression",
+            "config": {
+                "queries": c.queries,
+                "repeats": c.repeats,
+                "alpha": c.alpha,
+                "values_per_slot": list(c.values_per_slot),
+                "tuples_per_entry": c.tuples_per_entry,
+                "max_entries": c.max_entries,
+                "policy": c.policy,
+                "distinct_order_dates": c.distinct_order_dates,
+                "suppliers": c.suppliers,
+                "seed": c.seed,
+            },
+            "fast_overhead_seconds": self.fast_overhead_seconds,
+            "slow_overhead_seconds": self.slow_overhead_seconds,
+            "fast_overhead_us_per_query": self.fast_overhead_seconds * per_query,
+            "slow_overhead_us_per_query": self.slow_overhead_seconds * per_query,
+            "speedup": self.speedup,
+            "fast_runs_seconds": self.fast_runs,
+            "slow_runs_seconds": self.slow_runs,
+            "rows_identical": self.rows_identical,
+            "result_rows": self.result_rows,
+            "o1_cache_hit_ratio": self.o1_cache_hit_ratio,
+            "bcp_hit_probability": self.bcp_hit_probability,
+            "plan_cache": self.plan_cache,
+        }
+
+
+def _run_workload(config: HotpathConfig, fast: bool):
+    """One full pass: fresh database, fresh PMV, the whole stream.
+
+    Returns ``(overhead_seconds, row_values, view, database)``.  The
+    database is rebuilt per pass so neither path sees the other's
+    buffer pool or PMV state.
+    """
+    env = build_experiment_database(
+        distinct_order_dates=config.distinct_order_dates,
+        suppliers=config.suppliers,
+    )
+    template = make_t1()
+    discretization = Discretization(template)
+    view = PartialMaterializedView(
+        template,
+        discretization,
+        tuples_per_entry=config.tuples_per_entry,
+        max_entries=config.max_entries,
+        policy=config.policy,
+    )
+    knobs = {} if fast else dict(o1_cache_size=0, use_plan_cache=False, batched=False)
+    executor = PMVExecutor(env.database, view, **knobs)
+    stream = ZipfianQueryStream(
+        template,
+        [env.dates, env.suppliers],
+        alpha=config.alpha,
+        values_per_slot=list(config.values_per_slot),
+        seed=config.seed,
+    )
+    rows: list[list[tuple]] = []
+    for query in stream.queries(config.queries):
+        result = executor.execute(query)
+        rows.append([tuple(row.values) for row in result.all_rows()])
+    return view.metrics.overhead_seconds, rows, view, env.database
+
+
+def run_hotpath_benchmark(
+    config: HotpathConfig | None = None,
+    verbose: bool = False,
+) -> HotpathResult:
+    """Compare the hot path against the legacy path on one workload."""
+    if config is None:
+        config = HotpathConfig()
+    fast_runs: list[float] = []
+    slow_runs: list[float] = []
+    reference_rows: list[list[tuple]] | None = None
+    rows_identical = True
+    o1_hit_ratio = 0.0
+    bcp_hit_probability = 0.0
+    plan_cache_info: dict = {}
+    for repeat in range(config.repeats):
+        for fast in (True, False):
+            overhead, rows, view, database = _run_workload(config, fast)
+            if reference_rows is None:
+                reference_rows = rows
+            elif rows != reference_rows:
+                rows_identical = False
+            if fast:
+                fast_runs.append(overhead)
+                o1_hit_ratio = view.metrics.o1_cache_hit_ratio
+                bcp_hit_probability = view.metrics.hit_probability
+                plan_cache_info = database.plan_cache.info()
+            else:
+                slow_runs.append(overhead)
+            if verbose:
+                label = "fast" if fast else "slow"
+                print(
+                    f"  run {repeat}/{label}: overhead "
+                    f"{overhead * 1e3:.1f} ms over {config.queries} queries"
+                )
+    result = HotpathResult(
+        config=config,
+        fast_overhead_seconds=min(fast_runs),
+        slow_overhead_seconds=min(slow_runs),
+        fast_runs=fast_runs,
+        slow_runs=slow_runs,
+        rows_identical=rows_identical,
+        result_rows=sum(len(r) for r in (reference_rows or [])),
+        o1_cache_hit_ratio=o1_hit_ratio,
+        bcp_hit_probability=bcp_hit_probability,
+        plan_cache=plan_cache_info,
+    )
+    if verbose:
+        print(
+            f"  overhead: fast {result.fast_overhead_seconds * 1e3:.1f} ms, "
+            f"slow {result.slow_overhead_seconds * 1e3:.1f} ms "
+            f"({result.speedup:.2f}x)"
+        )
+    return result

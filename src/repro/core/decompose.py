@@ -11,11 +11,20 @@ non-overlapping condition parts, each contained in exactly one basic
 condition part.  :func:`bcp_of_row` recovers the containing bcp of a
 result tuple from its attribute values (used in Operation O3 and in
 PMV maintenance, where the paper notes bcp "is recovered from ats").
+
+Decomposition is a pure function of the bound ``Cselect`` and the
+(immutable) discretization, so repeated queries — the common case
+under the skewed workloads of Section 4 — redo identical work.
+:class:`DecompositionCache` memoizes it with a small LRU keyed by the
+bound ``Cselect`` value.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
 
 from repro.core.condition import (
     BasicConditionPart,
@@ -30,7 +39,13 @@ from repro.engine.row import Row
 from repro.engine.template import Query
 from repro.errors import ConditionError
 
-__all__ = ["decompose", "bcp_of_row"]
+__all__ = [
+    "decompose",
+    "bcp_of_row",
+    "group_parts",
+    "PartGroup",
+    "DecompositionCache",
+]
 
 
 def decompose(query: Query, discretization: Discretization) -> list[ConditionPart]:
@@ -72,6 +87,143 @@ def decompose(query: Query, discretization: Discretization) -> list[ConditionPar
         containing = BasicConditionPart(tuple(pair[1] for pair in combo))
         parts.append(ConditionPart(dims=dims, containing=containing))
     return parts
+
+
+@dataclass(frozen=True)
+class PartGroup:
+    """The condition parts sharing one containing bcp, preprocessed
+    for Operation O2.
+
+    ``has_basic`` records whether any part coincides with the bcp —
+    then every cached tuple of the entry satisfies the query and the
+    per-row predicate checks can be skipped entirely.  Both the bcp
+    ``key`` and ``has_basic`` are pure functions of the parts, so
+    computing them here (once, possibly memoized) keeps property
+    re-evaluation out of O2's per-row loop.
+    """
+
+    key: tuple
+    parts: tuple[ConditionPart, ...]
+    has_basic: bool
+
+
+def group_parts(parts: list[ConditionPart]) -> tuple[PartGroup, ...]:
+    """Group a decomposition by containing bcp, in first-seen order.
+
+    Several parts may share one containing bcp (a query interval split
+    inside a single basic interval); the bcp appears in the query's
+    ``Cselect`` once, so O2 references and probes it once per group.
+    """
+    by_key: "OrderedDict[tuple, list[ConditionPart]]" = OrderedDict()
+    for part in parts:
+        by_key.setdefault(part.containing.key, []).append(part)
+    return tuple(
+        PartGroup(
+            key=key,
+            parts=tuple(key_parts),
+            has_basic=any(part.is_basic for part in key_parts),
+        )
+        for key, key_parts in by_key.items()
+    )
+
+
+def _memo_key(cselect) -> tuple:
+    """A flat, primitives-only key equivalent to ``Cselect`` equality.
+
+    Hashing the ``Cselect`` dataclasses directly recurses through
+    Python-level ``__hash__``/``__eq__`` on every memo probe; this
+    tuple of tagged ``(column, bounds)`` pairs hashes and compares at
+    C speed and distinguishes exactly what dataclass equality does.
+    """
+    key = []
+    for cond in cselect.conditions:
+        if isinstance(cond, EqualityDisjunction):
+            key.append(("eq", cond.column, cond.values))
+        else:
+            key.append(
+                (
+                    "iv",
+                    cond.column,
+                    tuple(
+                        (iv.low, iv.high, iv.low_inclusive, iv.high_inclusive)
+                        for iv in cond.intervals
+                    ),
+                )
+            )
+    return tuple(key)
+
+
+class DecompositionCache:
+    """LRU memo of :func:`decompose` results for one discretization.
+
+    The key is derived from the query's bound ``Cselect`` (flattened
+    to primitives — see :func:`_memo_key`), so two queries with the
+    same bound values share one entry regardless of object identity.
+    The cached part list is stored as a tuple and returned as a fresh
+    list, so callers may mutate their copy freely.
+
+    One cache serves one (template, discretization) pair — the
+    executor owns it — which is why the discretization is not part of
+    the key.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConditionError("DecompositionCache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        # Cselect -> (parts, O2-ready part groups).
+        self._entries: OrderedDict[
+            Any, tuple[tuple[ConditionPart, ...], tuple[PartGroup, ...]]
+        ] = OrderedDict()
+
+    def _fetch(
+        self, query: Query, discretization: Discretization
+    ) -> tuple[tuple[ConditionPart, ...], tuple[PartGroup, ...]]:
+        key = _memo_key(query.cselect)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        parts = decompose(query, discretization)
+        entry = (tuple(parts), group_parts(parts))
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def decompose(self, query: Query, discretization: Discretization) -> list[ConditionPart]:
+        """Memoized :func:`decompose`; identical output, LRU-cached."""
+        return list(self._fetch(query, discretization)[0])
+
+    def decompose_grouped(
+        self, query: Query, discretization: Discretization
+    ) -> tuple[tuple[ConditionPart, ...], tuple[PartGroup, ...]]:
+        """Memoized decomposition plus its O2-ready part groups.
+
+        Both tuples are the cached objects themselves (parts are
+        immutable); callers must not mutate them.  Use
+        :meth:`decompose` for a caller-owned list.
+        """
+        return self._fetch(query, discretization)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep accumulating."""
+        self._entries.clear()
+
+    def info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
 
 
 def bcp_of_row(row: Row, query: Query, discretization: Discretization) -> BasicConditionPart:

@@ -17,16 +17,64 @@ __all__ = ["DuplicateSuppressor"]
 
 
 class DuplicateSuppressor:
-    """A counting multiset of rows with O(1) add / consume."""
+    """A counting multiset of rows with O(1) add / consume.
+
+    Internally keyed by each row's *value tuple* rather than the
+    :class:`Row` object: row equality and hashing are values-only
+    anyway, and tuple keys hash and compare at C speed — this matters
+    because O2 adds and O3 consumes every delivered tuple.
+    """
 
     def __init__(self) -> None:
-        self._counts: dict[Row, int] = {}
+        self._counts: dict[tuple, int] = {}
         self._size = 0
 
     def add(self, row: Row) -> None:
         """Record that ``row`` was delivered to the user in O2."""
-        self._counts[row] = self._counts.get(row, 0) + 1
+        values = row.values
+        self._counts[values] = self._counts.get(values, 0) + 1
         self._size += 1
+
+    def add_many(self, rows: "list[Row] | tuple[Row, ...]") -> None:
+        """Record a batch of delivered rows (O2's per-entry bulk path).
+
+        Equivalent to calling :meth:`add` per row, minus the per-row
+        Python call overhead — O2 delivers whole entries at a time.
+        """
+        counts = self._counts
+        get = counts.get
+        for row in rows:
+            values = row.values
+            counts[values] = get(values, 0) + 1
+        self._size += len(rows)
+
+    def consume_many(self, rows: list[Row]) -> list[Row]:
+        """Consume one recorded occurrence of each row; return the
+        rows that were *not* recorded (O3's bulk dedup path).
+
+        Equivalent to ``[row for row in rows if not self.consume(row)]``
+        with the loop run inside one call.  Order is preserved.
+        """
+        counts = self._counts
+        if not counts:
+            return rows
+        fresh: list[Row] = []
+        append = fresh.append
+        get = counts.get
+        consumed = 0
+        for row in rows:
+            values = row.values
+            count = get(values, 0)
+            if count == 0:
+                append(row)
+            elif count == 1:
+                del counts[values]
+                consumed += 1
+            else:
+                counts[values] = count - 1
+                consumed += 1
+        self._size -= consumed
+        return fresh
 
     def consume(self, row: Row) -> bool:
         """If ``row`` is recorded, remove one occurrence and return True.
@@ -34,18 +82,19 @@ class DuplicateSuppressor:
         O3 calls this for every result tuple; a True return means the
         user already has this occurrence and it must not be re-sent.
         """
-        count = self._counts.get(row, 0)
+        values = row.values
+        count = self._counts.get(values, 0)
         if count == 0:
             return False
         if count == 1:
-            del self._counts[row]
+            del self._counts[values]
         else:
-            self._counts[row] = count - 1
+            self._counts[values] = count - 1
         self._size -= 1
         return True
 
     def contains(self, row: Row) -> bool:
-        return self._counts.get(row, 0) > 0
+        return self._counts.get(row.values, 0) > 0
 
     def __len__(self) -> int:
         return self._size

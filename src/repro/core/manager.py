@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.discretize import Discretization
-from repro.core.executor import PMVExecutor, PMVQueryResult
+from repro.core.executor import DEFAULT_O1_CACHE_SIZE, PMVExecutor, PMVQueryResult
 from repro.core.maintenance import MaintenanceStrategy, PMVMaintainer
 from repro.core.replacement import ReplacementPolicy
 from repro.core.view import PartialMaterializedView
@@ -61,12 +61,14 @@ class PMVManager:
         aux_index_columns: Sequence[str] = (),
         upper_bound_bytes: int | None = None,
         maintenance_strategy: MaintenanceStrategy | None = None,
+        o1_cache_size: int = DEFAULT_O1_CACHE_SIZE,
     ) -> PartialMaterializedView:
         """Create, register, and wire a PMV for ``template``.
 
         Registers the template in the catalog when it is not yet known,
         attaches a maintainer, and makes the manager route the
-        template's queries to the new view.
+        template's queries to the new view.  ``o1_cache_size`` sizes
+        the executor's decomposition memo (0 disables it).
         """
         if template.name in self._views:
             raise PMVError(f"template {template.name!r} already has a PMV")
@@ -93,7 +95,7 @@ class PMVManager:
         )
         strategy = maintenance_strategy or self.maintenance_strategy
         maintainer = PMVMaintainer(self.database, view, strategy=strategy).attach()
-        executor = PMVExecutor(self.database, view)
+        executor = PMVExecutor(self.database, view, o1_cache_size=o1_cache_size)
         self._views[template.name] = ManagedView(view, executor, maintainer)
         return view
 

@@ -24,6 +24,9 @@ class QueryMetrics:
     overhead_seconds: float = 0.0
     partial_latency_seconds: float = 0.0
     execution_seconds: float = 0.0
+    o1_cache_hit: bool | None = None
+    """Whether O1 was answered from the decomposition memo.  ``None``
+    when the executor ran without a memo (caching disabled)."""
 
     @property
     def hit(self) -> bool:
@@ -48,6 +51,8 @@ class PMVMetrics:
     tuples_cached: int = 0
     tuples_rejected_full: int = 0
     entries_evicted: int = 0
+    o1_cache_hits: int = 0
+    o1_cache_misses: int = 0
     maintenance_inserts_ignored: int = 0
     maintenance_deletes: int = 0
     maintenance_updates_skipped: int = 0
@@ -63,6 +68,10 @@ class PMVMetrics:
         self.remaining_tuples += metrics.remaining_tuples
         self.overhead_seconds += metrics.overhead_seconds
         self.execution_seconds += metrics.execution_seconds
+        if metrics.o1_cache_hit is True:
+            self.o1_cache_hits += 1
+        elif metrics.o1_cache_hit is False:
+            self.o1_cache_misses += 1
         if self.keep_per_query:
             self.per_query.append(metrics)
 
@@ -79,6 +88,12 @@ class PMVMetrics:
     def mean_execution_seconds(self) -> float:
         return self.execution_seconds / self.queries if self.queries else 0.0
 
+    @property
+    def o1_cache_hit_ratio(self) -> float:
+        """Fraction of memo-enabled O1 runs served from the cache."""
+        total = self.o1_cache_hits + self.o1_cache_misses
+        return self.o1_cache_hits / total if total else 0.0
+
     def reset(self) -> None:
         """Zero every counter (used between warm-up and measurement)."""
         self.queries = 0
@@ -90,6 +105,8 @@ class PMVMetrics:
         self.tuples_cached = 0
         self.tuples_rejected_full = 0
         self.entries_evicted = 0
+        self.o1_cache_hits = 0
+        self.o1_cache_misses = 0
         self.maintenance_inserts_ignored = 0
         self.maintenance_deletes = 0
         self.maintenance_updates_skipped = 0

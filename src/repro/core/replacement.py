@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
 from typing import Hashable, Iterator
 
 from repro.errors import ViewCapacityError
@@ -41,14 +40,44 @@ __all__ = [
 Key = Hashable
 
 
-@dataclass(frozen=True)
 class ReferenceResult:
-    """Outcome of one policy reference (see module docstring)."""
+    """Outcome of one policy reference (see module docstring).
 
-    key: Key
-    resident_before: bool
-    admitted: bool
-    evicted: tuple[Key, ...] = field(default=())
+    A plain ``__slots__`` class rather than a dataclass: one is built
+    per bcp per query on the O2 hot path, and frozen-dataclass
+    construction (``object.__setattr__`` per field) is several times
+    slower than direct slot assignment.
+    """
+
+    __slots__ = ("key", "resident_before", "admitted", "evicted")
+
+    def __init__(
+        self,
+        key: Key,
+        resident_before: bool,
+        admitted: bool,
+        evicted: tuple[Key, ...] = (),
+    ) -> None:
+        self.key = key
+        self.resident_before = resident_before
+        self.admitted = admitted
+        self.evicted = evicted
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ReferenceResult)
+            and self.key == other.key
+            and self.resident_before == other.resident_before
+            and self.admitted == other.admitted
+            and self.evicted == other.evicted
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceResult(key={self.key!r}, "
+            f"resident_before={self.resident_before!r}, "
+            f"admitted={self.admitted!r}, evicted={self.evicted!r})"
+        )
 
 
 class ReplacementPolicy(ABC):
@@ -182,15 +211,18 @@ class ClockPolicy(ReplacementPolicy):
         self._core = _ClockCore()
 
     def reference(self, key: Key) -> ReferenceResult:
-        resident = key in self._core
-        self._count(resident)
-        if resident:
-            self._core.touch(key)
+        core = self._core
+        self.references += 1
+        if key in core._ref:
+            # Inlined hit path (no _count/touch calls): one reference
+            # per bcp per query makes this the policy's hottest line.
+            self.hits += 1
+            core._ref[key] = True
             return ReferenceResult(key, True, True)
         evicted: list[Key] = []
-        if len(self._core) >= self.capacity:
-            evicted.append(self._core.evict())
-        self._core.insert(key)
+        if len(core) >= self.capacity:
+            evicted.append(core.evict())
+        core.insert(key)
         return ReferenceResult(key, False, True, tuple(evicted))
 
     def contains(self, key: Key) -> bool:

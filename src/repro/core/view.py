@@ -20,7 +20,7 @@ in-memory probe instead of computing the delta join.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.condition import BasicConditionPart, BcpKey, EqualityDim, IntervalDim
 from repro.core.discretize import Discretization
@@ -159,6 +159,35 @@ class PartialMaterializedView:
                 key.append(value)
         return tuple(key)
 
+    def key_extractor(self, schema) -> "Callable[[Row], BcpKey]":
+        """Precompile :meth:`key_of_row` against a fixed row schema.
+
+        Column positions and grid lookups are resolved once; the
+        returned closure maps a row to its bcp key with plain tuple
+        indexing.  Use when many rows share one schema — e.g. every
+        output row of one plan — where per-row name resolution is pure
+        overhead.
+        """
+        steps = []
+        for slot in self.template.slots:
+            position = schema.position(slot.column)
+            if slot.form is SlotForm.INTERVAL:
+                steps.append(
+                    (position, self.discretization.grid(slot.column).id_for_value)
+                )
+            else:
+                steps.append((position, None))
+        frozen = tuple(steps)
+
+        def extract(row: Row) -> BcpKey:
+            values = row.values
+            return tuple(
+                values[position] if id_of is None else id_of(values[position])
+                for position, id_of in frozen
+            )
+
+        return extract
+
     def bcp_of_row(self, row: Row) -> BasicConditionPart:
         """Full :class:`BasicConditionPart` for the tuple ``row``."""
         dims = []
@@ -181,6 +210,10 @@ class PartialMaterializedView:
         the victims' cached tuples.
         """
         result = self.policy.reference(key)
+        if result.resident_before and not result.evicted:
+            # Hit fast path: a resident bcp already has its entry and
+            # (for every shipped policy) a hit never evicts.
+            return result
         for victim in result.evicted:
             self._drop_entry(victim)
             self.metrics.entries_evicted += 1
@@ -201,6 +234,15 @@ class PartialMaterializedView:
         """
         rows = self._entries.get(key)
         return list(rows) if rows is not None else None
+
+    def cached_rows(self, key: BcpKey) -> list[Row] | None:
+        """Like :meth:`lookup` but returns the live entry list.
+
+        The executor's O2 hot path probes resident entries once per
+        query; copying the entry there is pure overhead.  Callers MUST
+        treat the result as read-only — it is the entry itself.
+        """
+        return self._entries.get(key)
 
     def tuple_count(self, key: BcpKey) -> int:
         """The counter ``cj`` base value: tuples stored for this bcp."""

@@ -15,7 +15,12 @@ AnyIndex = HashIndex | OrderedIndex
 
 
 class Catalog:
-    """Name-to-object registry for the engine's storage objects."""
+    """Name-to-object registry for the engine's storage objects.
+
+    Every DDL change (relation or index created/dropped) bumps
+    :attr:`version`, which compiled-plan caches compare against to
+    decide whether their access-path choices are still valid.
+    """
 
     def __init__(self) -> None:
         self._relations: dict[str, HeapRelation] = {}
@@ -23,6 +28,12 @@ class Catalog:
         # relation name -> list of its indexes, for lookup by column.
         self._relation_indexes: dict[str, list[AnyIndex]] = {}
         self._templates: dict[str, QueryTemplate] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of DDL changes (plan-cache invalidation)."""
+        return self._version
 
     # -- relations ------------------------------------------------------------
 
@@ -31,6 +42,7 @@ class Catalog:
             raise CatalogError(f"relation {relation.name!r} already exists")
         self._relations[relation.name] = relation
         self._relation_indexes[relation.name] = []
+        self._version += 1
         return relation
 
     def relation(self, name: str) -> HeapRelation:
@@ -52,6 +64,7 @@ class Catalog:
             del self._indexes[index.name]
         del self._relation_indexes[name]
         del self._relations[name]
+        self._version += 1
 
     # -- indexes ---------------------------------------------------------------
 
@@ -65,6 +78,7 @@ class Catalog:
             )
         self._indexes[index.name] = index
         self._relation_indexes[index.relation.name].append(index)
+        self._version += 1
         return index
 
     def index(self, name: str) -> AnyIndex:
@@ -72,6 +86,13 @@ class Catalog:
             return self._indexes[name]
         except KeyError:
             raise CatalogError(f"no index {name!r}") from None
+
+    def drop_index(self, name: str) -> None:
+        index = self._indexes.pop(name, None)
+        if index is None:
+            raise CatalogError(f"no index {name!r}")
+        self._relation_indexes[index.relation.name].remove(index)
+        self._version += 1
 
     def indexes_on(self, relation_name: str) -> Sequence[AnyIndex]:
         """All indexes on a relation (empty for unknown relations)."""

@@ -17,7 +17,14 @@ from repro.engine.disk import DiskManager, IOStats, LatencyModel
 from repro.engine.heap import HeapRelation
 from repro.engine.index import build_index
 from repro.engine.locks import LockManager
-from repro.engine.planner import Plan, plan_query
+from repro.engine.planner import (
+    CompiledPlan,
+    Plan,
+    choose_driver_slot,
+    compile_plan,
+    driver_candidates,
+    plan_query,
+)
 from repro.engine.row import Row, RowId
 from repro.engine.schema import Column, Schema
 from repro.engine.stats import StatisticsCollector, TableStatistics
@@ -30,9 +37,74 @@ from repro.engine.wal import (
     log_create_relation,
 )
 
-__all__ = ["Database"]
+__all__ = ["Database", "PlanCache"]
 
 ChangeListener = Callable[[Change, Transaction | None], None]
+
+
+class _TemplatePlans:
+    """Compiled plans of one (template, blocking) pair, one per driver."""
+
+    __slots__ = ("catalog_version", "candidates", "compiled")
+
+    def __init__(self, catalog_version, candidates) -> None:
+        self.catalog_version = catalog_version
+        self.candidates = candidates
+        self.compiled: dict[int | None, CompiledPlan] = {}
+
+
+class PlanCache:
+    """Template-level cache of compiled plan skeletons.
+
+    Plan *structure* is a function of the template, the blocking flag,
+    and the chosen driver access path — not of the bound slot values —
+    so the cache compiles once per (template, blocking, driver) and
+    re-binds the compiled skeleton per query.  Driver selection itself
+    stays per-query (it reads the bound values through ANALYZE
+    statistics), which keeps the statistics-directed plan choice of
+    Section 4.2 intact.
+
+    Entries are invalidated by comparing the catalog's DDL version
+    counter: creating or dropping a relation or index bumps it, and the
+    next ``plan()`` recompiles against the new catalog.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._families: dict[tuple[Any, bool], _TemplatePlans] = {}
+        self.hits = 0
+        self.compilations = 0
+
+    def plan(self, query, blocking: bool, statistics=None) -> Plan:
+        """Bind (compiling if needed) a plan for ``query``."""
+        catalog = self._catalog
+        key = (query.template, blocking)
+        family = self._families.get(key)
+        if family is None or family.catalog_version != catalog.version:
+            family = _TemplatePlans(
+                catalog.version, driver_candidates(catalog, query.template)
+            )
+            self._families[key] = family
+        driver_slot = choose_driver_slot(family.candidates, query, statistics)
+        compiled = family.compiled.get(driver_slot)
+        if compiled is None:
+            compiled = compile_plan(catalog, query.template, blocking, driver_slot)
+            family.compiled[driver_slot] = compiled
+            self.compilations += 1
+        else:
+            self.hits += 1
+        return compiled.bind(query)
+
+    def clear(self) -> None:
+        self._families.clear()
+
+    def info(self) -> dict[str, int]:
+        """Counters for tests and benchmark reporting."""
+        return {
+            "hits": self.hits,
+            "compilations": self.compilations,
+            "templates": len(self._families),
+        }
 
 
 class Database:
@@ -60,6 +132,7 @@ class Database:
         self.lock_manager = LockManager()
         self.latency_model = LatencyModel()
         self.statistics = StatisticsCollector()
+        self.plan_cache = PlanCache(self.catalog)
         self._listeners: list[ChangeListener] = []
         self._prepare_listeners: list[ChangeListener] = []
         self._abort_listeners: list[ChangeListener] = []
@@ -89,6 +162,11 @@ class Database:
         if self.wal is not None:
             log_create_index(self.wal, name, relation_name, key_columns, ordered)
         return registered
+
+    def drop_index(self, name: str) -> None:
+        """Drop an index; cached plans referencing it are invalidated
+        through the catalog version bump."""
+        self.catalog.drop_index(name)
 
     def register_template(self, template: QueryTemplate) -> QueryTemplate:
         return self.catalog.add_template(template)
@@ -283,10 +361,18 @@ class Database:
 
     # -- query execution -------------------------------------------------------------------
 
-    def plan(self, query: Query, blocking: bool = True) -> Plan:
-        return plan_query(
-            self.catalog, query, blocking=blocking, statistics=self.statistics
-        )
+    def plan(self, query: Query, blocking: bool = True, use_cache: bool = True) -> Plan:
+        """Plan ``query``, re-binding a cached compiled plan when possible.
+
+        ``use_cache=False`` forces a from-scratch compile (the
+        benchmark baseline and a debugging escape hatch); results are
+        identical either way.
+        """
+        if not use_cache:
+            return plan_query(
+                self.catalog, query, blocking=blocking, statistics=self.statistics
+            )
+        return self.plan_cache.plan(query, blocking, statistics=self.statistics)
 
     def execute(self, query: Query, blocking: bool = True) -> Iterator[Row]:
         """Plan and execute ``query``, yielding ``Ls'`` rows."""

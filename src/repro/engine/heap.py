@@ -37,7 +37,10 @@ class HeapRelation:
         self._pool = buffer_pool
         self._page_nos: list[int] = []
         # Pages with free space, checked before allocating a new page.
+        # The list preserves LIFO try-order; the set makes the
+        # membership test on every delete O(1).
         self._open_page_nos: list[int] = []
+        self._open_page_set: set[int] = set()
         self._row_count = 0
 
     # -- properties -------------------------------------------------------------
@@ -55,6 +58,30 @@ class HeapRelation:
 
     # -- mutation -----------------------------------------------------------------
 
+    def _retire_open_page(self, page_no: int) -> None:
+        """Stop offering ``page_no`` for inserts (it is full enough)."""
+        # Insert paths always retire the page they just tried, which is
+        # the last entry; fall back to a scan only if that ever changes.
+        if self._open_page_nos and self._open_page_nos[-1] == page_no:
+            self._open_page_nos.pop()
+        else:
+            self._open_page_nos.remove(page_no)
+        self._open_page_set.discard(page_no)
+
+    def _reopen_page(self, page_no: int) -> None:
+        """Offer ``page_no`` for inserts again (a delete freed space)."""
+        if page_no not in self._open_page_set:
+            self._open_page_nos.append(page_no)
+            self._open_page_set.add(page_no)
+
+    def _allocate_page(self):
+        """Allocate, register, and return a new (pinned) page."""
+        page = self._pool.new_page()
+        self._page_nos.append(page.page_no)
+        self._open_page_nos.append(page.page_no)
+        self._open_page_set.add(page.page_no)
+        return page
+
     def insert(self, values: Sequence[Any]) -> RowId:
         """Validate and insert a row; return its :class:`RowId`."""
         payload = self.schema.validate_values(values)
@@ -69,12 +96,12 @@ class HeapRelation:
                     self._pool.unpin(page_no, dirty=True)
                     self._row_count += 1
                     return RowId(page_no, slot_no)
-                self._open_page_nos.pop()
+                self._retire_open_page(page_no)
                 self._pool.unpin(page_no)
             except PageFullError:
-                self._open_page_nos.pop()
+                self._retire_open_page(page_no)
                 self._pool.unpin(page_no)
-        page = self._pool.new_page()
+        page = self._allocate_page()
         try:
             slot_no = page.insert(payload, size)
         except PageFullError as exc:  # a single row larger than a page
@@ -82,15 +109,57 @@ class HeapRelation:
             raise StorageError(
                 f"row of {size}B does not fit on an empty page"
             ) from exc
-        self._page_nos.append(page.page_no)
-        self._open_page_nos.append(page.page_no)
         self._pool.unpin(page.page_no, dirty=True)
         self._row_count += 1
         return RowId(page.page_no, slot_no)
 
     def insert_many(self, rows: Iterator[Sequence[Any]] | Sequence[Sequence[Any]]) -> list[RowId]:
-        """Bulk insert; returns the row ids in input order."""
-        return [self.insert(values) for values in rows]
+        """Bulk insert; returns the row ids in input order.
+
+        Keeps the current page pinned across consecutive rows instead
+        of re-fetching it through the buffer pool per row, so a bulk
+        load touches each destination page once.
+        """
+        schema = self.schema
+        ids: list[RowId] = []
+        page = None
+        page_no = -1
+        page_dirty = False
+        try:
+            for values in rows:
+                payload = schema.validate_values(values)
+                size = Row(payload, schema).byte_size()
+                while True:
+                    if page is None:
+                        if self._open_page_nos:
+                            page_no = self._open_page_nos[-1]
+                            page = self._pool.fetch(page_no)
+                        else:
+                            page = self._allocate_page()
+                            page_no = page.page_no
+                        page_dirty = False
+                    if page.fits(size):
+                        try:
+                            slot_no = page.insert(payload, size)
+                        except PageFullError:
+                            pass  # fall through to retire the page
+                        else:
+                            page_dirty = True
+                            ids.append(RowId(page_no, slot_no))
+                            self._row_count += 1
+                            break
+                    elif page.slot_count == 0:
+                        # An empty page cannot hold this row at all.
+                        raise StorageError(
+                            f"row of {size}B does not fit on an empty page"
+                        )
+                    self._retire_open_page(page_no)
+                    self._pool.unpin(page_no, dirty=page_dirty)
+                    page = None
+        finally:
+            if page is not None:
+                self._pool.unpin(page_no, dirty=page_dirty)
+        return ids
 
     def delete(self, row_id: RowId) -> Row:
         """Delete the record at ``row_id``; return the removed row."""
@@ -100,8 +169,7 @@ class HeapRelation:
             payload = page.delete(row_id.slot_no)
         finally:
             self._pool.unpin(row_id.page_no, dirty=True)
-        if row_id.page_no not in self._open_page_nos:
-            self._open_page_nos.append(row_id.page_no)
+        self._reopen_page(row_id.page_no)
         self._row_count -= 1
         return Row(payload, self.schema)
 
@@ -137,6 +205,7 @@ class HeapRelation:
                 page.delete(slot_no)
             self._pool.unpin(page_no, dirty=True)
         self._open_page_nos = list(self._page_nos)
+        self._open_page_set = set(self._page_nos)
         self._row_count = 0
 
     # -- access ---------------------------------------------------------------------
@@ -168,6 +237,23 @@ class HeapRelation:
         """Full scan yielding rows only."""
         for _, row in self.scan():
             yield row
+
+    def scan_batches(self) -> Iterator[list[Row]]:
+        """Full scan yielding one list of live rows per page.
+
+        Each page is fetched exactly once; empty pages yield nothing.
+        This is the batched-execution entry point used by SeqScan and
+        hash-join builds.
+        """
+        schema = self.schema
+        for page_no in self._page_nos:
+            page = self._pool.fetch(page_no)
+            try:
+                batch = [Row(payload, schema) for _, payload in page.live_slots()]
+            finally:
+                self._pool.unpin(page_no)
+            if batch:
+                yield batch
 
     def find(self, predicate: Callable[[Row], bool]) -> Iterator[tuple[RowId, Row]]:
         """Scan filtered by an arbitrary Python predicate."""

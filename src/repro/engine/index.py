@@ -86,7 +86,23 @@ class HashIndex(_BaseIndex):
     def probe(self, key: Any) -> list[RowId]:
         """Row ids whose key equals ``key`` (possibly empty)."""
         self.probes += 1
-        return list(self._buckets.get(key, ()))
+        bucket = self._buckets.get(key)
+        return bucket.copy() if bucket is not None else []
+
+    def probe_many(self, keys: Sequence[Any]) -> list[RowId]:
+        """Row ids matching any of ``keys``, in key order.
+
+        Counts one probe per key, exactly like repeated :meth:`probe`
+        calls, but builds a single flat result list.
+        """
+        self.probes += len(keys)
+        buckets = self._buckets
+        out: list[RowId] = []
+        for key in keys:
+            bucket = buckets.get(key)
+            if bucket is not None:
+                out.extend(bucket)
+        return out
 
     def keys(self) -> Iterator[Any]:
         return iter(self._buckets)
@@ -172,10 +188,9 @@ class OrderedIndex(_BaseIndex):
                 if high_inclusive
                 else bisect.bisect_left(self._keys, high)
             )
-        out: list[RowId] = []
-        for pos in range(start, stop):
-            out.extend(self._postings[pos])
-        return out
+        return [
+            row_id for posting in self._postings[start:stop] for row_id in posting
+        ]
 
     def min_key(self) -> Any:
         if not self._keys:

@@ -7,6 +7,21 @@ remaining relations along ``Cjoin``'s equi-join edges, applying every
 remaining selection as a residual predicate.  The root projects to the
 *expanded* select list ``Ls'`` (Section 3.2) and, for blocking plans,
 materializes the full result before the first row is emitted.
+
+Planning is split into two phases so the per-query hot path stays
+cheap:
+
+- :func:`compile_plan` does everything that depends only on the
+  *template* and the catalog — condition grouping, driver access-path
+  selection, the join-order walk — and produces a
+  :class:`CompiledPlan`;
+- :meth:`CompiledPlan.bind` stamps out an executable :class:`Plan` for
+  one bound query by substituting the slot values into the compiled
+  skeleton.
+
+:func:`plan_query` composes the two for one-shot use;
+:class:`repro.engine.database.Database` caches compiled plans per
+(template, blocking, driver) and re-binds them per query.
 """
 
 from __future__ import annotations
@@ -15,6 +30,8 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.engine.heap import HeapRelation
+from repro.engine.index import HashIndex, OrderedIndex
 from repro.engine.operators import (
     Filter,
     IndexEqualityScan,
@@ -25,6 +42,7 @@ from repro.engine.operators import (
     Operator,
     Project,
     SeqScan,
+    iter_batches,
 )
 from repro.engine.predicate import (
     EqualityDisjunction,
@@ -34,10 +52,18 @@ from repro.engine.predicate import (
 )
 from repro.engine.row import Row
 from repro.engine.stats import StatisticsCollector
-from repro.engine.template import Query
+from repro.engine.template import Query, QueryTemplate, SlotForm
 from repro.errors import PlanningError
 
-__all__ = ["Plan", "plan_query"]
+__all__ = [
+    "Plan",
+    "CompiledPlan",
+    "DriverCandidate",
+    "driver_candidates",
+    "choose_driver_slot",
+    "compile_plan",
+    "plan_query",
+]
 
 
 @dataclass
@@ -52,44 +78,85 @@ class Plan:
         """Yield result rows (with the expanded select list ``Ls'``)."""
         return self.root.execute()
 
+    def execute_batches(self) -> Iterator[list[Row]]:
+        """Yield result rows in batches (page/probe granularity)."""
+        return iter_batches(self.root)
+
     def run(self) -> list[Row]:
         """Execute to completion and return all rows."""
-        return list(self.root.execute())
+        return [row for batch in iter_batches(self.root) for row in batch]
 
     def explain(self) -> str:
         return self.root.explain()
 
 
-def _conditions_by_relation(query: Query) -> dict[str, list[SelectionCondition]]:
-    """Group slot conditions and fixed conditions by their relation."""
-    grouped: dict[str, list[SelectionCondition]] = {
-        name: [] for name in query.template.relations
-    }
-    for slot, condition in zip(query.template.slots, query.cselect.conditions):
-        grouped[slot.relation].append(condition)
-    for condition in query.template.fixed_conditions:
+# -- compile-time analysis ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriverCandidate:
+    """A slot whose condition a usable index can drive the plan by."""
+
+    slot_index: int
+    relation: str
+    column: str
+
+
+@dataclass(frozen=True)
+class _PredicateRecipe:
+    """How to build one relation's residual predicate from a bound query:
+    AND the conditions of ``slot_indices`` with the ``fixed`` conditions."""
+
+    slot_indices: tuple[int, ...]
+    fixed: tuple[SelectionCondition, ...]
+
+    def build(self, conditions: Sequence[SelectionCondition]):
+        parts = [conditions[i] for i in self.slot_indices]
+        parts.extend(self.fixed)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0].matches
+        conds = tuple(parts)
+
+        def predicate(row: Row) -> bool:
+            return all(c.matches(row) for c in conds)
+
+        return predicate
+
+
+def _recipes_by_relation(template: QueryTemplate) -> dict[str, _PredicateRecipe]:
+    """Group slot indices and fixed conditions by their relation."""
+    slot_indices: dict[str, list[int]] = {name: [] for name in template.relations}
+    fixed: dict[str, list[SelectionCondition]] = {name: [] for name in template.relations}
+    for i, slot in enumerate(template.slots):
+        slot_indices[slot.relation].append(i)
+    for condition in template.fixed_conditions:
         relation = condition.column.split(".", 1)[0]
-        if relation not in grouped:
+        if relation not in fixed:
             raise PlanningError(
                 f"fixed condition on unknown relation: {condition.column!r}"
             )
-        grouped[relation].append(condition)
-    return grouped
+        fixed[relation].append(condition)
+    return {
+        name: _PredicateRecipe(tuple(slot_indices[name]), tuple(fixed[name]))
+        for name in template.relations
+    }
 
 
-def _conjunction_predicate(conditions: Sequence[SelectionCondition]):
-    """A row predicate AND-ing ``conditions`` (None when empty)."""
-    if not conditions:
-        return None
-    if len(conditions) == 1:
-        single = conditions[0]
-        return single.matches
-    conds = tuple(conditions)
+def driver_candidates(catalog: Catalog, template: QueryTemplate) -> list[DriverCandidate]:
+    """Slots that could drive the plan: their form has a usable index.
 
-    def predicate(row: Row) -> bool:
-        return all(c.matches(row) for c in conds)
-
-    return predicate
+    A template-level property — interval slots need an ordered index,
+    equality slots any index — so it is computed once per compile.
+    """
+    candidates: list[DriverCandidate] = []
+    for i, slot in enumerate(template.slots):
+        need_range = slot.form is SlotForm.INTERVAL
+        index = catalog.find_index(slot.relation, slot.column, require_range=need_range)
+        if index is not None:
+            candidates.append(DriverCandidate(i, slot.relation, slot.column))
+    return candidates
 
 
 def _estimate_driver_rows(
@@ -111,38 +178,245 @@ def _estimate_driver_rows(
     return selectivity * table.row_count
 
 
-def _choose_driver(
-    catalog: Catalog,
+def choose_driver_slot(
+    candidates: Sequence[DriverCandidate],
     query: Query,
     statistics: StatisticsCollector | None = None,
-) -> tuple[str, SelectionCondition | None]:
-    """Pick the driving relation and the indexed condition to scan it by.
+) -> int | None:
+    """Pick the slot whose index drives the plan, or ``None`` for a
+    sequential scan of the first relation.
 
     With statistics (the Section 4.2 ``ANALYZE`` equivalent), the
-    usable-indexed slot with the *lowest estimated row count* drives
-    the plan; without them, the first usable-indexed slot in template
-    order does.  Falls back to a sequential scan of the first relation
-    when no slot has a usable index.
+    usable-indexed slot with the *lowest estimated row count* for this
+    query's bound values drives; without them, the first usable-indexed
+    slot in template order does.
     """
-    candidates: list[tuple[str, SelectionCondition]] = []
-    for slot, condition in zip(query.template.slots, query.cselect.conditions):
-        need_range = isinstance(condition, IntervalDisjunction)
-        index = catalog.find_index(slot.relation, slot.column, require_range=need_range)
-        if index is not None:
-            candidates.append((slot.relation, condition))
     if not candidates:
-        return query.template.relations[0], None
+        return None
     if statistics is not None:
-        estimated: list[tuple[float, int, str, SelectionCondition]] = []
-        for order, (relation, condition) in enumerate(candidates):
-            rows = _estimate_driver_rows(statistics, relation, condition)
+        estimated: list[tuple[float, int, int]] = []
+        for order, candidate in enumerate(candidates):
+            condition = query.cselect.conditions[candidate.slot_index]
+            rows = _estimate_driver_rows(statistics, candidate.relation, condition)
             if rows is not None:
-                estimated.append((rows, order, relation, condition))
+                estimated.append((rows, order, candidate.slot_index))
         if len(estimated) == len(candidates):
-            estimated.sort(key=lambda item: (item[0], item[1]))
-            _, _, relation, condition = estimated[0]
-            return relation, condition
-    return candidates[0]
+            estimated.sort()
+            return estimated[0][2]
+    return candidates[0].slot_index
+
+
+# -- compiled plans -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _EdgeFilterStep:
+    """A redundant join edge applied as a residual equality filter."""
+
+    left_col: str
+    right_col: str
+    label: str
+
+
+@dataclass(frozen=True)
+class _JoinStep:
+    """Join one more relation into the pipeline."""
+
+    inner_relation: HeapRelation
+    inner_index: HashIndex | OrderedIndex | None  # None -> hash join
+    outer_key: str
+    inner_key: str  # bare column, used by the hash-join fallback
+    recipe: _PredicateRecipe
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A parameterized plan skeleton for one (template, blocking, driver).
+
+    Everything that is a function of the template and the catalog —
+    driver access path, join order, predicate recipes, projection —
+    is resolved here once; :meth:`bind` substitutes one query's bound
+    slot values and returns an executable :class:`Plan`.
+
+    A compiled plan resolves catalog objects (relations, indexes) at
+    compile time, so it is only valid for the catalog version it was
+    compiled against; the plan cache re-compiles on DDL.
+    """
+
+    template: QueryTemplate
+    blocking: bool
+    catalog_version: int
+    driver_slot: int | None
+    driver_relation: HeapRelation
+    driver_index: HashIndex | OrderedIndex | None
+    driver_is_range: bool
+    driver_recipe: _PredicateRecipe
+    steps: tuple[_EdgeFilterStep | _JoinStep, ...]
+    project_names: tuple[str, ...]
+
+    def bind(self, query: Query) -> Plan:
+        """Stamp out an executable plan for one bound query."""
+        if query.template is not self.template:
+            raise PlanningError("query is from a different template")
+        conditions = query.cselect.conditions
+        root: Operator
+        driver_predicate = self.driver_recipe.build(conditions)
+        if self.driver_slot is None:
+            root = SeqScan(self.driver_relation, predicate=driver_predicate)
+        else:
+            driver_condition = conditions[self.driver_slot]
+            assert self.driver_index is not None
+            if self.driver_is_range:
+                assert isinstance(driver_condition, IntervalDisjunction)
+                root = IndexRangeScan(
+                    self.driver_relation,
+                    self.driver_index,
+                    driver_condition.intervals,
+                    predicate=driver_predicate,
+                )
+            else:
+                assert isinstance(driver_condition, EqualityDisjunction)
+                root = IndexEqualityScan(
+                    self.driver_relation,
+                    self.driver_index,
+                    driver_condition.values,
+                    predicate=driver_predicate,
+                )
+        for step in self.steps:
+            if isinstance(step, _EdgeFilterStep):
+                root = Filter(
+                    root,
+                    lambda row, lc=step.left_col, rc=step.right_col: row[lc] == row[rc],
+                    label=step.label,
+                )
+            else:
+                inner_predicate = step.recipe.build(conditions)
+                if step.inner_index is not None:
+                    root = IndexNestedLoopJoin(
+                        root,
+                        step.inner_relation,
+                        step.inner_index,
+                        step.outer_key,
+                        inner_predicate,
+                    )
+                else:
+                    root = NestedLoopJoin(
+                        root,
+                        step.inner_relation,
+                        step.inner_key,
+                        step.outer_key,
+                        inner_predicate,
+                    )
+        root = Project(root, self.project_names)
+        if self.blocking:
+            root = Materialize(root)
+        return Plan(root=root, query=query, blocking=self.blocking)
+
+
+def compile_plan(
+    catalog: Catalog,
+    template: QueryTemplate,
+    blocking: bool,
+    driver_slot: int | None,
+) -> CompiledPlan:
+    """Compile the plan skeleton for ``template`` driven by ``driver_slot``.
+
+    ``driver_slot`` is the index of the ``Cselect`` slot whose index
+    probes drive the plan (from :func:`choose_driver_slot`), or ``None``
+    for a sequential scan of the template's first relation.
+    """
+    recipes = _recipes_by_relation(template)
+
+    if driver_slot is None:
+        driver = template.relations[0]
+        driver_index = None
+        driver_is_range = False
+        driver_recipe = recipes[driver]
+    else:
+        slot = template.slots[driver_slot]
+        driver = slot.relation
+        driver_is_range = slot.form is SlotForm.INTERVAL
+        driver_index = catalog.find_index(
+            driver, slot.column, require_range=driver_is_range
+        )
+        if driver_index is None:
+            raise PlanningError(
+                f"slot {slot.column!r} has no usable index to drive the plan"
+            )
+        base = recipes[driver]
+        driver_recipe = _PredicateRecipe(
+            tuple(i for i in base.slot_indices if i != driver_slot), base.fixed
+        )
+    driver_relation = catalog.relation(driver)
+
+    # Join the remaining relations along Cjoin's equi-join edges.
+    steps: list[_EdgeFilterStep | _JoinStep] = []
+    planned = {driver}
+    pending_edges: list[JoinEquality] = list(template.joins)
+    while len(planned) < len(template.relations):
+        progressed = False
+        for edge in list(pending_edges):
+            left_in = edge.left_relation in planned
+            right_in = edge.right_relation in planned
+            if left_in and right_in:
+                # Redundant edge: apply as a residual filter.
+                pending_edges.remove(edge)
+                steps.append(
+                    _EdgeFilterStep(
+                        edge.qualified_left(), edge.qualified_right(), str(edge)
+                    )
+                )
+                progressed = True
+                continue
+            if not left_in and not right_in:
+                continue
+            if left_in:
+                outer_key = edge.qualified_left()
+                inner_name, inner_col = edge.right_relation, edge.qualified_right()
+            else:
+                outer_key = edge.qualified_right()
+                inner_name, inner_col = edge.left_relation, edge.qualified_left()
+            inner_relation = catalog.relation(inner_name)
+            inner_index = catalog.find_index(inner_name, inner_col)
+            bare_inner = inner_col.split(".", 1)[1] if "." in inner_col else inner_col
+            # No join-attribute index: fall back to a hash join over a
+            # one-shot scan of the inner relation (inner_index is None).
+            steps.append(
+                _JoinStep(
+                    inner_relation=inner_relation,
+                    inner_index=inner_index,
+                    outer_key=outer_key,
+                    inner_key=bare_inner,
+                    recipe=recipes[inner_name],
+                )
+            )
+            planned.add(inner_name)
+            pending_edges.remove(edge)
+            progressed = True
+        if not progressed:
+            missing = set(template.relations) - planned
+            raise PlanningError(
+                f"join graph of {template.name!r} is disconnected; "
+                f"cannot reach {sorted(missing)}"
+            )
+    # Any leftover edges connect already-planned relations.
+    for edge in pending_edges:
+        steps.append(
+            _EdgeFilterStep(edge.qualified_left(), edge.qualified_right(), str(edge))
+        )
+
+    return CompiledPlan(
+        template=template,
+        blocking=blocking,
+        catalog_version=catalog.version,
+        driver_slot=driver_slot,
+        driver_relation=driver_relation,
+        driver_index=driver_index,
+        driver_is_range=driver_is_range,
+        driver_recipe=driver_recipe,
+        steps=tuple(steps),
+        project_names=template.expanded_select_list(),
+    )
 
 
 def plan_query(
@@ -151,7 +425,7 @@ def plan_query(
     blocking: bool = True,
     statistics: StatisticsCollector | None = None,
 ) -> Plan:
-    """Build a plan for ``query``.
+    """Build a plan for ``query`` (one-shot compile + bind).
 
     Parameters
     ----------
@@ -168,91 +442,6 @@ def plan_query(
         candidate relations, the most selective indexed slot drives
         the plan.
     """
-    template = query.template
-    grouped = _conditions_by_relation(query)
-
-    driver, driver_condition = _choose_driver(catalog, query, statistics)
-    driver_relation = catalog.relation(driver)
-    residual_on_driver = [c for c in grouped[driver] if c is not driver_condition]
-    driver_predicate = _conjunction_predicate(residual_on_driver)
-
-    root: Operator
-    if driver_condition is None:
-        all_driver = _conjunction_predicate(grouped[driver])
-        root = SeqScan(driver_relation, predicate=all_driver)
-    elif isinstance(driver_condition, EqualityDisjunction):
-        index = catalog.find_index(driver, driver_condition.column)
-        assert index is not None
-        root = IndexEqualityScan(
-            driver_relation, index, driver_condition.values, predicate=driver_predicate
-        )
-    else:
-        index = catalog.find_index(driver, driver_condition.column, require_range=True)
-        assert index is not None
-        root = IndexRangeScan(
-            driver_relation, index, driver_condition.intervals, predicate=driver_predicate
-        )
-
-    # Join the remaining relations along Cjoin's equi-join edges.
-    planned = {driver}
-    pending_edges: list[JoinEquality] = list(template.joins)
-    while len(planned) < len(template.relations):
-        progressed = False
-        for edge in list(pending_edges):
-            left_in = edge.left_relation in planned
-            right_in = edge.right_relation in planned
-            if left_in and right_in:
-                # Redundant edge: apply as a residual filter.
-                pending_edges.remove(edge)
-                left_col, right_col = edge.qualified_left(), edge.qualified_right()
-                root = Filter(
-                    root,
-                    lambda row, lc=left_col, rc=right_col: row[lc] == row[rc],
-                    label=str(edge),
-                )
-                progressed = True
-                continue
-            if not left_in and not right_in:
-                continue
-            if left_in:
-                outer_key = edge.qualified_left()
-                inner_name, inner_col = edge.right_relation, edge.qualified_right()
-            else:
-                outer_key = edge.qualified_right()
-                inner_name, inner_col = edge.left_relation, edge.qualified_left()
-            inner_relation = catalog.relation(inner_name)
-            inner_index = catalog.find_index(inner_name, inner_col)
-            inner_predicate = _conjunction_predicate(grouped[inner_name])
-            if inner_index is not None:
-                root = IndexNestedLoopJoin(
-                    root, inner_relation, inner_index, outer_key, inner_predicate
-                )
-            else:
-                # No join-attribute index: fall back to a hash join over
-                # a one-shot scan of the inner relation.
-                bare_inner = inner_col.split(".", 1)[1] if "." in inner_col else inner_col
-                root = NestedLoopJoin(
-                    root, inner_relation, bare_inner, outer_key, inner_predicate
-                )
-            planned.add(inner_name)
-            pending_edges.remove(edge)
-            progressed = True
-        if not progressed:
-            missing = set(template.relations) - planned
-            raise PlanningError(
-                f"join graph of {template.name!r} is disconnected; "
-                f"cannot reach {sorted(missing)}"
-            )
-    # Any leftover edges connect already-planned relations.
-    for edge in pending_edges:
-        left_col, right_col = edge.qualified_left(), edge.qualified_right()
-        root = Filter(
-            root,
-            lambda row, lc=left_col, rc=right_col: row[lc] == row[rc],
-            label=str(edge),
-        )
-
-    root = Project(root, template.expanded_select_list())
-    if blocking:
-        root = Materialize(root)
-    return Plan(root=root, query=query, blocking=blocking)
+    candidates = driver_candidates(catalog, query.template)
+    driver_slot = choose_driver_slot(candidates, query, statistics)
+    return compile_plan(catalog, query.template, blocking, driver_slot).bind(query)

@@ -51,11 +51,12 @@ class Row:
     compare equal when their values match.
     """
 
-    __slots__ = ("values", "schema")
+    __slots__ = ("values", "schema", "_hash")
 
     def __init__(self, values: Sequence[Any], schema: Schema) -> None:
         self.values = tuple(values)
         self.schema = schema
+        self._hash = None
 
     # -- field access --------------------------------------------------------
 
@@ -109,7 +110,13 @@ class Row:
         return isinstance(other, Row) and other.values == self.values
 
     def __hash__(self) -> int:
-        return hash(self.values)
+        # Cached: duplicate suppression hashes the same PMV-resident
+        # rows on every query that touches their entry.
+        h = self._hash
+        if h is None:
+            h = hash(self.values)
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         pairs = ", ".join(f"{n}={v!r}" for n, v in self.as_dict().items())

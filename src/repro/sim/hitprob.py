@@ -22,6 +22,7 @@ Setup mirrored from the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.replacement import (
@@ -50,6 +51,10 @@ class SimulationConfig:
     warmup_queries: int = 1_000_000
     measured_queries: int = 1_000_000
     seed: int = 7
+    o1_memo_capacity: int = 256
+    """Capacity of the simulated O1 decomposition memo (the engine's
+    :class:`repro.core.decompose.DecompositionCache`); 0 disables the
+    memo and reports a 0.0 hit ratio."""
 
     def __post_init__(self) -> None:
         if self.cells_per_query < 1:
@@ -75,6 +80,7 @@ class SimulationConfig:
             warmup_queries=max(1, round(self.warmup_queries * factor)),
             measured_queries=max(1, round(self.measured_queries * factor)),
             seed=self.seed,
+            o1_memo_capacity=self.o1_memo_capacity,
         )
 
 
@@ -86,6 +92,10 @@ class SimulationResult:
     hit_probability: float
     reference_hit_ratio: float
     resident_entries: int
+    o1_memo_hit_ratio: float = 0.0
+    """Fraction of measured queries whose exact h-cell combination was
+    already in the O1 memo — the repeat rate the engine's decomposition
+    cache exploits under the same workload."""
 
     def __str__(self) -> str:
         c = self.config
@@ -122,6 +132,11 @@ def simulate_hit_probability(
     total = config.warmup_queries + config.measured_queries
     hits = 0
     reference = policy.reference
+    # The O1 memo analog: an LRU over exact h-cell combinations (the
+    # simulation's stand-in for the bound Cselect).
+    memo_capacity = config.o1_memo_capacity
+    memo: OrderedDict | None = OrderedDict() if memo_capacity > 0 else None
+    memo_hits = 0
     # Draw cell ids in chunks to bound memory while staying vectorized.
     chunk_queries = max(1, min(200_000, total))
     done = 0
@@ -131,16 +146,28 @@ def simulate_hit_probability(
         measuring_from = config.warmup_queries - done  # may be negative
         for q in range(batch):
             base = q * h
+            query_cells = tuple(int(cells[base + j]) for j in range(h))
             query_hit = False
-            for j in range(h):
-                if reference(int(cells[base + j])).resident_before:
+            for cell in query_cells:
+                if reference(cell).resident_before:
                     query_hit = True
-            if query_hit and q >= measuring_from:
+            measuring = q >= measuring_from
+            if query_hit and measuring:
                 hits += 1
+            if memo is not None:
+                if query_cells in memo:
+                    memo.move_to_end(query_cells)
+                    if measuring:
+                        memo_hits += 1
+                else:
+                    memo[query_cells] = None
+                    if len(memo) > memo_capacity:
+                        memo.popitem(last=False)
         done += batch
     return SimulationResult(
         config=config,
         hit_probability=hits / config.measured_queries,
         reference_hit_ratio=policy.hit_ratio,
         resident_entries=len(policy),
+        o1_memo_hit_ratio=memo_hits / config.measured_queries,
     )

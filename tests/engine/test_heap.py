@@ -130,6 +130,63 @@ class TestScan:
         assert heap.row_count == 1
 
 
+class TestScanBatches:
+    def test_batches_flatten_to_scan(self, heap):
+        for i in range(500):
+            heap.insert((i, "x" * 30))
+        flat = [row["id"] for batch in heap.scan_batches() for row in batch]
+        assert flat == [row["id"] for _, row in heap.scan()]
+
+    def test_one_batch_per_page(self, heap):
+        for i in range(2000):
+            heap.insert((i, "x" * 20))
+        batches = list(heap.scan_batches())
+        assert len(batches) == heap.page_count
+        assert sum(len(batch) for batch in batches) == 2000
+
+    def test_skips_deleted_and_empty_pages(self, heap):
+        ids = [heap.insert((i, "x" * 200)) for i in range(60)]
+        for row_id in ids[:40]:
+            heap.delete(row_id)
+        flat = sorted(row["id"] for batch in heap.scan_batches() for row in batch)
+        assert flat == list(range(40, 60))
+        # Fully-emptied pages yield no (empty) batches.
+        assert all(batch for batch in heap.scan_batches())
+
+    def test_empty_relation_yields_nothing(self, heap):
+        assert list(heap.scan_batches()) == []
+
+
+class TestInsertManyFastPath:
+    def test_bulk_equals_singles(self, heap):
+        rows = [(i, f"n{i}" * 8) for i in range(800)]
+        ids = heap.insert_many(rows)
+        assert len(ids) == len(set(ids)) == 800
+        assert sorted(row["id"] for _, row in heap.scan()) == list(range(800))
+
+    def test_bulk_validates_each_row(self, heap):
+        with pytest.raises(SchemaError):
+            heap.insert_many([(1, "ok"), (None, "bad")])
+
+    def test_bulk_oversized_row_raises(self, heap):
+        with pytest.raises(StorageError):
+            heap.insert_many([(1, "x" * 20_000)])
+
+    def test_delete_reopens_page_for_bulk_insert(self, heap):
+        ids = heap.insert_many([(i, "x" * 200) for i in range(100)])
+        pages_before = heap.page_count
+        for row_id in ids:
+            heap.delete(row_id)
+        heap.insert_many([(i, "x" * 200) for i in range(100)])
+        assert heap.page_count == pages_before
+
+    def test_bulk_after_truncate(self, heap):
+        heap.insert_many([(i, "x") for i in range(50)])
+        heap.truncate()
+        heap.insert_many([(i, "y") for i in range(50)])
+        assert heap.row_count == 50
+
+
 class TestIO:
     def test_scan_beyond_pool_generates_reads(self):
         disk = DiskManager()
