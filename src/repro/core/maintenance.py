@@ -209,6 +209,14 @@ class PMVMaintainer:
             return False
         return True
 
+    def _fire_fault(self, site: str) -> None:
+        """Fault-injection site (repro.faults).  A raised exception here
+        propagates exactly like an organic failure at this point —
+        which is what the crash-recovery torture harness exercises."""
+        hook = self.database.fault_hook
+        if hook is not None:
+            hook(site)
+
     def prepare_change(self, change: Change, txn: Transaction | None) -> None:
         """Prepare phase: take the X lock *before* the base write.
 
@@ -218,6 +226,7 @@ class PMVMaintainer:
         """
         if not self._needs_maintenance(change):
             return
+        self._fire_fault("maintenance.prepare")
         if txn is not None:
             txn.lock_exclusive(self.view.name)
             return
@@ -280,10 +289,21 @@ class PMVMaintainer:
                 pending = self.database.begin()
                 pending.lock_exclusive(self.view.name)
         try:
+            self._fire_fault("maintenance.apply")
             if self.strategy is MaintenanceStrategy.AUX_INDEX:
                 self._remove_via_aux_index(relation, old_row)
             else:
                 self._remove_via_delta_join(relation, old_row)
+        except Exception:
+            # Fail-safe: the removal may have stopped partway, so the
+            # PMV could now serve stale tuples.  The empty subset is
+            # always a correct subset, so clear the whole view before
+            # re-raising.  (A SimulatedCrash is a BaseException and
+            # bypasses this — after a crash the PMV restarts empty
+            # anyway, which is the same fail-safe.)
+            self.view.clear()
+            self.view.metrics.maintenance_failsafe_clears += 1
+            raise
         finally:
             if pending is not None:
                 pending.commit()

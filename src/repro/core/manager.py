@@ -168,3 +168,25 @@ class PMVManager:
     def check_invariants(self) -> None:
         for managed in self._views.values():
             managed.view.check_invariants()
+
+    # -- failure handling ---------------------------------------------------------
+
+    def clear_all(self) -> int:
+        """Fail-safe reset: empty every managed PMV (each restarts
+        correct-by-construction and refills from queries).  Returns the
+        number of entries dropped across the fleet."""
+        return sum(managed.view.clear() for managed in self._views.values())
+
+    def verify_consistency(self) -> None:
+        """Assert that no managed PMV could serve a stale tuple.
+
+        Runs the fault-harness checker — every cached tuple of every
+        view must be a current true result of its template (and the
+        structural/bound invariants must hold).  Raises
+        :class:`~repro.faults.check.InvariantViolation` on divergence.
+        Used by tests and the crash-recovery torture harness.
+        """
+        from repro.faults.check import check_view_against_database
+
+        for managed in self._views.values():
+            check_view_against_database(self.database, managed.view)

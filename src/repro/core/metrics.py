@@ -57,6 +57,10 @@ class PMVMetrics:
     maintenance_deletes: int = 0
     maintenance_updates_skipped: int = 0
     maintenance_tuples_removed: int = 0
+    maintenance_failsafe_clears: int = 0
+    """Times a failure mid-maintenance forced the fail-safe: the whole
+    PMV is cleared, because an empty PMV is always a correct PMV while
+    a partially-maintained one may serve stale tuples."""
     per_query: list[QueryMetrics] = field(default_factory=list)
     keep_per_query: bool = False
 

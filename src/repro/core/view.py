@@ -300,6 +300,20 @@ class PartialMaterializedView:
         self.policy.discard(key)
         return self._drop_entry(key)
 
+    def clear(self) -> int:
+        """Drop every entry, returning the PMV to the empty state.
+
+        An empty PMV is always correct (the empty subset of the
+        containing MV), so this is the fail-safe of last resort when
+        maintenance fails partway — and the restart state after a
+        crash.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for key in list(self._entries):
+            self.discard_entry(key)
+            dropped += 1
+        return dropped
+
     def _enforce_budget(self) -> None:
         """Shed whole entries while the UB byte budget is exceeded.
 

@@ -117,6 +117,14 @@ class Database:
         default of 1,000 pages.
     page_size:
         Page capacity in bytes.
+    wal:
+        Optional write-ahead log; when set, every DDL/DML statement is
+        logged the moment it succeeds.
+    disk:
+        Optional pre-built disk manager (dependency injection — the
+        fault-injection harness passes a
+        :class:`repro.faults.inject.FaultyDiskManager` here).  Defaults
+        to a fresh :class:`DiskManager`.
     """
 
     def __init__(
@@ -124,8 +132,9 @@ class Database:
         buffer_pool_pages: int = 1000,
         page_size: int = 8192,
         wal: WriteAheadLog | None = None,
+        disk: DiskManager | None = None,
     ) -> None:
-        self.disk = DiskManager(page_size=page_size)
+        self.disk = disk if disk is not None else DiskManager(page_size=page_size)
         self.wal = wal
         self.buffer_pool = BufferPool(self.disk, capacity=buffer_pool_pages)
         self.catalog = Catalog()
@@ -133,6 +142,11 @@ class Database:
         self.latency_model = LatencyModel()
         self.statistics = StatisticsCollector()
         self.plan_cache = PlanCache(self.catalog)
+        # Optional fault-injection hook (repro.faults), threaded into
+        # every transaction this database begins and fired by the PMV
+        # maintenance layer at its prepare/apply sites.  None (and
+        # zero-cost) in production.
+        self.fault_hook: Callable[[str], None] | None = None
         self._listeners: list[ChangeListener] = []
         self._prepare_listeners: list[ChangeListener] = []
         self._abort_listeners: list[ChangeListener] = []
@@ -174,7 +188,9 @@ class Database:
     # -- transactions ----------------------------------------------------------------
 
     def begin(self, read_only: bool = False) -> Transaction:
-        return Transaction(self.lock_manager, read_only=read_only)
+        return Transaction(
+            self.lock_manager, read_only=read_only, fault_hook=self.fault_hook
+        )
 
     # -- change listeners --------------------------------------------------------------
 

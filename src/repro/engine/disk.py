@@ -97,10 +97,7 @@ class DiskManager:
 
     def read_page(self, page_no: int) -> Page:
         """Fetch a page from disk; charged as one read."""
-        try:
-            page = self._pages[page_no]
-        except KeyError:
-            raise StorageError(f"no such page {page_no}") from None
+        page = self._fetch(page_no)
         self.stats.reads += 1
         return page
 
@@ -108,8 +105,26 @@ class DiskManager:
         """Flush a page back to disk; charged as one write."""
         if page.page_no not in self._pages:
             raise StorageError(f"page {page.page_no} was never allocated")
+        self._store(page)
         self.stats.writes += 1
         page.dirty = False
+
+    # -- I/O seams ----------------------------------------------------------
+    #
+    # The physical transfer itself, separated from validation and
+    # accounting so a subclass can interpose failures at exactly the
+    # point a real device would fail (see repro.faults.inject).
+
+    def _fetch(self, page_no: int) -> Page:
+        try:
+            return self._pages[page_no]
+        except KeyError:
+            raise StorageError(f"no such page {page_no}") from None
+
+    def _store(self, page: Page) -> None:
+        """Commit a page image to the backing store.  Pages live in a
+        dict, so the base implementation has nothing to move — but this
+        is where an injected torn or failed write happens."""
 
     def free_page(self, page_no: int) -> None:
         """Drop a page (used by tests and truncation)."""

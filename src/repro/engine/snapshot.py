@@ -82,11 +82,24 @@ def restore_snapshot(
     snapshot: dict[str, Any],
     buffer_pool_pages: int = 1000,
     wal: WriteAheadLog | None = None,
+    page_size: int | None = None,
 ) -> Database:
-    """Rebuild a database from a snapshot, page layout included."""
+    """Rebuild a database from a snapshot, page layout included.
+
+    ``page_size`` must match the crashed instance's when log records
+    will be replayed on top: restored pages keep their stored
+    capacities, but pages allocated *during replay* use this size, and
+    replay addresses rows by (page, slot) — a different capacity packs
+    rows differently and breaks that addressing.
+    """
     if snapshot.get("format") != SNAPSHOT_FORMAT:
         raise EngineError(f"unsupported snapshot format {snapshot.get('format')!r}")
-    database = Database(buffer_pool_pages=buffer_pool_pages, wal=wal)
+    if page_size is None:
+        database = Database(buffer_pool_pages=buffer_pool_pages, wal=wal)
+    else:
+        database = Database(
+            buffer_pool_pages=buffer_pool_pages, page_size=page_size, wal=wal
+        )
     suppress = database.wal
     database.wal = None  # restoration itself must not be re-logged
     try:
@@ -143,38 +156,16 @@ def recover_from_snapshot(
     snapshot: dict[str, Any],
     log: WriteAheadLog,
     buffer_pool_pages: int = 1000,
+    page_size: int | None = None,
 ) -> Database:
     """Restore a snapshot, then replay only the post-checkpoint log."""
-    from repro.engine.wal import LogKind
-    from repro.engine.row import RowId
+    from repro.engine.wal import replay_record
 
-    database = restore_snapshot(snapshot, buffer_pool_pages=buffer_pool_pages)
+    database = restore_snapshot(
+        snapshot, buffer_pool_pages=buffer_pool_pages, page_size=page_size
+    )
     for record in log.records(after_lsn=snapshot["checkpoint_lsn"]):
-        payload = record.payload
-        if record.kind is LogKind.CREATE_RELATION:
-            database.create_relation(
-                payload["name"],
-                [_column_from_payload(entry) for entry in payload["columns"]],
-            )
-        elif record.kind is LogKind.CREATE_INDEX:
-            database.create_index(
-                payload["name"],
-                payload["relation"],
-                payload["key_columns"],
-                ordered=payload["ordered"],
-            )
-        elif record.kind is LogKind.INSERT:
-            database.insert(payload["relation"], payload["values"])
-        elif record.kind is LogKind.DELETE:
-            database.delete(
-                payload["relation"], RowId(payload["page_no"], payload["slot_no"])
-            )
-        elif record.kind is LogKind.UPDATE:
-            database.update(
-                payload["relation"],
-                RowId(payload["page_no"], payload["slot_no"]),
-                **payload["changes"],
-            )
+        replay_record(database, record)
     return database
 
 

@@ -59,13 +59,23 @@ class Transaction:
 
     _next_id = 1
 
-    def __init__(self, lock_manager: LockManager, read_only: bool = False) -> None:
+    def __init__(
+        self,
+        lock_manager: LockManager,
+        read_only: bool = False,
+        fault_hook=None,
+    ) -> None:
         self.txn_id = Transaction._next_id
         Transaction._next_id += 1
         self._locks = lock_manager
         self.read_only = read_only
         self.status = TxnStatus.ACTIVE
         self.changes: list[Change] = []
+        # Optional fault-injection hook (repro.faults): fired at the
+        # start of commit/abort, i.e. before the status flip and lock
+        # release, so an injected failure models a crash or error while
+        # the transaction is still in flight.  None in production.
+        self._fault_hook = fault_hook
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -75,11 +85,15 @@ class Transaction:
 
     def commit(self) -> None:
         self._check_active()
+        if self._fault_hook is not None:
+            self._fault_hook("txn.commit")
         self.status = TxnStatus.COMMITTED
         self._locks.release_all(self.txn_id)
 
     def abort(self) -> None:
         self._check_active()
+        if self._fault_hook is not None:
+            self._fault_hook("txn.abort")
         self.status = TxnStatus.ABORTED
         self._locks.release_all(self.txn_id)
 

@@ -33,9 +33,9 @@ from typing import Any, Iterator, Sequence
 from repro.engine.datatypes import DataType, TypeKind
 from repro.engine.row import RowId
 from repro.engine.schema import Column
-from repro.errors import EngineError
+from repro.errors import EngineError, WALCorruptionError
 
-__all__ = ["LogKind", "LogRecord", "WriteAheadLog", "recover"]
+__all__ = ["LogKind", "LogRecord", "WriteAheadLog", "recover", "replay_record"]
 
 
 class LogKind(enum.Enum):
@@ -92,6 +92,8 @@ class WriteAheadLog:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._file = None
+        self.torn_tail: str | None = None
+        self._complete_bytes: int | None = None
         if path is not None:
             self._file = open(path, "a", encoding="utf-8")
 
@@ -120,6 +122,13 @@ class WriteAheadLog:
     # -- reading -------------------------------------------------------------
 
     def records(self, after_lsn: int = 0) -> Iterator[LogRecord]:
+        """Complete records in LSN order.
+
+        A torn final line detected by :meth:`load` is never yielded —
+        by write-ahead semantics the interrupted statement simply never
+        happened; the raw fragment stays available in ``torn_tail`` and
+        :meth:`repair` truncates it off the file.
+        """
         for record in self._records:
             if record.lsn > after_lsn:
                 yield record
@@ -131,19 +140,77 @@ class WriteAheadLog:
     def last_lsn(self) -> int:
         return self._next_lsn - 1
 
+    @property
+    def has_torn_tail(self) -> bool:
+        """Whether :meth:`load` found an incomplete final record."""
+        return self.torn_tail is not None
+
     @staticmethod
     def load(path: str) -> "WriteAheadLog":
-        """Read a log file back (the crashed process's log)."""
+        """Read a log file back (the crashed process's log).
+
+        A crash mid-append can leave a torn final line (the record was
+        cut short, or its newline never made it to disk).  That tail is
+        tolerated: it is reported via ``torn_tail`` / ``has_torn_tail``
+        and skipped, because an append that never completed is a
+        statement that never happened.  Damage anywhere *before* the
+        final record — an unparseable line followed by further complete
+        records — is real corruption and raises
+        :class:`~repro.errors.WALCorruptionError`.
+        """
         log = WriteAheadLog()
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+        log.path = path
+        complete_bytes = 0
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        for line_bytes in raw.split(b"\n"):
+            offset_after = complete_bytes + len(line_bytes) + 1  # + newline
+            line = line_bytes.decode("utf-8", errors="replace").strip()
+            if not line:
+                if offset_after <= len(raw):
+                    complete_bytes = offset_after
+                continue
+            try:
                 record = LogRecord.from_json(line)
-                log._records.append(record)
-                log._next_lsn = record.lsn + 1
+            except (ValueError, KeyError) as exc:
+                if offset_after > len(raw):
+                    # Final line, no terminating newline: a torn tail.
+                    log.torn_tail = line
+                    break
+                raise WALCorruptionError(
+                    f"unparseable WAL record at byte {complete_bytes} "
+                    f"of {path!r} (not the final line): {line[:80]!r}"
+                ) from exc
+            if offset_after > len(raw):
+                # Parsed, but the newline never hit the disk: the
+                # append was still in flight.  Treat it as torn — the
+                # fsync covering it cannot have completed.
+                log.torn_tail = line
+                break
+            log._records.append(record)
+            log._next_lsn = record.lsn + 1
+            complete_bytes = offset_after
+        log._complete_bytes = complete_bytes
         return log
+
+    def repair(self, path: str | None = None) -> int:
+        """Truncate the on-disk log to the last complete record.
+
+        Returns the number of bytes removed.  A no-op (returning 0)
+        when the tail is intact.  Only meaningful on a log produced by
+        :meth:`load`.
+        """
+        target = path or self.path
+        if target is None:
+            raise EngineError("repair() needs the log's file path")
+        if self._complete_bytes is None:
+            raise EngineError("repair() requires a log read via load()")
+        size = os.path.getsize(target)
+        removed = size - self._complete_bytes
+        if removed > 0:
+            os.truncate(target, self._complete_bytes)
+        self.torn_tail = None
+        return removed
 
 
 _TYPE_BY_NAME = {kind.value: kind for kind in TypeKind}
@@ -183,6 +250,44 @@ def log_create_index(
     )
 
 
+def replay_record(database, record: LogRecord) -> None:
+    """Re-execute one log record against ``database``.
+
+    Shared by :func:`recover` and snapshot-based recovery
+    (:func:`repro.engine.snapshot.recover_from_snapshot`), so the two
+    paths cannot drift apart.
+    """
+    payload = record.payload
+    if record.kind is LogKind.CREATE_RELATION:
+        database.create_relation(
+            payload["name"],
+            [_column_from_payload(entry) for entry in payload["columns"]],
+        )
+    elif record.kind is LogKind.CREATE_INDEX:
+        database.create_index(
+            payload["name"],
+            payload["relation"],
+            payload["key_columns"],
+            ordered=payload["ordered"],
+        )
+    elif record.kind is LogKind.INSERT:
+        database.insert(payload["relation"], payload["values"])
+    elif record.kind is LogKind.DELETE:
+        database.delete(
+            payload["relation"], RowId(payload["page_no"], payload["slot_no"])
+        )
+    elif record.kind is LogKind.UPDATE:
+        database.update(
+            payload["relation"],
+            RowId(payload["page_no"], payload["slot_no"]),
+            **payload["changes"],
+        )
+    elif record.kind is LogKind.CHECKPOINT:
+        return
+    else:  # pragma: no cover - enum is closed
+        raise EngineError(f"unknown log record kind {record.kind!r}")
+
+
 def recover(log: WriteAheadLog, database_factory=None):
     """Replay ``log`` into a fresh database and return it.
 
@@ -195,33 +300,5 @@ def recover(log: WriteAheadLog, database_factory=None):
 
     database = database_factory() if database_factory is not None else Database()
     for record in log.records():
-        payload = record.payload
-        if record.kind is LogKind.CREATE_RELATION:
-            database.create_relation(
-                payload["name"],
-                [_column_from_payload(entry) for entry in payload["columns"]],
-            )
-        elif record.kind is LogKind.CREATE_INDEX:
-            database.create_index(
-                payload["name"],
-                payload["relation"],
-                payload["key_columns"],
-                ordered=payload["ordered"],
-            )
-        elif record.kind is LogKind.INSERT:
-            database.insert(payload["relation"], payload["values"])
-        elif record.kind is LogKind.DELETE:
-            database.delete(
-                payload["relation"], RowId(payload["page_no"], payload["slot_no"])
-            )
-        elif record.kind is LogKind.UPDATE:
-            database.update(
-                payload["relation"],
-                RowId(payload["page_no"], payload["slot_no"]),
-                **payload["changes"],
-            )
-        elif record.kind is LogKind.CHECKPOINT:
-            continue
-        else:  # pragma: no cover - enum is closed
-            raise EngineError(f"unknown log record kind {record.kind!r}")
+        replay_record(database, record)
     return database

@@ -64,6 +64,24 @@ class ParseError(EngineError):
     """The template/query parser rejected its input."""
 
 
+class WALCorruptionError(EngineError):
+    """The write-ahead log file is damaged beyond a torn final line
+    (e.g. an unparseable record followed by further records)."""
+
+
+class FaultInjectionError(EngineError):
+    """An injected, recoverable fault (see :mod:`repro.faults`).
+
+    Raised by fault hooks in ERROR mode; the engine treats it like any
+    other statement failure (clean abort), which is exactly what the
+    torture harness verifies."""
+
+    def __init__(self, message: str, site: str = "", occurrence: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.occurrence = occurrence
+
+
 class TransactionError(EngineError):
     """A transaction was used incorrectly (e.g. after commit)."""
 

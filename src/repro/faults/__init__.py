@@ -1,0 +1,51 @@
+"""Deterministic fault injection and crash-recovery checking.
+
+The subsystem the crash-recovery torture harness
+(:mod:`repro.bench.torture`) drives:
+
+- :mod:`repro.faults.plan` — seeded, replayable fault schedules
+  (:class:`FaultPlan`, :class:`FaultSpec`, :class:`FaultMode`);
+- :mod:`repro.faults.inject` — the injector and the faulty engine
+  components (:class:`FaultyWAL`, :class:`FaultyDiskManager`,
+  :class:`SimulatedCrash`);
+- :mod:`repro.faults.check` — the recovery invariant checkers
+  (:func:`verify_database`, :func:`check_view_against_database`,
+  :func:`verify_crash_recovery`).
+
+Production code paths pay for none of this: the hooks are ``None``
+checks, and the faulty components are opt-in subclasses.
+"""
+
+from repro.faults.check import (
+    InvariantViolation,
+    check_view_against_database,
+    contents_of,
+    verify_crash_recovery,
+    verify_database,
+)
+from repro.faults.inject import (
+    FaultInjector,
+    FaultyDiskManager,
+    FaultyWAL,
+    SimulatedCrash,
+    build_faulty_database,
+)
+from repro.faults.plan import SITES, FaultMode, FaultPlan, FaultSpec, modes_for_site
+
+__all__ = [
+    "FaultMode",
+    "FaultPlan",
+    "FaultSpec",
+    "SITES",
+    "modes_for_site",
+    "FaultInjector",
+    "FaultyWAL",
+    "FaultyDiskManager",
+    "SimulatedCrash",
+    "build_faulty_database",
+    "InvariantViolation",
+    "check_view_against_database",
+    "contents_of",
+    "verify_crash_recovery",
+    "verify_database",
+]
