@@ -1,0 +1,614 @@
+"""Concurrent multi-client stress driver with a serialization checker.
+
+Runs N client threads (PMV-mediated queries) against M writer threads
+(inserts/deletes/updates that trigger PMV maintenance) on one shared
+database, then proves the concurrent run equivalent to a
+single-threaded one:
+
+- every committed DML statement and every query's Operation O3 appends
+  to a shared **op log** from inside the statement latch, so the log
+  *is* the run's serialization order (O3's completion is a query's
+  serialization point — the S lock guarantees everything delivered in
+  O2 is re-derived there);
+- a fresh database is then built from the same seed data and the log
+  is replayed single-threaded, re-running every query at its logged
+  position; each concurrent result must match the reference run
+  **row for row** (multiset equality over ``Ls'`` tuples);
+- final base-relation contents of the live and replayed databases must
+  agree, the PMV must pass its invariant + no-phantom battery, and no
+  thread may die on an unhandled exception — a ``LockError`` escaping
+  to a client is exactly the bug this layer exists to rule out.
+
+Two modes:
+
+- **free-running** (default): real OS interleaving, the throughput/
+  correctness soak;
+- **deterministic** (``--sched-seeds``): the same workload under
+  :class:`repro.faults.InterleavingScheduler`, which forces seeded
+  thread switches at lock-acquire and O2/O3 seams.  Each seed runs
+  twice and must produce the identical decision trace — the replay
+  handle ``sched/<seed>`` reproduces the interleaving exactly, torture-
+  harness style::
+
+      python -m repro.bench.stress --replay sched/3
+
+  Run the CI sweep::
+
+      python -m repro.bench.stress --sched-seeds 4 --report STRESS_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+
+from repro.core import Discretization, MaintenanceStrategy, PMVManager
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+from repro.errors import LockError
+from repro.faults import InterleavingScheduler
+from repro.faults.check import contents_of
+
+__all__ = [
+    "StressConfig",
+    "StressResult",
+    "run_stress",
+    "sweep_interleavings",
+    "main",
+]
+
+_RELATIONS = ("r", "s")
+JOIN_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """Shape of one stress run."""
+
+    seed: int = 0
+    clients: int = 8
+    writers: int = 2
+    queries_per_client: int = 25
+    ops_per_writer: int = 20
+    deterministic: bool = False  # install the interleaving scheduler
+
+
+@dataclass
+class StressResult:
+    """Outcome of one stress run (serialized into the report)."""
+
+    config: StressConfig
+    ok: bool = True
+    queries_checked: int = 0
+    changes_applied: int = 0
+    mismatches: list[dict] = field(default_factory=list)
+    thread_errors: list[dict] = field(default_factory=list)
+    writer_lock_aborts: int = 0
+    lock_stats: dict = field(default_factory=dict)
+    pmv_bypassed_lock: int = 0
+    maintenance_lock_retries: int = 0
+    sched_decisions: int = 0
+    sched_trace: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def handle(self) -> str:
+        mode = "sched" if self.config.deterministic else "free"
+        return f"{mode}/{self.config.seed}"
+
+
+# ---------------------------------------------------------------------------
+# Shared fixture: schema + seed data + template + PMV
+# ---------------------------------------------------------------------------
+
+
+def _make_template() -> QueryTemplate:
+    return QueryTemplate(
+        name="sq",
+        relations=("r", "s"),
+        select_list=("r.a", "s.e"),
+        joins=(JoinEquality("r", "c", "s", "d"),),
+        slots=(
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def _build_database() -> Database:
+    """Schema and deterministic seed data (identical for the live run
+    and the single-threaded reference replay)."""
+    database = Database(buffer_pool_pages=64, page_size=1024)
+    database.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+            Column("note", TEXT),  # not in Ls'/Cjoin: irrelevant updates
+        ],
+    )
+    database.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    database.create_index("r_f", "r", ["f"])
+    database.create_index("r_c", "r", ["c"])
+    database.create_index("s_d", "s", ["d"])
+    database.create_index("s_g", "s", ["g"])
+    for i in range(60):
+        database.insert("r", (i, i % 6, i % 4, f"a{i}", "seed"))
+    for j in range(24):
+        database.insert("s", (j % 6, j % 3, f"e{j}"))
+    return database
+
+
+def _attach_pmv(database: Database, seed: int) -> tuple[PMVManager, QueryTemplate]:
+    template = _make_template()
+    strategy = (
+        MaintenanceStrategy.AUX_INDEX if seed % 2 else MaintenanceStrategy.DELTA_JOIN
+    )
+    manager = PMVManager(database, maintenance_strategy=strategy)
+    manager.create_view(
+        template,
+        Discretization(template),
+        tuples_per_entry=3,
+        max_entries=8,
+        aux_index_columns=("r.a", "s.e"),
+        upper_bound_bytes=4096,
+    )
+    return manager, template
+
+
+def _bind_query(template: QueryTemplate, rng: random.Random):
+    return template.bind(
+        [
+            EqualityDisjunction("r.f", [rng.randrange(4)]),
+            EqualityDisjunction("s.g", [rng.randrange(3)]),
+        ]
+    )
+
+
+def _rows_key(rows) -> list:
+    return sorted((tuple(r.values) for r in rows), key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Worker bodies
+# ---------------------------------------------------------------------------
+
+
+class _Shared:
+    """State shared by all worker threads of one run.
+
+    ``oplog`` is appended only from inside the statement latch (the
+    change listener fires in ``Database._notify``; ``on_o3`` fires in
+    the executor's latched O3 section), so its order is the run's
+    serialization order without any extra locking.
+    """
+
+    def __init__(self) -> None:
+        self.oplog: list[tuple] = []
+        self.query_results: dict[str, list] = {}
+        self.queries: dict[str, object] = {}
+        self.errors: list[dict] = []
+        self.writer_lock_aborts = 0
+
+    def log_change(self, change, txn) -> None:
+        self.oplog.append(
+            (
+                "change",
+                change.kind.value,
+                change.relation,
+                tuple(change.old_row.values) if change.old_row is not None else None,
+                tuple(change.new_row.values) if change.new_row is not None else None,
+            )
+        )
+
+    def record_error(self, name: str, exc: BaseException) -> None:
+        self.errors.append(
+            {
+                "thread": name,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+
+
+def _client_body(
+    shared: _Shared, manager: PMVManager, template, config: StressConfig, index: int
+) -> None:
+    """One client: a seeded stream of PMV-mediated queries.
+
+    No exception is acceptable here — in particular no LockError: the
+    executor must degrade to a bypass, never fail the query.
+    """
+    rng = random.Random(config.seed * 10_007 + 101 * index)
+    name = f"c{index}"
+    try:
+        for k in range(config.queries_per_client):
+            query = _bind_query(template, rng)
+            qid = f"{name}.{k}"
+            shared.queries[qid] = query
+
+            def at_o3(_query, qid=qid):
+                shared.oplog.append(("query", qid))
+
+            result = manager.execute(query, on_o3=at_o3)
+            shared.query_results[qid] = _rows_key(result.all_rows())
+    except BaseException as exc:  # recorded, fails the run
+        shared.record_error(name, exc)
+
+
+def _writer_body(
+    shared: _Shared, database: Database, config: StressConfig, index: int
+) -> None:
+    """One writer: seeded DML over its OWN partition of ``r``.
+
+    Each writer inserts rows with ids from a private range and only
+    deletes/updates rows it inserted, so writers never race each other
+    for the same logical row — the contention under test is
+    reader/maintainer locking, not lost-update semantics the engine
+    does not claim to provide.
+    """
+    rng = random.Random(config.seed * 20_011 + 307 * index)
+    name = f"w{index}"
+    next_id = 100_000 * (index + 1)
+    owned: dict[int, object] = {}  # id -> current RowId
+    try:
+        for _ in range(config.ops_per_writer):
+            roll = rng.random()
+            try:
+                if roll < 0.45 or not owned:  # insert
+                    values = (
+                        next_id,
+                        rng.randrange(6),
+                        rng.randrange(4),
+                        f"w{index}a{next_id}",
+                        "fresh",
+                    )
+                    owned[next_id] = database.insert("r", values)
+                    next_id += 1
+                elif roll < 0.75:  # delete an owned row
+                    victim = rng.choice(sorted(owned))
+                    database.delete("r", owned.pop(victim))
+                else:  # update an owned row
+                    victim = rng.choice(sorted(owned))
+                    if rng.random() < 0.7:
+                        # Relevant update (r.a is in Ls'): needs the X lock.
+                        changes = {"a": f"w{index}r{rng.randrange(999)}"}
+                    else:
+                        # Irrelevant update (r.note): maintenance-free.
+                        changes = {"note": f"n{rng.randrange(999)}"}
+                    _, _, new_id = database.update("r", owned[victim], **changes)
+                    owned[victim] = new_id
+            except Exception as exc:
+                if isinstance(exc, LockError):
+                    # The maintainer exhausted its waits+retries against
+                    # a burst of readers: the statement aborted cleanly
+                    # (no base change, nothing logged).  Count and move on.
+                    shared.writer_lock_aborts += 1
+                    continue
+                raise
+    except BaseException as exc:
+        shared.record_error(name, exc)
+
+
+# ---------------------------------------------------------------------------
+# Reference replay + checks
+# ---------------------------------------------------------------------------
+
+
+def _replay_and_check(shared: _Shared, result: StressResult) -> Database:
+    """Replay the op log single-threaded and compare every query.
+
+    Returns the reference database, which after the full replay holds
+    the op log's final logical state."""
+    reference = _build_database()
+    schema_names = {
+        name: reference.catalog.relation(name).schema.names() for name in _RELATIONS
+    }
+    for entry in shared.oplog:
+        if entry[0] == "change":
+            _, kind, relation, old_values, new_values = entry
+            if kind == "insert":
+                reference.insert(relation, new_values)
+            elif kind == "delete":
+                row_key = old_values[0]
+                deleted = reference.delete_where(
+                    relation, lambda row: row["id"] == row_key
+                )
+                if len(deleted) != 1:
+                    result.mismatches.append(
+                        {
+                            "kind": "replay-delete",
+                            "detail": f"id {row_key}: {len(deleted)} rows deleted",
+                        }
+                    )
+            else:  # update
+                row_key = old_values[0]
+                names = schema_names[relation]
+                changes = {
+                    name: new
+                    for name, old, new in zip(names, old_values, new_values)
+                    if old != new
+                }
+                target = None
+                for row_id, row in reference.catalog.relation(relation).scan():
+                    if row["id"] == row_key:
+                        target = row_id
+                        break
+                if target is None:
+                    result.mismatches.append(
+                        {"kind": "replay-update", "detail": f"id {row_key} missing"}
+                    )
+                    continue
+                reference.update(relation, target, **changes)
+            result.changes_applied += 1
+        else:  # ("query", qid)
+            qid = entry[1]
+            query = shared.queries[qid]
+            want = _rows_key(reference.run(query))
+            got = shared.query_results.get(qid)
+            result.queries_checked += 1
+            if got != want:
+                result.mismatches.append(
+                    {
+                        "kind": "query-divergence",
+                        "query": qid,
+                        "got": len(got) if got is not None else None,
+                        "want": len(want),
+                    }
+                )
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# One run
+# ---------------------------------------------------------------------------
+
+
+def run_stress(config: StressConfig) -> StressResult:
+    """Run one concurrent workload and verify it against the reference."""
+    started = time.perf_counter()
+    result = StressResult(config=config)
+    database = _build_database()
+    manager, template = _attach_pmv(database, config.seed)
+    view = manager.view(template.name)
+    shared = _Shared()
+    database.add_change_listener(shared.log_change)
+
+    sched = InterleavingScheduler(config.seed) if config.deterministic else None
+    if sched is not None:
+        database.install_scheduler(sched)
+
+    bodies = [
+        (f"c{i}", _client_body, (shared, manager, template, config, i))
+        for i in range(config.clients)
+    ] + [
+        (f"w{i}", _writer_body, (shared, database, config, i))
+        for i in range(config.writers)
+    ]
+    if sched is not None:
+        threads = [sched.spawn(name, body, *args) for name, body, args in bodies]
+    else:
+        threads = [
+            threading.Thread(target=body, args=args, name=name, daemon=True)
+            for name, body, args in bodies
+        ]
+    for thread in threads:
+        thread.start()
+    if sched is not None:
+        sched.launch()
+    deadline = time.monotonic() + JOIN_TIMEOUT
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    hung = [t.name for t in threads if t.is_alive()]
+    if sched is not None:
+        database.install_scheduler(None)
+        result.sched_decisions = sched.decisions
+        result.sched_trace = list(sched.trace)
+    if hung:
+        result.ok = False
+        result.thread_errors.append(
+            {"thread": ",".join(hung), "error": "hang: join timed out", "traceback": ""}
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # Post-run invariants on the live database, then the replay check.
+    database.remove_change_listener(shared.log_change)
+    try:
+        view.check_invariants()
+        manager.verify_consistency()
+    except Exception as exc:
+        result.mismatches.append(
+            {"kind": "pmv-invariant", "detail": f"{type(exc).__name__}: {exc}"}
+        )
+    reference = _replay_and_check(shared, result)
+    # The replayed reference now holds the op log's final state: the
+    # live database must agree with it, relation for relation.
+    if contents_of(database, _RELATIONS) != contents_of(reference, _RELATIONS):
+        result.mismatches.append(
+            {"kind": "final-contents", "detail": "live DB != replayed op log"}
+        )
+
+    result.thread_errors.extend(shared.errors)
+    result.writer_lock_aborts = shared.writer_lock_aborts
+    result.lock_stats = database.lock_manager.stats()
+    result.pmv_bypassed_lock = view.metrics.pmv_bypassed_lock
+    result.maintenance_lock_retries = view.metrics.maintenance_lock_retries
+    result.ok = not result.mismatches and not result.thread_errors
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Deterministic interleaving sweep
+# ---------------------------------------------------------------------------
+
+
+def sweep_interleavings(
+    seeds: list[int],
+    clients: int = 3,
+    writers: int = 2,
+    queries_per_client: int = 6,
+    ops_per_writer: int = 8,
+) -> list[dict]:
+    """Run each seed twice under the scheduler: both runs must pass the
+    serialization check AND produce the identical decision trace —
+    that identity is what makes ``sched/<seed>`` a replay handle."""
+    outcomes = []
+    for seed in seeds:
+        config = StressConfig(
+            seed=seed,
+            clients=clients,
+            writers=writers,
+            queries_per_client=queries_per_client,
+            ops_per_writer=ops_per_writer,
+            deterministic=True,
+        )
+        first = run_stress(config)
+        second = run_stress(config)
+        deterministic = first.sched_trace == second.sched_trace
+        outcomes.append(
+            {
+                "handle": first.handle,
+                "ok": first.ok and second.ok and deterministic,
+                "run1_ok": first.ok,
+                "run2_ok": second.ok,
+                "deterministic_replay": deterministic,
+                "decisions": first.sched_decisions,
+                "queries_checked": first.queries_checked,
+                "mismatches": first.mismatches + second.mismatches,
+                "thread_errors": first.thread_errors + second.thread_errors,
+            }
+        )
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _result_dict(result: StressResult) -> dict:
+    data = asdict(result)
+    data["handle"] = result.handle
+    # The full trace is replay material, not report material.
+    data["sched_trace"] = data["sched_trace"][-20:]
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.stress", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--writers", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=25, help="queries per client")
+    parser.add_argument("--ops", type=int, default=20, help="DML ops per writer")
+    parser.add_argument(
+        "--sched-seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="instead of one free run, sweep seeds 0..N-1 deterministically "
+        "(each run twice, traces must match)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="HANDLE",
+        help="replay one handle, e.g. sched/3 or free/0",
+    )
+    parser.add_argument("--report", metavar="PATH", help="write a JSON report")
+    args = parser.parse_args(argv)
+
+    report: dict
+    if args.replay:
+        mode, _, seed_text = args.replay.partition("/")
+        config = StressConfig(
+            seed=int(seed_text),
+            clients=args.clients if mode == "free" else 3,
+            writers=args.writers if mode == "free" else 2,
+            queries_per_client=args.queries if mode == "free" else 6,
+            ops_per_writer=args.ops if mode == "free" else 8,
+            deterministic=(mode == "sched"),
+        )
+        result = run_stress(config)
+        report = {"mode": f"replay-{mode}", "runs": [_result_dict(result)]}
+        ok = result.ok
+        print(
+            f"[stress] replay {result.handle}: "
+            f"{'OK' if ok else 'FAIL'} — {result.queries_checked} queries checked, "
+            f"{result.sched_decisions} scheduler decisions"
+        )
+    elif args.sched_seeds > 0:
+        outcomes = sweep_interleavings(list(range(args.sched_seeds)))
+        ok = all(o["ok"] for o in outcomes)
+        report = {"mode": "sched-sweep", "runs": outcomes}
+        for outcome in outcomes:
+            print(
+                f"[stress] {outcome['handle']}: "
+                f"{'OK' if outcome['ok'] else 'FAIL'} — "
+                f"{outcome['decisions']} decisions, "
+                f"deterministic={outcome['deterministic_replay']}"
+            )
+        if not ok:
+            bad = [o["handle"] for o in outcomes if not o["ok"]]
+            print(f"[stress] FAILING HANDLES: {', '.join(bad)} (replay with --replay)")
+    else:
+        config = StressConfig(
+            seed=args.seed,
+            clients=args.clients,
+            writers=args.writers,
+            queries_per_client=args.queries,
+            ops_per_writer=args.ops,
+        )
+        result = run_stress(config)
+        ok = result.ok
+        report = {"mode": "free", "runs": [_result_dict(result)]}
+        print(
+            f"[stress] {result.handle}: {'OK' if ok else 'FAIL'} — "
+            f"{result.queries_checked} queries checked, "
+            f"{result.changes_applied} changes replayed, "
+            f"bypasses={result.pmv_bypassed_lock}, "
+            f"writer_aborts={result.writer_lock_aborts}, "
+            f"lock_stats={result.lock_stats}"
+        )
+        if not ok:
+            for mismatch in result.mismatches[:10]:
+                print(f"[stress]   mismatch: {mismatch}")
+            for error in result.thread_errors[:10]:
+                print(f"[stress]   thread error: {error['thread']}: {error['error']}")
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print(f"[stress] report written to {args.report}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ bound ``Cselect`` value.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -173,6 +174,9 @@ class DecompositionCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        # OrderedDict move_to_end/popitem are not atomic; concurrent O1
+        # runs from multiple client threads share this memo.
+        self._mutex = threading.Lock()
         # Cselect -> (parts, O2-ready part groups).
         self._entries: OrderedDict[
             Any, tuple[tuple[ConditionPart, ...], tuple[PartGroup, ...]]
@@ -182,17 +186,21 @@ class DecompositionCache:
         self, query: Query, discretization: Discretization
     ) -> tuple[tuple[ConditionPart, ...], tuple[PartGroup, ...]]:
         key = _memo_key(query.cselect)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._mutex:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        # Decompose outside the mutex (pure computation; a racing miss
+        # on the same key just does the same work and wins last).
         parts = decompose(query, discretization)
         entry = (tuple(parts), group_parts(parts))
-        self._entries[key] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
         return entry
 
     def decompose(self, query: Query, discretization: Discretization) -> list[ConditionPart]:

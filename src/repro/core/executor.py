@@ -15,6 +15,16 @@ Given a bound query, :class:`PMVExecutor`:
 The executor separately measures the *overhead* of the PMV code paths
 (O1 + O2 + O3's checking) and the full execution time, which is what
 Figures 8-10 of the paper report.
+
+Concurrency: the PMV is an accelerator, never a correctness
+dependency.  When the Section 3.6 S lock cannot be granted within the
+grace period (a maintenance X lock is in flight), the executor does
+NOT fail the query — it *bypasses* the PMV and falls back to plain
+blocking execution, counting the event as ``pmv_bypassed_lock``.
+Operation O3 runs as one latched critical section on the database's
+statement latch, which makes the completion of full execution the
+query's serialization point; the optional ``on_o3`` callback fires
+inside that section so a checker can record the serialization order.
 """
 
 from __future__ import annotations
@@ -31,9 +41,14 @@ from repro.engine.database import Database
 from repro.engine.row import Row
 from repro.engine.template import Query
 from repro.engine.transactions import Transaction
-from repro.errors import PMVError
+from repro.errors import LockError, PMVError
 
-__all__ = ["PMVQueryResult", "PMVExecutor"]
+__all__ = ["PMVQueryResult", "PMVExecutor", "DEFAULT_LOCK_GRACE"]
+
+DEFAULT_LOCK_GRACE = 0.2
+"""How long a query waits for the PMV's S lock before bypassing the
+view.  Long enough to ride out a maintenance X lock's critical
+section, short enough that degraded service stays interactive."""
 
 
 @dataclass
@@ -129,6 +144,8 @@ class PMVExecutor:
         o1_cache_size: int = DEFAULT_O1_CACHE_SIZE,
         use_plan_cache: bool = True,
         batched: bool = True,
+        lock_wait: bool = True,
+        lock_timeout: float = DEFAULT_LOCK_GRACE,
     ) -> None:
         self.database = database
         self.view = view
@@ -138,6 +155,12 @@ class PMVExecutor:
         )
         self.use_plan_cache = use_plan_cache
         self.batched = batched
+        # S-lock acquisition policy: wait up to ``lock_timeout`` seconds
+        # for the view's S lock, then bypass the PMV instead of failing
+        # the query.  ``lock_wait=False`` restores the historical
+        # try-once policy (still bypassing, never raising).
+        self.lock_wait = lock_wait
+        self.lock_timeout = lock_timeout
 
     # -- public API --------------------------------------------------------------
 
@@ -147,6 +170,7 @@ class PMVExecutor:
         txn: Transaction | None = None,
         distinct: bool = False,
         on_partial: Callable[[list[Row]], None] | None = None,
+        on_o3: Callable[[Query], None] | None = None,
     ) -> PMVQueryResult:
         """Run ``query`` through O1/O2/O3.
 
@@ -155,14 +179,21 @@ class PMVExecutor:
         execution).  ``on_partial`` is invoked with the partial result
         rows the moment O2 completes — i.e. before full execution
         starts — which is how an application streams the immediate
-        results to its user.
+        results to its user.  ``on_o3`` is invoked (with the query)
+        inside the latched full-execution section, i.e. at the query's
+        serialization point; the interleaving checker uses it to build
+        the serialization op-log.
+
+        Never raises :class:`LockError`: if the view's S lock cannot be
+        obtained within the grace period, the query silently bypasses
+        the PMV (``metrics.bypassed_lock``).
         """
         self._check_template(query)
         own_txn = txn is None
         if own_txn:
             txn = self.database.begin(read_only=True)
         try:
-            result = self._execute_locked(query, txn, distinct, on_partial)
+            result = self._execute_locked(query, txn, distinct, on_partial, on_o3)
         finally:
             if own_txn:
                 txn.commit()  # releases the S lock (strict 2PL)
@@ -177,6 +208,11 @@ class PMVExecutor:
         early, sparing the RDBMS the whole blocking execution.  The
         preview performs no base-relation I/O and does not refresh the
         PMV; ``remaining_rows`` stays empty.
+
+        If the S lock cannot be obtained (maintenance in flight) the
+        preview degrades to *no* partial results — it never runs a
+        blocking execution and never raises :class:`LockError`; the
+        event is counted as ``pmv_bypassed_lock``.
         """
         self._check_template(query)
         own_txn = txn is None
@@ -229,6 +265,24 @@ class PMVExecutor:
 
     # -- the three operations ------------------------------------------------------
 
+    def _lock_view_or_bypass(self, txn: Transaction, metrics: QueryMetrics) -> bool:
+        """Take the Section 3.6 S lock on the view, or report a bypass.
+
+        Returns ``True`` with the lock held, or ``False`` (setting
+        ``metrics.bypassed_lock``) when the lock was denied or the wait
+        timed out.  The LockError never reaches the client — this is
+        the O2 lock-denial bugfix: the PMV accelerates queries, it must
+        never fail them.
+        """
+        try:
+            txn.lock_shared(
+                self.view.name, wait=self.lock_wait, timeout=self.lock_timeout
+            )
+        except LockError:  # includes DeadlockError timeouts
+            metrics.bypassed_lock = True
+            return False
+        return True
+
     def _preview_locked(self, query: Query, txn: Transaction) -> PMVQueryResult:
         clock = self._clock
         view = self.view
@@ -236,7 +290,15 @@ class PMVExecutor:
         start = clock()
         parts, groups = self._decompose_grouped(query, result.metrics)
         result.metrics.condition_parts = len(parts)
-        txn.lock_shared(view.name)
+        if not self._lock_view_or_bypass(txn, result.metrics):
+            # Degrade to an empty preview: no lock means the cached
+            # contents may be mutated under us, and a preview by
+            # definition must not fall back to blocking execution.
+            elapsed = clock() - start
+            result.metrics.partial_latency_seconds = elapsed
+            result.metrics.overhead_seconds = elapsed
+            view.metrics.record_query(result.metrics)
+            return result
         # One group per containing bcp: the bcp is referenced once and
         # its entry probed once; a non-resident key is skipped outright
         # instead of being re-probed for every part that maps to it.
@@ -266,12 +328,47 @@ class PMVExecutor:
         view.metrics.record_query(result.metrics)
         return result
 
+    def _execute_bypassed(
+        self,
+        query: Query,
+        result: PMVQueryResult,
+        distinct: bool,
+        on_partial: Callable[[list[Row]], None] | None,
+        on_o3: Callable[[Query], None] | None,
+        overhead_start: float,
+    ) -> PMVQueryResult:
+        """Plain blocking execution, PMV skipped (S lock unavailable).
+
+        The answer is complete and correct — it just arrives without
+        immediate partial results and without refreshing the view.
+        """
+        clock = self._clock
+        metrics = result.metrics
+        metrics.partial_latency_seconds = clock() - overhead_start
+        metrics.overhead_seconds = metrics.partial_latency_seconds
+        if on_partial is not None:
+            on_partial([])
+        plan = self.database.plan(query, blocking=True, use_cache=self.use_plan_cache)
+        execution_start = clock()
+        with self.database.statement_latch:
+            rows = plan.run()
+            if on_o3 is not None:
+                on_o3(query)
+        if distinct:
+            rows = list(dict.fromkeys(rows))
+        result.remaining_rows = rows
+        metrics.remaining_tuples = len(rows)
+        metrics.execution_seconds = clock() - execution_start
+        self.view.metrics.record_query(metrics)
+        return result
+
     def _execute_locked(
         self,
         query: Query,
         txn: Transaction,
         distinct: bool,
         on_partial: Callable[[list[Row]], None] | None = None,
+        on_o3: Callable[[Query], None] | None = None,
     ) -> PMVQueryResult:
         clock = self._clock
         view = self.view
@@ -291,7 +388,13 @@ class PMVExecutor:
         # Section 3.6's locking protocol: hold an S lock on the PMV from
         # O2 through O3 so no concurrent maintenance can invalidate the
         # partial results already delivered.
-        txn.lock_shared(view.name)
+        sched = self.database.scheduler
+        if sched is not None:
+            sched.switch("executor.o2")
+        if not self._lock_view_or_bypass(txn, metrics):
+            return self._execute_bypassed(
+                query, result, distinct, on_partial, on_o3, overhead_start
+            )
         ds = DuplicateSuppressor()
         counters: dict[tuple, int] = {}
         delivered_distinct: set[Row] = set()
@@ -373,11 +476,43 @@ class PMVExecutor:
             on_partial(list(result.partial_rows))
 
         # ---- Operation O3: full execution + dedup + PMV refresh ----------
+        # The whole of O3 is one critical section on the statement
+        # latch: full execution then reads a consistent snapshot and its
+        # completion is the query's serialization point (``on_o3``).
+        # The S lock is already held, and the latch is never held while
+        # waiting on a lock, so this cannot deadlock.
+        if sched is not None:
+            sched.switch("executor.o3")
         execution_start = clock()
         if self.use_plan_cache:
             plan = self.database.plan(query, blocking=True)
         else:
             plan = self.database.plan(query, blocking=True, use_cache=False)
+        self.database.statement_latch.acquire()
+        try:
+            self._run_o3(query, result, plan, ds, counters, distinct, execution_start)
+            if on_o3 is not None:
+                on_o3(query)
+        finally:
+            self.database.statement_latch.release()
+        view.metrics.record_query(metrics)
+        return result
+
+    def _run_o3(
+        self,
+        query: Query,
+        result: PMVQueryResult,
+        plan,
+        ds: DuplicateSuppressor,
+        counters: dict,
+        distinct: bool,
+        execution_start: float,
+    ) -> None:
+        """The body of Operation O3 (caller holds the statement latch)."""
+        clock = self._clock
+        view = self.view
+        metrics = result.metrics
+        overhead = metrics.partial_latency_seconds
         seen_distinct: set[Row] = set()
         f_limit = view.tuples_per_entry
         if self.batched:
@@ -444,11 +579,11 @@ class PMVExecutor:
         execution_seconds = clock() - execution_start
 
         # Transactional consistency invariant: everything delivered in
-        # O2 must have been re-derived by O3.
+        # O2 must have been re-derived by O3.  (Holds under concurrency
+        # too: the S lock excludes deletions of cached tuples until the
+        # transaction ends, and insertions only add O3 rows.)
         ds.assert_empty()
 
         metrics.remaining_tuples = len(result.remaining_rows)
         metrics.overhead_seconds = overhead
         metrics.execution_seconds = execution_seconds
-        view.metrics.record_query(metrics)
-        return result

@@ -29,6 +29,8 @@ of an X lock" discipline the paper describes.
 from __future__ import annotations
 
 import enum
+import threading
+import time
 from typing import Any
 
 from repro.core.view import PartialMaterializedView
@@ -37,7 +39,7 @@ from repro.engine.row import Row
 from repro.engine.schema import Schema
 from repro.engine.template import QueryTemplate
 from repro.engine.transactions import Change, ChangeKind, Transaction
-from repro.errors import MaintenanceError
+from repro.errors import LockError, MaintenanceError
 
 __all__ = [
     "MaintenanceStrategy",
@@ -151,16 +153,31 @@ class PMVMaintainer:
         database: Database,
         view: PartialMaterializedView,
         strategy: MaintenanceStrategy = MaintenanceStrategy.DELTA_JOIN,
+        x_lock_wait: bool = True,
+        x_lock_timeout: float = 0.2,
+        x_lock_retries: int = 2,
+        x_lock_backoff: float = 0.05,
     ) -> None:
         self.database = database
         self.view = view
         self.strategy = strategy
         self._attached = False
+        # X-lock acquisition policy: wait up to ``x_lock_timeout`` per
+        # attempt, retrying ``x_lock_retries`` times with a linear
+        # backoff when the request loses to readers, before letting the
+        # LockError abort the writing statement.  ``x_lock_wait=False``
+        # restores the historical try-once, no-wait policy.
+        self.x_lock_wait = x_lock_wait
+        self.x_lock_timeout = x_lock_timeout
+        self.x_lock_retries = x_lock_retries
+        self.x_lock_backoff = x_lock_backoff
         # X-lock transactions opened in the prepare phase for
         # statements outside a caller transaction, committed when the
-        # corresponding change (or abort) arrives.  The engine is
-        # single-threaded, so a simple stack pairs them up.
-        self._pending_txns: list[Transaction] = []
+        # corresponding change (or abort) arrives.  One statement is in
+        # flight per thread at a time, so a per-thread stack pairs the
+        # prepare with its change/abort even with concurrent writers.
+        self._pending_txns: dict[int, list[Transaction]] = {}
+        self._pending_mutex = threading.Lock()
         self._result_schema = template_result_schema(view.template, database)
         if strategy is MaintenanceStrategy.AUX_INDEX:
             self._check_aux_coverage()
@@ -228,22 +245,63 @@ class PMVMaintainer:
             return
         self._fire_fault("maintenance.prepare")
         if txn is not None:
-            txn.lock_exclusive(self.view.name)
+            self._acquire_x(txn)
             return
         pending = self.database.begin()
         try:
-            pending.lock_exclusive(self.view.name)
+            self._acquire_x(pending)
         except Exception:
             pending.abort()
             raise
-        self._pending_txns.append(pending)
+        self._push_pending(pending)
+
+    def _acquire_x(self, txn: Transaction) -> None:
+        """Take the view's X lock, waiting and retrying with backoff.
+
+        A maintenance X request can repeatedly lose to reader S locks
+        (queries pinning the view across O2→O3); a bounded
+        retry-with-backoff rides out reader bursts before giving up and
+        letting the LockError abort the writing statement.
+        """
+        attempts = self.x_lock_retries + 1 if self.x_lock_wait else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                txn.lock_exclusive(
+                    self.view.name,
+                    wait=self.x_lock_wait,
+                    timeout=self.x_lock_timeout,
+                )
+                return
+            except LockError:
+                if attempt >= attempts:
+                    raise
+                self.view.metrics.maintenance_lock_retries += 1
+                time.sleep(self.x_lock_backoff * attempt)
+
+    def _push_pending(self, pending: Transaction) -> None:
+        ident = threading.get_ident()
+        with self._pending_mutex:
+            self._pending_txns.setdefault(ident, []).append(pending)
+
+    def _pop_pending(self) -> Transaction | None:
+        ident = threading.get_ident()
+        with self._pending_mutex:
+            stack = self._pending_txns.get(ident)
+            if not stack:
+                return None
+            pending = stack.pop()
+            if not stack:
+                del self._pending_txns[ident]
+            return pending
 
     def abort_change(self, change: Change, txn: Transaction | None) -> None:
         """The prepared statement failed: release any pending X lock."""
         if not self._needs_maintenance(change):
             return
-        if txn is None and self._pending_txns:
-            self._pending_txns.pop().abort()
+        if txn is None:
+            pending = self._pop_pending()
+            if pending is not None:
+                pending.abort()
 
     def handle_change(self, change: Change, txn: Transaction | None) -> None:
         """React to one applied base-relation change (the ΔRi element)."""
@@ -281,11 +339,12 @@ class PMVMaintainer:
         # maintenance work below completes.
         pending = None
         if txn is None:
-            if self._pending_txns:
-                pending = self._pending_txns.pop()
-            else:
+            pending = self._pop_pending()
+            if pending is None:
                 # Change arrived without a prepare (e.g. the maintainer
-                # attached mid-statement): lock now, best effort.
+                # attached mid-statement): lock now, best effort — and
+                # strictly no-wait, because this path runs inside the
+                # statement latch where waiting could deadlock.
                 pending = self.database.begin()
                 pending.lock_exclusive(self.view.name)
         try:

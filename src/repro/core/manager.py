@@ -62,6 +62,8 @@ class PMVManager:
         upper_bound_bytes: int | None = None,
         maintenance_strategy: MaintenanceStrategy | None = None,
         o1_cache_size: int = DEFAULT_O1_CACHE_SIZE,
+        executor_options: dict | None = None,
+        maintainer_options: dict | None = None,
     ) -> PartialMaterializedView:
         """Create, register, and wire a PMV for ``template``.
 
@@ -69,6 +71,10 @@ class PMVManager:
         attaches a maintainer, and makes the manager route the
         template's queries to the new view.  ``o1_cache_size`` sizes
         the executor's decomposition memo (0 disables it).
+        ``executor_options``/``maintainer_options`` are extra keyword
+        arguments for :class:`PMVExecutor` / :class:`PMVMaintainer` —
+        e.g. the concurrency knobs ``lock_timeout`` and
+        ``x_lock_retries`` (see DESIGN.md §8).
         """
         if template.name in self._views:
             raise PMVError(f"template {template.name!r} already has a PMV")
@@ -94,8 +100,13 @@ class PMVManager:
             upper_bound_bytes=upper_bound_bytes,
         )
         strategy = maintenance_strategy or self.maintenance_strategy
-        maintainer = PMVMaintainer(self.database, view, strategy=strategy).attach()
-        executor = PMVExecutor(self.database, view, o1_cache_size=o1_cache_size)
+        maintainer = PMVMaintainer(
+            self.database, view, strategy=strategy, **(maintainer_options or {})
+        ).attach()
+        executor = PMVExecutor(
+            self.database, view, o1_cache_size=o1_cache_size,
+            **(executor_options or {}),
+        )
         self._views[template.name] = ManagedView(view, executor, maintainer)
         return view
 
@@ -113,6 +124,7 @@ class PMVManager:
         query: Query,
         txn: Transaction | None = None,
         distinct: bool = False,
+        on_o3=None,
     ) -> PMVQueryResult:
         """Run ``query`` through the PMV registered for its template."""
         managed = self._views.get(query.template.name)
@@ -120,7 +132,9 @@ class PMVManager:
             raise PMVError(
                 f"no PMV registered for template {query.template.name!r}"
             )
-        return managed.executor.execute(query, txn=txn, distinct=distinct)
+        return managed.executor.execute(
+            query, txn=txn, distinct=distinct, on_o3=on_o3
+        )
 
     # -- inspection --------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ plus O3's duplicate checking, Figures 8-10), and maintenance work.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["QueryMetrics", "PMVMetrics"]
@@ -27,6 +28,9 @@ class QueryMetrics:
     o1_cache_hit: bool | None = None
     """Whether O1 was answered from the decomposition memo.  ``None``
     when the executor ran without a memo (caching disabled)."""
+    bypassed_lock: bool = False
+    """The view's S lock was unavailable, so the query skipped the PMV
+    and ran as a plain blocking execution (or an empty preview)."""
 
     @property
     def hit(self) -> bool:
@@ -61,23 +65,37 @@ class PMVMetrics:
     """Times a failure mid-maintenance forced the fail-safe: the whole
     PMV is cleared, because an empty PMV is always a correct PMV while
     a partially-maintained one may serve stale tuples."""
+    pmv_bypassed_lock: int = 0
+    """Queries that could not get the view's S lock and degraded to a
+    plain blocking execution (or an empty preview) instead of failing."""
+    maintenance_lock_retries: int = 0
+    """Times a maintenance X-lock request lost to readers and was
+    retried after a backoff before succeeding or giving up."""
     per_query: list[QueryMetrics] = field(default_factory=list)
     keep_per_query: bool = False
+    # Serializes record_query across concurrent client threads; the
+    # field tricks keep the dataclass hashable/printable as before.
+    _record_mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_query(self, metrics: QueryMetrics) -> None:
-        self.queries += 1
-        if metrics.hit:
-            self.query_hits += 1
-        self.partial_tuples += metrics.partial_tuples
-        self.remaining_tuples += metrics.remaining_tuples
-        self.overhead_seconds += metrics.overhead_seconds
-        self.execution_seconds += metrics.execution_seconds
-        if metrics.o1_cache_hit is True:
-            self.o1_cache_hits += 1
-        elif metrics.o1_cache_hit is False:
-            self.o1_cache_misses += 1
-        if self.keep_per_query:
-            self.per_query.append(metrics)
+        with self._record_mutex:
+            self.queries += 1
+            if metrics.hit:
+                self.query_hits += 1
+            self.partial_tuples += metrics.partial_tuples
+            self.remaining_tuples += metrics.remaining_tuples
+            self.overhead_seconds += metrics.overhead_seconds
+            self.execution_seconds += metrics.execution_seconds
+            if metrics.o1_cache_hit is True:
+                self.o1_cache_hits += 1
+            elif metrics.o1_cache_hit is False:
+                self.o1_cache_misses += 1
+            if metrics.bypassed_lock:
+                self.pmv_bypassed_lock += 1
+            if self.keep_per_query:
+                self.per_query.append(metrics)
 
     @property
     def hit_probability(self) -> float:
@@ -115,4 +133,7 @@ class PMVMetrics:
         self.maintenance_deletes = 0
         self.maintenance_updates_skipped = 0
         self.maintenance_tuples_removed = 0
+        self.maintenance_failsafe_clears = 0
+        self.pmv_bypassed_lock = 0
+        self.maintenance_lock_retries = 0
         self.per_query.clear()

@@ -167,8 +167,16 @@ class _ClockCore:
         self._maybe_compact()
         return True
 
-    def evict(self) -> Key:
-        """Advance the hand to the next unreferenced key and remove it."""
+    def evict(self) -> Key | None:
+        """Advance the hand to the next unreferenced key and remove it.
+
+        Returns ``None`` when no key is resident.  The ring may still
+        be non-empty then — tombstones left by ``discard`` linger below
+        the compaction threshold — and without this guard the hand
+        would chase them around the ring forever.
+        """
+        if not self._ref:
+            return None
         while True:
             if self._hand >= len(self._ring):
                 self._hand = 0
@@ -221,7 +229,9 @@ class ClockPolicy(ReplacementPolicy):
             return ReferenceResult(key, True, True)
         evicted: list[Key] = []
         if len(core) >= self.capacity:
-            evicted.append(core.evict())
+            victim = core.evict()
+            if victim is not None:
+                evicted.append(victim)
         core.insert(key)
         return ReferenceResult(key, False, True, tuple(evicted))
 
@@ -235,8 +245,6 @@ class ClockPolicy(ReplacementPolicy):
         return self._core.keys()
 
     def force_evict(self) -> Key | None:
-        if not len(self._core):
-            return None
         return self._core.evict()
 
     def __len__(self) -> int:
@@ -271,7 +279,9 @@ class TwoQueuePolicy(ReplacementPolicy):
             del self._a1[key]
             evicted: list[Key] = []
             if len(self._am) >= self.capacity:
-                evicted.append(self._am.evict())
+                victim = self._am.evict()
+                if victim is not None:
+                    evicted.append(victim)
             self._am.insert(key)
             return ReferenceResult(key, False, True, tuple(evicted))
         # First sighting: stage in A1 only.
@@ -295,8 +305,6 @@ class TwoQueuePolicy(ReplacementPolicy):
         return self._am.keys()
 
     def force_evict(self) -> Key | None:
-        if not len(self._am):
-            return None
         return self._am.evict()
 
     def __len__(self) -> int:

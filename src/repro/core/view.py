@@ -20,6 +20,7 @@ in-memory probe instead of computing the delta join.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.condition import BasicConditionPart, BcpKey, EqualityDim, IntervalDim
@@ -123,6 +124,12 @@ class PartialMaterializedView:
         self.upper_bound_bytes = upper_bound_bytes
         self.name = f"pmv_{template.name}"
         self.metrics = PMVMetrics()
+        # Structural latch: replacement-policy state and the entry dict
+        # are not thread-safe on their own, and O2 probes run outside
+        # the database's statement latch.  Re-entrant because clear()
+        # nests discard_entry() and add_tuple() nests _enforce_budget().
+        # Lock-ordering rule: nothing is awaited while holding it.
+        self.latch = threading.RLock()
         self._entries: dict[BcpKey, list[Row]] = {}
         self.current_bytes = 0
         self._stored_tuples = 0
@@ -209,18 +216,19 @@ class PartialMaterializedView:
         Admission creates an (initially empty) entry; evictions drop
         the victims' cached tuples.
         """
-        result = self.policy.reference(key)
-        if result.resident_before and not result.evicted:
-            # Hit fast path: a resident bcp already has its entry and
-            # (for every shipped policy) a hit never evicts.
+        with self.latch:
+            result = self.policy.reference(key)
+            if result.resident_before and not result.evicted:
+                # Hit fast path: a resident bcp already has its entry and
+                # (for every shipped policy) a hit never evicts.
+                return result
+            for victim in result.evicted:
+                self._drop_entry(victim)
+                self.metrics.entries_evicted += 1
+            if result.admitted and key not in self._entries:
+                self._entries[key] = []
+                self.current_bytes += self._key_cost
             return result
-        for victim in result.evicted:
-            self._drop_entry(victim)
-            self.metrics.entries_evicted += 1
-        if result.admitted and key not in self._entries:
-            self._entries[key] = []
-            self.current_bytes += self._key_cost
-        return result
 
     def contains(self, key: BcpKey) -> bool:
         """Whether the bcp is resident (its entry can serve tuples)."""
@@ -232,8 +240,9 @@ class PartialMaterializedView:
         This is the probe of the paper's index ``I`` in Operation O2.
         Returns a copy so callers cannot mutate the entry.
         """
-        rows = self._entries.get(key)
-        return list(rows) if rows is not None else None
+        with self.latch:
+            rows = self._entries.get(key)
+            return list(rows) if rows is not None else None
 
     def cached_rows(self, key: BcpKey) -> list[Row] | None:
         """Like :meth:`lookup` but returns the live entry list.
@@ -257,21 +266,22 @@ class PartialMaterializedView:
         Returns False (and stores nothing) when the bcp is not resident
         or already holds ``F`` tuples.
         """
-        rows = self._entries.get(key)
-        if rows is None:
-            return False
-        if len(rows) >= self.tuples_per_entry:
-            self.metrics.tuples_rejected_full += 1
-            return False
-        rows.append(row)
-        size = row.byte_size()
-        self.current_bytes += size
-        self._stored_tuples += 1
-        self._tuple_bytes += size
-        self.metrics.tuples_cached += 1
-        self._aux_add(key, row)
-        self._enforce_budget()
-        return True
+        with self.latch:
+            rows = self._entries.get(key)
+            if rows is None:
+                return False
+            if len(rows) >= self.tuples_per_entry:
+                self.metrics.tuples_rejected_full += 1
+                return False
+            rows.append(row)
+            size = row.byte_size()
+            self.current_bytes += size
+            self._stored_tuples += 1
+            self._tuple_bytes += size
+            self.metrics.tuples_cached += 1
+            self._aux_add(key, row)
+            self._enforce_budget()
+            return True
 
     def remove_tuple(self, row: Row) -> bool:
         """Remove one occurrence of ``row`` (maintenance path).
@@ -280,25 +290,27 @@ class PartialMaterializedView:
         if a cached occurrence was removed.
         """
         key = self.key_of_row(row)
-        rows = self._entries.get(key)
-        if not rows:
-            return False
-        try:
-            rows.remove(row)
-        except ValueError:
-            return False
-        size = row.byte_size()
-        self.current_bytes -= size
-        self._stored_tuples -= 1
-        self._tuple_bytes -= size
-        self.metrics.maintenance_tuples_removed += 1
-        self._aux_remove(key, row)
-        return True
+        with self.latch:
+            rows = self._entries.get(key)
+            if not rows:
+                return False
+            try:
+                rows.remove(row)
+            except ValueError:
+                return False
+            size = row.byte_size()
+            self.current_bytes -= size
+            self._stored_tuples -= 1
+            self._tuple_bytes -= size
+            self.metrics.maintenance_tuples_removed += 1
+            self._aux_remove(key, row)
+            return True
 
     def discard_entry(self, key: BcpKey) -> bool:
         """Forcibly drop a bcp and its tuples (maintenance/testing)."""
-        self.policy.discard(key)
-        return self._drop_entry(key)
+        with self.latch:
+            self.policy.discard(key)
+            return self._drop_entry(key)
 
     def clear(self) -> int:
         """Drop every entry, returning the PMV to the empty state.
@@ -308,11 +320,12 @@ class PartialMaterializedView:
         maintenance fails partway — and the restart state after a
         crash.  Returns the number of entries dropped.
         """
-        dropped = 0
-        for key in list(self._entries):
-            self.discard_entry(key)
-            dropped += 1
-        return dropped
+        with self.latch:
+            dropped = 0
+            for key in list(self._entries):
+                self.discard_entry(key)
+                dropped += 1
+            return dropped
 
     def _enforce_budget(self) -> None:
         """Shed whole entries while the UB byte budget is exceeded.

@@ -5,10 +5,21 @@ and keeps secondary indexes synchronized with every heap mutation.
 Base-relation changes are broadcast to registered listeners — the PMV
 maintenance layer subscribes to these to implement Section 3.4's
 deferred maintenance without the engine knowing anything about PMVs.
+
+Concurrency model (see DESIGN.md §8): physical structures (heap pages,
+indexes, WAL, statistics) are serialized by ``statement_latch``, a
+re-entrant short-term latch held only for the in-memory portion of a
+statement.  *Logical* conflicts are the lock manager's job, and lock
+acquisition is strictly ordered **before** the latch: every DML
+statement runs its prepare phase — where PMV maintenance takes its X
+lock, possibly waiting — with the latch released, then re-enters the
+latch to mutate.  A thread never waits on a lock while holding the
+latch, so the latch can never participate in a deadlock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.bufferpool import BufferPool
@@ -72,6 +83,7 @@ class PlanCache:
     def __init__(self, catalog: Catalog) -> None:
         self._catalog = catalog
         self._families: dict[tuple[Any, bool], _TemplatePlans] = {}
+        self._mutex = threading.Lock()
         self.hits = 0
         self.compilations = 0
 
@@ -79,32 +91,35 @@ class PlanCache:
         """Bind (compiling if needed) a plan for ``query``."""
         catalog = self._catalog
         key = (query.template, blocking)
-        family = self._families.get(key)
-        if family is None or family.catalog_version != catalog.version:
-            family = _TemplatePlans(
-                catalog.version, driver_candidates(catalog, query.template)
-            )
-            self._families[key] = family
-        driver_slot = choose_driver_slot(family.candidates, query, statistics)
-        compiled = family.compiled.get(driver_slot)
-        if compiled is None:
-            compiled = compile_plan(catalog, query.template, blocking, driver_slot)
-            family.compiled[driver_slot] = compiled
-            self.compilations += 1
-        else:
-            self.hits += 1
+        with self._mutex:
+            family = self._families.get(key)
+            if family is None or family.catalog_version != catalog.version:
+                family = _TemplatePlans(
+                    catalog.version, driver_candidates(catalog, query.template)
+                )
+                self._families[key] = family
+            driver_slot = choose_driver_slot(family.candidates, query, statistics)
+            compiled = family.compiled.get(driver_slot)
+            if compiled is None:
+                compiled = compile_plan(catalog, query.template, blocking, driver_slot)
+                family.compiled[driver_slot] = compiled
+                self.compilations += 1
+            else:
+                self.hits += 1
         return compiled.bind(query)
 
     def clear(self) -> None:
-        self._families.clear()
+        with self._mutex:
+            self._families.clear()
 
     def info(self) -> dict[str, int]:
         """Counters for tests and benchmark reporting."""
-        return {
-            "hits": self.hits,
-            "compilations": self.compilations,
-            "templates": len(self._families),
-        }
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "compilations": self.compilations,
+                "templates": len(self._families),
+            }
 
 
 class Database:
@@ -142,6 +157,14 @@ class Database:
         self.latency_model = LatencyModel()
         self.statistics = StatisticsCollector()
         self.plan_cache = PlanCache(self.catalog)
+        # Short-term re-entrant latch serializing the in-memory part of
+        # every statement (heap + index + WAL mutation, result
+        # materialization).  Held only while no lock wait can occur —
+        # see the module docstring's lock-before-latch rule.
+        self.statement_latch = threading.RLock()
+        # Optional deterministic interleaving scheduler (repro.faults.sched),
+        # shared with the lock manager.  None (and zero-cost) in production.
+        self.scheduler = None
         # Optional fault-injection hook (repro.faults), threaded into
         # every transaction this database begins and fired by the PMV
         # maintenance layer at its prepare/apply sites.  None (and
@@ -191,6 +214,13 @@ class Database:
         return Transaction(
             self.lock_manager, read_only=read_only, fault_hook=self.fault_hook
         )
+
+    def install_scheduler(self, sched) -> None:
+        """Install (or with ``None`` remove) a deterministic
+        interleaving scheduler; it is shared with the lock manager so
+        lock waits and grants become scheduler decision points."""
+        self.scheduler = sched
+        self.lock_manager.sched = sched
 
     # -- change listeners --------------------------------------------------------------
 
@@ -242,25 +272,32 @@ class Database:
         values: Sequence[Any],
         txn: Transaction | None = None,
     ) -> RowId:
-        """Insert a row, maintain indexes, and broadcast the change."""
+        """Insert a row, maintain indexes, and broadcast the change.
+
+        The prepare phase (where maintenance may wait for an X lock)
+        runs with the statement latch released; the heap/index/WAL
+        mutation and the change broadcast are one latched critical
+        section, so listeners observe changes in serialization order.
+        """
         relation = self.catalog.relation(relation_name)
         prospective = Row(relation.schema.validate_values(values), relation.schema)
         change = Change(ChangeKind.INSERT, relation_name, new_row=prospective)
         self._notify_prepare(change, txn)
-        try:
-            row_id = relation.insert(values)
-            row = relation.fetch(row_id)
-            for index in self.catalog.indexes_on(relation_name):
-                index.insert(row, row_id)
-        except Exception:
-            self._notify_abort(change, txn)
-            raise
-        if self.wal is not None:
-            self.wal.append(
-                LogKind.INSERT,
-                {"relation": relation_name, "values": list(row.values)},
-            )
-        self._notify(Change(ChangeKind.INSERT, relation_name, new_row=row), txn)
+        with self.statement_latch:
+            try:
+                row_id = relation.insert(values)
+                row = relation.fetch(row_id)
+                for index in self.catalog.indexes_on(relation_name):
+                    index.insert(row, row_id)
+            except Exception:
+                self._notify_abort(change, txn)
+                raise
+            if self.wal is not None:
+                self.wal.append(
+                    LogKind.INSERT,
+                    {"relation": relation_name, "values": list(row.values)},
+                )
+            self._notify(Change(ChangeKind.INSERT, relation_name, new_row=row), txn)
         return row_id
 
     def insert_many(
@@ -283,26 +320,28 @@ class Database:
         so a lock denial aborts the statement with no base change.
         """
         relation = self.catalog.relation(relation_name)
-        row = relation.fetch(row_id)
+        with self.statement_latch:
+            row = relation.fetch(row_id)
         change = Change(ChangeKind.DELETE, relation_name, old_row=row)
         self._notify_prepare(change, txn)
-        try:
-            for index in self.catalog.indexes_on(relation_name):
-                index.delete(row, row_id)
-            relation.delete(row_id)
-        except Exception:
-            self._notify_abort(change, txn)
-            raise
-        if self.wal is not None:
-            self.wal.append(
-                LogKind.DELETE,
-                {
-                    "relation": relation_name,
-                    "page_no": row_id.page_no,
-                    "slot_no": row_id.slot_no,
-                },
-            )
-        self._notify(change, txn)
+        with self.statement_latch:
+            try:
+                for index in self.catalog.indexes_on(relation_name):
+                    index.delete(row, row_id)
+                relation.delete(row_id)
+            except Exception:
+                self._notify_abort(change, txn)
+                raise
+            if self.wal is not None:
+                self.wal.append(
+                    LogKind.DELETE,
+                    {
+                        "relation": relation_name,
+                        "page_no": row_id.page_no,
+                        "slot_no": row_id.slot_no,
+                    },
+                )
+            self._notify(change, txn)
         return row
 
     def delete_where(
@@ -313,7 +352,10 @@ class Database:
     ) -> list[Row]:
         """Delete every row matching ``predicate``; returns them."""
         relation = self.catalog.relation(relation_name)
-        victims = [(row_id, row) for row_id, row in relation.scan() if predicate(row)]
+        with self.statement_latch:
+            victims = [
+                (row_id, row) for row_id, row in relation.scan() if predicate(row)
+            ]
         deleted = []
         for row_id, _ in victims:
             deleted.append(self.delete(relation_name, row_id, txn=txn))
@@ -332,36 +374,43 @@ class Database:
         any mutation, so lock denials and type errors abort cleanly.
         """
         relation = self.catalog.relation(relation_name)
-        old_row = relation.fetch(row_id)
+        with self.statement_latch:
+            old_row = relation.fetch(row_id)
         prospective = old_row.replace(**changes)
         relation.schema.validate_values(prospective.values)
         change = Change(
             ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=prospective
         )
         self._notify_prepare(change, txn)
-        try:
-            for index in self.catalog.indexes_on(relation_name):
-                index.delete(old_row, row_id)
-            old_row, new_row, new_id = relation.update(row_id, **changes)
-            for index in self.catalog.indexes_on(relation_name):
-                index.insert(new_row, new_id)
-        except Exception:
-            self._notify_abort(change, txn)
-            raise
-        if self.wal is not None:
-            self.wal.append(
-                LogKind.UPDATE,
-                {
-                    "relation": relation_name,
-                    "page_no": row_id.page_no,
-                    "slot_no": row_id.slot_no,
-                    "changes": dict(changes),
-                },
+        with self.statement_latch:
+            try:
+                for index in self.catalog.indexes_on(relation_name):
+                    index.delete(old_row, row_id)
+                old_row, new_row, new_id = relation.update(row_id, **changes)
+                for index in self.catalog.indexes_on(relation_name):
+                    index.insert(new_row, new_id)
+            except Exception:
+                self._notify_abort(change, txn)
+                raise
+            if self.wal is not None:
+                self.wal.append(
+                    LogKind.UPDATE,
+                    {
+                        "relation": relation_name,
+                        "page_no": row_id.page_no,
+                        "slot_no": row_id.slot_no,
+                        "changes": dict(changes),
+                    },
+                )
+            self._notify(
+                Change(
+                    ChangeKind.UPDATE,
+                    relation_name,
+                    old_row=old_row,
+                    new_row=new_row,
+                ),
+                txn,
             )
-        self._notify(
-            Change(ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=new_row),
-            txn,
-        )
         return old_row, new_row, new_id
 
     # -- statistics ------------------------------------------------------------------------
@@ -369,11 +418,12 @@ class Database:
     def analyze(self, relation_name: str | None = None) -> TableStatistics | None:
         """Collect planner statistics (the paper's "statistics collection
         program").  Analyzes one relation, or all when none is named."""
-        if relation_name is not None:
-            return self.statistics.analyze(self.catalog.relation(relation_name))
-        for relation in self.catalog.relations():
-            self.statistics.analyze(relation)
-        return None
+        with self.statement_latch:
+            if relation_name is not None:
+                return self.statistics.analyze(self.catalog.relation(relation_name))
+            for relation in self.catalog.relations():
+                self.statistics.analyze(relation)
+            return None
 
     # -- query execution -------------------------------------------------------------------
 
@@ -391,11 +441,18 @@ class Database:
         return self.plan_cache.plan(query, blocking, statistics=self.statistics)
 
     def execute(self, query: Query, blocking: bool = True) -> Iterator[Row]:
-        """Plan and execute ``query``, yielding ``Ls'`` rows."""
+        """Plan and execute ``query``, yielding ``Ls'`` rows.
+
+        The returned iterator is lazy and NOT latched — concurrent
+        callers should use :meth:`run`, which materializes the result
+        under the statement latch for a consistent snapshot.
+        """
         return self.plan(query, blocking=blocking).execute()
 
     def run(self, query: Query, blocking: bool = True) -> list[Row]:
-        return self.plan(query, blocking=blocking).run()
+        plan = self.plan(query, blocking=blocking)
+        with self.statement_latch:
+            return plan.run()
 
     # -- accounting -----------------------------------------------------------------------
 

@@ -3,13 +3,15 @@
 A :class:`Transaction` scopes a unit of work: it owns locks (released
 at commit/abort, i.e. strict two-phase locking) and records the base-
 relation changes it made so the PMV maintenance layer can react to
-them.  The engine is single-threaded, so transactions provide protocol
-checking and change capture rather than real concurrency control.
+them.  Transactions may be created from any thread (id allocation is
+atomic); a single transaction is still owned by one thread at a time —
+concurrency control between transactions is the lock manager's job.
 """
 
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
 from typing import Any
 
@@ -57,7 +59,9 @@ class Change:
 class Transaction:
     """A unit of work holding locks and capturing base-relation changes."""
 
-    _next_id = 1
+    # itertools.count.__next__ is atomic under the GIL, so concurrent
+    # begin() calls never hand out duplicate ids.
+    _ids = itertools.count(1)
 
     def __init__(
         self,
@@ -65,8 +69,7 @@ class Transaction:
         read_only: bool = False,
         fault_hook=None,
     ) -> None:
-        self.txn_id = Transaction._next_id
-        Transaction._next_id += 1
+        self.txn_id = next(Transaction._ids)
         self._locks = lock_manager
         self.read_only = read_only
         self.status = TxnStatus.ACTIVE
@@ -109,17 +112,23 @@ class Transaction:
 
     # -- locking -------------------------------------------------------------------
 
-    def lock_shared(self, obj: str) -> None:
+    def lock_shared(
+        self, obj: str, wait: bool = False, timeout: float | None = None
+    ) -> None:
         self._check_active()
-        self._locks.acquire(self.txn_id, obj, LockMode.SHARED)
+        self._locks.acquire(self.txn_id, obj, LockMode.SHARED, wait=wait, timeout=timeout)
 
-    def lock_exclusive(self, obj: str) -> None:
+    def lock_exclusive(
+        self, obj: str, wait: bool = False, timeout: float | None = None
+    ) -> None:
         self._check_active()
         if self.read_only:
             raise TransactionError(
                 f"read-only txn {self.txn_id} cannot take X({obj})"
             )
-        self._locks.acquire(self.txn_id, obj, LockMode.EXCLUSIVE)
+        self._locks.acquire(
+            self.txn_id, obj, LockMode.EXCLUSIVE, wait=wait, timeout=timeout
+        )
 
     def holds_shared(self, obj: str) -> bool:
         return self._locks.holds(self.txn_id, obj, LockMode.SHARED)

@@ -10,7 +10,10 @@ The subsystem the crash-recovery torture harness
   :class:`SimulatedCrash`);
 - :mod:`repro.faults.check` — the recovery invariant checkers
   (:func:`verify_database`, :func:`check_view_against_database`,
-  :func:`verify_crash_recovery`).
+  :func:`verify_crash_recovery`);
+- :mod:`repro.faults.sched` — the seeded cooperative thread scheduler
+  (:class:`InterleavingScheduler`) that makes concurrent protocol
+  races replayable, driven by :mod:`repro.bench.stress`.
 
 Production code paths pay for none of this: the hooks are ``None``
 checks, and the faulty components are opt-in subclasses.
@@ -31,8 +34,11 @@ from repro.faults.inject import (
     build_faulty_database,
 )
 from repro.faults.plan import SITES, FaultMode, FaultPlan, FaultSpec, modes_for_site
+from repro.faults.sched import InterleavingScheduler, SchedDeadlock
 
 __all__ = [
+    "InterleavingScheduler",
+    "SchedDeadlock",
     "FaultMode",
     "FaultPlan",
     "FaultSpec",

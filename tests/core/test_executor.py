@@ -153,13 +153,36 @@ class TestLocking:
         shared, exclusive = eqt_db.lock_manager.holders(eqt_pmv.name)
         assert shared == set() and exclusive is None
 
-    def test_execute_blocked_by_writer(self, eqt_db, eqt, eqt_pmv, eqt_executor):
+    def test_execute_bypasses_pmv_when_writer_holds_x(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        # A held X lock no longer kills the query: it degrades to plain
+        # blocking execution with a bypass marker, and the answer is
+        # still complete and correct.
+        eqt_executor.lock_timeout = 0.01  # keep the test fast
         writer = eqt_db.begin()
         writer.lock_exclusive(eqt_pmv.name)
-        with pytest.raises(LockError):
-            run(eqt_executor, eqt, [1], [2])
+        result = run(eqt_executor, eqt, [1], [2])
+        assert result.metrics.bypassed_lock
+        assert result.partial_rows == []
+        got = sorted(tuple(r.values) for r in result.all_rows())
+        assert got == brute_force_eqt(eqt_db, {1}, {2})
+        assert eqt_pmv.metrics.pmv_bypassed_lock == 1
         writer.commit()
-        run(eqt_executor, eqt, [1], [2])
+        fresh = run(eqt_executor, eqt, [1], [2])
+        assert not fresh.metrics.bypassed_lock
+
+    def test_preview_degrades_to_empty_when_writer_holds_x(
+        self, eqt_db, eqt, eqt_pmv, eqt_executor
+    ):
+        eqt_executor.lock_timeout = 0.01
+        run(eqt_executor, eqt, [1], [2])  # warm the view
+        writer = eqt_db.begin()
+        writer.lock_exclusive(eqt_pmv.name)
+        result = eqt_executor.preview(eqt_query(eqt, [1], [2]))
+        assert result.metrics.bypassed_lock
+        assert result.partial_rows == [] and result.remaining_rows == []
+        writer.commit()
 
     def test_caller_transaction_keeps_lock_until_commit(
         self, eqt_db, eqt, eqt_pmv, eqt_executor

@@ -200,3 +200,52 @@ class TestCommon:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ViewCapacityError):
             ClockPolicy(0)
+
+
+class TestEvictionGuards:
+    """Regression tests for the tombstone infinite-spin bug (PR 3):
+    ``_ClockCore.evict`` on a ring of nothing but tombstones must
+    return ``None``, never spin."""
+
+    def test_clock_force_evict_empty(self):
+        policy = ClockPolicy(4)
+        assert policy.force_evict() is None
+
+    def test_clock_force_evict_after_discarding_everything(self):
+        policy = ClockPolicy(4)
+        for key in "abcd":
+            policy.reference(key)
+        for key in "abcd":
+            policy.discard(key)
+        # The ring now holds only tombstones: must terminate, not spin.
+        assert policy.force_evict() is None
+        assert len(policy) == 0
+
+    def test_clock_force_evict_drains_then_none(self):
+        policy = ClockPolicy(3)
+        for key in "abc":
+            policy.reference(key)
+        drained = {policy.force_evict() for _ in range(3)}
+        assert drained == {"a", "b", "c"}
+        assert policy.force_evict() is None
+
+    def test_two_queue_force_evict_empty(self):
+        policy = TwoQueuePolicy(4)
+        assert policy.force_evict() is None
+
+    def test_two_queue_force_evict_after_discards(self):
+        policy = TwoQueuePolicy(4)
+        for key in "abcd":
+            policy.reference(key)
+        for key in "abcd":
+            policy.discard(key)
+        assert policy.force_evict() is None
+
+    def test_reference_after_mass_discard_still_admits(self):
+        policy = ClockPolicy(2)
+        for key in "ab":
+            policy.reference(key)
+        for key in "ab":
+            policy.discard(key)
+        result = policy.reference("c")
+        assert result.admitted and result.evicted == ()
