@@ -18,7 +18,11 @@ The package has four layers:
   generator of Table 1, and the T1/T2/Eqt templates with controlled
   and skewed query streams;
 - :mod:`repro.sim` / :mod:`repro.bench` — the Section 4.1 simulation
-  study and one experiment driver per table/figure of Section 4.
+  study and one experiment driver per table/figure of Section 4;
+- :mod:`repro.qos` — overload protection around a PMV fleet: admission
+  control, per-query deadlines that degrade answers to explicit PMV
+  partial results, and the NORMAL/DEGRADED/SHED governor
+  (:class:`~repro.qos.ServingGate` is the front door).
 
 Quickstart::
 
@@ -73,36 +77,55 @@ from repro.engine import (
     SelectionSlot,
     SlotForm,
 )
-from repro.errors import ReproError
+from repro.core.manager import PMVManager
+from repro.errors import OverloadError, ReproError
+from repro.qos import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    DegradationGovernor,
+    GovernorConfig,
+    QoSState,
+    ServingGate,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AdmissionController",
     "BasicConditionPart",
     "BasicIntervals",
+    "CircuitBreaker",
     "ClockPolicy",
     "Column",
     "ConditionPart",
     "CostParameters",
     "Database",
+    "Deadline",
+    "DegradationGovernor",
     "Discretization",
     "DuplicateSuppressor",
     "EqualityDisjunction",
+    "GovernorConfig",
     "Interval",
     "IntervalDisjunction",
     "JoinEquality",
     "MaintenanceCostModel",
     "MaintenanceStrategy",
     "MaterializedView",
+    "OverloadError",
     "PMVExecutor",
     "PMVMaintainer",
+    "PMVManager",
     "PMVQueryResult",
     "PartialMaterializedView",
+    "QoSState",
     "Query",
     "QueryTemplate",
     "ReproError",
     "Row",
     "SelectionSlot",
+    "ServingGate",
     "SlotForm",
     "SmallMaterializedView",
     "TwoQueuePolicy",

@@ -21,8 +21,16 @@ import os
 import sys
 import time
 
+from dataclasses import asdict
+
 from repro.bench import figures
+from repro.bench.overload import run_overload
 from repro.bench.reporting import Series
+
+
+def _run_overload(verbose: bool = True):
+    return asdict(run_overload(verbose=verbose))
+
 
 EXPERIMENTS = {
     "table1": figures.run_table1,
@@ -33,6 +41,7 @@ EXPERIMENTS = {
     "fig10": figures.run_fig10,
     "fig11": figures.run_fig11,
     "fig12": figures.run_fig12,
+    "overload": _run_overload,
 }
 
 

@@ -1,0 +1,562 @@
+"""Overload-protection benchmark: the QoS SLO story, measured.
+
+Ramps offered load past saturation twice over the same workload
+(PMV-mediated join queries + concurrent writers triggering PMV
+maintenance) and contrasts:
+
+- **baseline** (QoS off): every arriving query piles onto the
+  statement latch and the lock queues; tail latency grows with offered
+  load — the collapse admission control exists to prevent;
+- **protected** (QoS on — :class:`repro.qos.ServingGate` with
+  admission control, per-query deadlines, and the degradation
+  governor): excess load is shed with typed errors at the door, every
+  *admitted* query finishes within a bounded time (its deadline budget
+  plus bounded queue wait), and queries whose budget runs out return
+  the PMV partial answer explicitly marked ``complete=False``.
+
+The protected phase is **replay-verified**: every committed DML
+statement and every answer's serialization point (the executor's
+``on_o3``, which fires inside a latched section for degraded answers
+too) append to a shared op log; the log is then replayed
+single-threaded against a fresh database and
+
+- every ``complete=True`` answer must match the reference answer
+  **row for row** (multiset equality), and
+- every ``complete=False`` answer must be a **multiset subset** of the
+  reference answer — a degraded answer may miss rows, never invent or
+  duplicate them;
+- an answer that differs from the reference while claiming
+  ``complete=True`` is a **silently incomplete** answer, and the run
+  fails if there is even one.
+
+After the spike, a light cool-down drains the governor's latency
+window and the run asserts the state machine stepped back to NORMAL —
+degradation is a mode, not a ratchet.
+
+Run it::
+
+    python -m repro.bench.overload --report OVERLOAD_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.stress import (
+    _attach_pmv,
+    _bind_query,
+    _build_database,
+    _rows_key,
+)
+from repro.engine import Database
+from repro.errors import LockError, OverloadError
+from repro.qos import (
+    AdmissionController,
+    Deadline,
+    GovernorConfig,
+    QoSState,
+    ServingGate,
+)
+
+__all__ = ["OverloadConfig", "OverloadResult", "run_overload", "main"]
+
+JOIN_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Shape of one overload run."""
+
+    seed: int = 0
+    clients: int = 12
+    """Client threads in the saturated phases (offered load)."""
+    light_clients: int = 2
+    """Client threads in the baseline's light phase."""
+    writers: int = 2
+    queries_per_client: int = 25
+    ops_per_writer: int = 12
+    max_concurrency: int = 3
+    """Admission: queries allowed inside the engine at once."""
+    max_queue_depth: int = 4
+    queue_timeout: float = 0.2
+    deadline: float = 0.02
+    """Per-query budget (seconds) in the protected phase."""
+    admitted_p99_slo: float = 1.0
+    """The protected phase's hard tail-latency bound (seconds)."""
+    cooldown_queries: int = 48
+    """Light queries after the spike, draining the latency window."""
+
+
+@dataclass
+class OverloadResult:
+    """Outcome of one overload run (serialized into the report)."""
+
+    config: OverloadConfig
+    ok: bool = True
+    failures: list[str] = field(default_factory=list)
+    baseline_light_p99: float = 0.0
+    baseline_saturated_p99: float = 0.0
+    protected_admitted_p99: float = 0.0
+    admitted: int = 0
+    shed: int = 0
+    shed_by_reason: dict = field(default_factory=dict)
+    partial_answers: int = 0
+    complete_answers: int = 0
+    deadline_abandons: int = 0
+    silently_incomplete: int = 0
+    subset_violations: int = 0
+    queries_checked: int = 0
+    changes_replayed: int = 0
+    state_transitions: int = 0
+    final_state: str = ""
+    breaker_opens: int = 0
+    swallowed_errors: int = 0
+    writer_lock_aborts: int = 0
+    thread_errors: list[dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+def _p99(latencies: list[float]) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def _multiset(rows_key: list) -> dict:
+    counts: dict = {}
+    for key in rows_key:
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _is_multisubset(got: list, want: list) -> bool:
+    have = _multiset(want)
+    for key, count in _multiset(got).items():
+        if count > have.get(key, 0):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Shared run state
+# ---------------------------------------------------------------------------
+
+
+class _Shared:
+    """State shared by one phase's worker threads.
+
+    ``oplog`` entries are appended only from inside the statement latch
+    (the change listener fires in ``Database._notify``; ``on_o3`` fires
+    in a latched section for complete *and* degraded answers), so the
+    log order is the phase's serialization order."""
+
+    def __init__(self) -> None:
+        self.oplog: list[tuple] = []
+        self.queries: dict[str, object] = {}
+        self.results: dict[str, dict] = {}
+        self.latencies: list[float] = []
+        self.latency_mutex = threading.Lock()
+        self.errors: list[dict] = []
+        self.writer_lock_aborts = 0
+
+    def log_change(self, change, txn) -> None:
+        self.oplog.append(
+            (
+                "change",
+                change.kind.value,
+                change.relation,
+                tuple(change.old_row.values) if change.old_row is not None else None,
+                tuple(change.new_row.values) if change.new_row is not None else None,
+            )
+        )
+
+    def observe(self, seconds: float) -> None:
+        with self.latency_mutex:
+            self.latencies.append(seconds)
+
+    def record_error(self, name: str, exc: BaseException) -> None:
+        self.errors.append(
+            {
+                "thread": name,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+
+
+def _run_threads(bodies: list[tuple]) -> list[str]:
+    """Start, join, and report hung thread names (empty = all joined)."""
+    threads = [
+        threading.Thread(target=body, args=args, name=name, daemon=True)
+        for name, body, args in bodies
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + JOIN_TIMEOUT
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    return [t.name for t in threads if t.is_alive()]
+
+
+# ---------------------------------------------------------------------------
+# Baseline phase: no QoS, latency vs offered load
+# ---------------------------------------------------------------------------
+
+
+def _baseline_client(shared: _Shared, manager, template, config, index: int) -> None:
+    rng = random.Random(config.seed * 10_007 + 101 * index)
+    try:
+        for _ in range(config.queries_per_client):
+            query = _bind_query(template, rng)
+            started = time.perf_counter()
+            manager.execute(query)
+            shared.observe(time.perf_counter() - started)
+    except BaseException as exc:
+        shared.record_error(f"b{index}", exc)
+
+
+def _baseline_p99(config: OverloadConfig, clients: int, result: OverloadResult) -> float:
+    """One unprotected closed-loop run at ``clients`` offered load."""
+    database = _build_database()
+    manager, template = _attach_pmv(database, config.seed)
+    shared = _Shared()
+    hung = _run_threads(
+        [
+            (f"b{i}", _baseline_client, (shared, manager, template, config, i))
+            for i in range(clients)
+        ]
+    )
+    if hung:
+        result.failures.append(f"baseline hang: {','.join(hung)}")
+    result.thread_errors.extend(shared.errors)
+    return _p99(shared.latencies)
+
+
+# ---------------------------------------------------------------------------
+# Protected phase: ServingGate + writers + op log
+# ---------------------------------------------------------------------------
+
+
+def _protected_client(shared: _Shared, gate: ServingGate, template, config, index) -> None:
+    rng = random.Random(config.seed * 30_013 + 211 * index)
+    name = f"p{index}"
+    try:
+        for k in range(config.queries_per_client):
+            query = _bind_query(template, rng)
+            qid = f"{name}.{k}"
+
+            def at_o3(_query, qid=qid):
+                shared.oplog.append(("query", qid))
+
+            started = time.perf_counter()
+            try:
+                answer = gate.execute(query, deadline=config.deadline, on_o3=at_o3)
+            except OverloadError:
+                # Shed at the door: nothing ran, nothing was logged.
+                continue
+            shared.observe(time.perf_counter() - started)
+            shared.queries[qid] = query
+            shared.results[qid] = {
+                "rows": _rows_key(answer.all_rows()),
+                "complete": answer.complete,
+                "reason": answer.degraded_reason,
+            }
+    except BaseException as exc:
+        shared.record_error(name, exc)
+
+
+def _writer_body(shared: _Shared, database: Database, config, index: int) -> None:
+    """Insert/delete churn on a private id range (no cross-writer
+    races); a LockError is the maintainer's clean abort, counted."""
+    rng = random.Random(config.seed * 20_011 + 307 * index)
+    next_id = 100_000 * (index + 1)
+    owned: dict[int, object] = {}
+    try:
+        for _ in range(config.ops_per_writer):
+            try:
+                if rng.random() < 0.6 or not owned:
+                    values = (
+                        next_id,
+                        rng.randrange(6),
+                        rng.randrange(4),
+                        f"w{index}a{next_id}",
+                        "fresh",
+                    )
+                    owned[next_id] = database.insert("r", values)
+                    next_id += 1
+                else:
+                    victim = rng.choice(sorted(owned))
+                    database.delete("r", owned.pop(victim))
+            except LockError:
+                shared.writer_lock_aborts += 1
+    except BaseException as exc:
+        shared.record_error(f"w{index}", exc)
+
+
+def _replay_and_check(shared: _Shared, result: OverloadResult) -> None:
+    """Replay the op log single-threaded; complete answers must match
+    the reference exactly, degraded answers must be multiset subsets."""
+    reference = _build_database()
+    for entry in shared.oplog:
+        if entry[0] == "change":
+            _, kind, relation, old_values, new_values = entry
+            if kind == "insert":
+                reference.insert(relation, new_values)
+            else:  # delete (the overload writers never update)
+                row_key = old_values[0]
+                deleted = reference.delete_where(
+                    relation, lambda row: row["id"] == row_key
+                )
+                if len(deleted) != 1:
+                    result.failures.append(
+                        f"replay-delete id {row_key}: {len(deleted)} rows"
+                    )
+            result.changes_replayed += 1
+            continue
+        qid = entry[1]
+        recorded = shared.results.get(qid)
+        if recorded is None:
+            # on_o3 fired but the client thread then died before
+            # recording — already captured as a thread error.
+            continue
+        want = _rows_key(reference.run(shared.queries[qid]))
+        got = recorded["rows"]
+        result.queries_checked += 1
+        if recorded["complete"]:
+            if got != want:
+                result.silently_incomplete += 1
+                result.failures.append(
+                    f"silently incomplete answer {qid}: "
+                    f"{len(got)} rows != {len(want)} reference rows"
+                )
+        elif not _is_multisubset(got, want):
+            result.subset_violations += 1
+            result.failures.append(
+                f"degraded answer {qid} ({recorded['reason']}) is not a "
+                f"subset of the reference answer"
+            )
+
+
+def _cooldown(gate: ServingGate, template, config: OverloadConfig) -> None:
+    """Drain the spike out of the governor's latency window with light
+    single-threaded traffic, ticking the state machine as we go."""
+    rng = random.Random(config.seed * 40_009)
+    for _ in range(config.cooldown_queries):
+        try:
+            gate.execute(_bind_query(template, rng), deadline=1.0)
+        except OverloadError:
+            pass
+        gate.governor.tick()
+    deadline = time.monotonic() + 10.0
+    while gate.governor.state != QoSState.NORMAL and time.monotonic() < deadline:
+        try:
+            gate.execute(_bind_query(template, rng), deadline=1.0)
+        except OverloadError:
+            pass
+        gate.governor.tick()
+        time.sleep(0.01)
+
+
+# ---------------------------------------------------------------------------
+# One full run
+# ---------------------------------------------------------------------------
+
+
+def run_overload(config: OverloadConfig | None = None, verbose: bool = True) -> OverloadResult:
+    """Baseline ramp, protected spike, replay verification, recovery."""
+    config = config or OverloadConfig()
+    started = time.perf_counter()
+    result = OverloadResult(config=config)
+
+    # -- Phase 1: baseline (QoS off) — p99 grows with offered load ----------
+    result.baseline_light_p99 = _baseline_p99(config, config.light_clients, result)
+    result.baseline_saturated_p99 = _baseline_p99(config, config.clients, result)
+    if verbose:
+        print(
+            f"[overload] baseline p99: {result.baseline_light_p99 * 1e3:.1f}ms at "
+            f"{config.light_clients} clients -> "
+            f"{result.baseline_saturated_p99 * 1e3:.1f}ms at {config.clients} clients"
+        )
+    # The collapse story: tail latency must not *shrink* as offered
+    # load grows.  A 2x tolerance keeps sub-millisecond smoke scales
+    # (where scheduler noise dominates) from flaking; at the default
+    # scale the saturated p99 is an order of magnitude above light.
+    if result.baseline_saturated_p99 < result.baseline_light_p99 * 0.5:
+        result.failures.append(
+            "baseline p99 shrank under offered load "
+            f"({result.baseline_saturated_p99:.4f}s < 0.5 x "
+            f"{result.baseline_light_p99:.4f}s)"
+        )
+
+    # -- Phase 2: protected spike (QoS on) ----------------------------------
+    database = _build_database()
+    manager, template = _attach_pmv(database, config.seed)
+    gate = ServingGate(
+        manager,
+        admission=AdmissionController(
+            max_concurrency=config.max_concurrency,
+            max_queue_depth=config.max_queue_depth,
+            queue_timeout=config.queue_timeout,
+        ),
+        governor_config=GovernorConfig(
+            degrade_p99=max(0.002, config.deadline / 4),
+            shed_p99=config.admitted_p99_slo,
+            degrade_queue=2,
+            shed_queue=max(3, config.max_queue_depth),
+            recover_ticks=2,
+            latency_window=32,
+            tick_interval=0.01,
+        ),
+    )
+    shared = _Shared()
+    database.add_change_listener(shared.log_change)
+    hung = _run_threads(
+        [
+            (f"p{i}", _protected_client, (shared, gate, template, config, i))
+            for i in range(config.clients)
+        ]
+        + [
+            (f"w{i}", _writer_body, (shared, database, config, i))
+            for i in range(config.writers)
+        ]
+    )
+    if hung:
+        result.failures.append(f"protected hang: {','.join(hung)}")
+
+    # Deterministic degraded answers: a zero-budget query in the calm
+    # after the spike is always admitted (slots free) and must return
+    # the PMV-only answer marked incomplete.
+    rng = random.Random(config.seed * 50_021)
+    for k in range(3):
+        query = _bind_query(template, rng)
+        qid = f"z.{k}"
+
+        def at_o3(_query, qid=qid):
+            shared.oplog.append(("query", qid))
+
+        answer = gate.execute(query, deadline=Deadline.after(0.0), on_o3=at_o3)
+        shared.queries[qid] = query
+        shared.results[qid] = {
+            "rows": _rows_key(answer.all_rows()),
+            "complete": answer.complete,
+            "reason": answer.degraded_reason,
+        }
+        if answer.complete:
+            result.failures.append(f"zero-budget query {qid} claimed complete=True")
+
+    # -- Phase 3: recovery ----------------------------------------------------
+    _cooldown(gate, template, config)
+
+    database.remove_change_listener(shared.log_change)
+    result.protected_admitted_p99 = _p99(shared.latencies)
+    result.thread_errors.extend(shared.errors)
+    result.writer_lock_aborts = shared.writer_lock_aborts
+
+    # -- Phase 4: replay verification ----------------------------------------
+    _replay_and_check(shared, result)
+
+    stats = gate.stats()
+    result.admitted = stats["qos_admitted"]
+    result.shed = stats["qos_shed"]
+    result.shed_by_reason = stats["qos_shed_by_reason"]
+    result.partial_answers = stats["qos_partial_answers"]
+    result.complete_answers = stats["qos_complete_answers"]
+    result.deadline_abandons = stats["qos_deadline_abandons"]
+    result.state_transitions = stats["qos_state_transitions"]
+    result.final_state = stats["qos_state"]
+    result.breaker_opens = stats["breaker_opens"]
+    result.swallowed_errors = (
+        stats["swallowed_errors"] + stats["database_swallowed_errors"]
+    )
+
+    # -- SLO assertions -------------------------------------------------------
+    if result.protected_admitted_p99 > config.admitted_p99_slo:
+        result.failures.append(
+            f"admitted p99 {result.protected_admitted_p99:.3f}s exceeds the "
+            f"{config.admitted_p99_slo:.3f}s SLO"
+        )
+    if result.partial_answers < 1:
+        result.failures.append("no deadline-degraded answers were produced")
+    if result.final_state != QoSState.NORMAL:
+        result.failures.append(
+            f"governor did not return to NORMAL after the spike "
+            f"(stuck in {result.final_state})"
+        )
+
+    result.ok = not result.failures and not result.thread_errors
+    result.elapsed_seconds = time.perf_counter() - started
+    if verbose:
+        print(
+            f"[overload] protected: admitted={result.admitted} shed={result.shed} "
+            f"{result.shed_by_reason} p99={result.protected_admitted_p99 * 1e3:.1f}ms"
+        )
+        print(
+            f"[overload] answers: complete={result.complete_answers} "
+            f"partial={result.partial_answers} abandons={result.deadline_abandons} "
+            f"silently_incomplete={result.silently_incomplete} "
+            f"subset_violations={result.subset_violations} "
+            f"({result.queries_checked} replay-checked, "
+            f"{result.changes_replayed} changes)"
+        )
+        print(
+            f"[overload] governor: {result.state_transitions} transitions, "
+            f"final={result.final_state}, breaker_opens={result.breaker_opens}, "
+            f"writer_aborts={result.writer_lock_aborts}"
+        )
+        print(f"[overload] {'OK' if result.ok else 'FAIL'}")
+        for failure in result.failures:
+            print(f"[overload]   FAIL: {failure}")
+        for error in result.thread_errors[:10]:
+            print(f"[overload]   thread error: {error['thread']}: {error['error']}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.overload", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=12)
+    parser.add_argument("--writers", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=25, help="queries per client")
+    parser.add_argument(
+        "--deadline", type=float, default=0.02, help="per-query budget (seconds)"
+    )
+    parser.add_argument(
+        "--max-concurrency", type=int, default=3, help="admission concurrency limit"
+    )
+    parser.add_argument("--report", metavar="PATH", help="write a JSON report")
+    args = parser.parse_args(argv)
+
+    config = OverloadConfig(
+        seed=args.seed,
+        clients=args.clients,
+        writers=args.writers,
+        queries_per_client=args.queries,
+        deadline=args.deadline,
+        max_concurrency=args.max_concurrency,
+    )
+    result = run_overload(config)
+    if args.report:
+        report = asdict(result)
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2, default=str)
+        print(f"[overload] report written to {args.report}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,19 @@ class PMVQueryResult:
     partial_rows: list[Row] = field(default_factory=list)
     remaining_rows: list[Row] = field(default_factory=list)
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
+    complete: bool = True
+    """False when a deadline budget cut full execution short: the
+    answer is an explicitly-marked *subset* of the full answer (never
+    silently incomplete — this flag is the paper's partial-answer
+    serving mode made into a first-class result state)."""
+    degraded_reason: str | None = None
+    """Why the answer is incomplete: ``"deadline-skip"`` (O3 never
+    started) or ``"deadline-abandon"`` (O3 stopped at a cooperative
+    batch checkpoint).  ``None`` for complete answers."""
+    completeness_estimate: float | None = None
+    """Rough fraction of the full answer delivered, derived from the
+    view's historical tuples-per-query — a quality signal for the
+    client, not a guarantee.  ``None`` when no basis exists yet."""
 
     def all_rows(self) -> list[Row]:
         """Every result tuple, partial results first."""
@@ -171,6 +184,7 @@ class PMVExecutor:
         distinct: bool = False,
         on_partial: Callable[[list[Row]], None] | None = None,
         on_o3: Callable[[Query], None] | None = None,
+        deadline=None,
     ) -> PMVQueryResult:
         """Run ``query`` through O1/O2/O3.
 
@@ -182,7 +196,16 @@ class PMVExecutor:
         results to its user.  ``on_o3`` is invoked (with the query)
         inside the latched full-execution section, i.e. at the query's
         serialization point; the interleaving checker uses it to build
-        the serialization op-log.
+        the serialization op-log.  For a deadline-degraded answer the
+        callback still fires inside a latched section — the degraded
+        answer's serialization point — so op-log checkers can place it.
+
+        ``deadline`` (a :class:`repro.qos.Deadline`) bounds full
+        execution: O1/O2 always run, but O3 is skipped when the budget
+        is already spent and abandoned at the next batch checkpoint
+        when it runs out mid-scan.  The result then carries
+        ``complete=False`` plus a degraded-reason marker; every row
+        delivered is still a true result (DESIGN.md §10).
 
         Never raises :class:`LockError`: if the view's S lock cannot be
         obtained within the grace period, the query silently bypasses
@@ -193,7 +216,9 @@ class PMVExecutor:
         if own_txn:
             txn = self.database.begin(read_only=True)
         try:
-            result = self._execute_locked(query, txn, distinct, on_partial, on_o3)
+            result = self._execute_locked(
+                query, txn, distinct, on_partial, on_o3, deadline
+            )
         finally:
             if own_txn:
                 txn.commit()  # releases the S lock (strict 2PL)
@@ -336,11 +361,17 @@ class PMVExecutor:
         on_partial: Callable[[list[Row]], None] | None,
         on_o3: Callable[[Query], None] | None,
         overhead_start: float,
+        deadline=None,
     ) -> PMVQueryResult:
         """Plain blocking execution, PMV skipped (S lock unavailable).
 
         The answer is complete and correct — it just arrives without
         immediate partial results and without refreshing the view.
+        Under a deadline the bypassed execution degrades like O3 does:
+        an already-spent budget skips execution outright (an empty,
+        explicitly-partial answer), and a budget spent mid-scan
+        abandons at the next batch checkpoint, keeping the true rows
+        produced so far.
         """
         clock = self._clock
         metrics = result.metrics
@@ -348,19 +379,87 @@ class PMVExecutor:
         metrics.overhead_seconds = metrics.partial_latency_seconds
         if on_partial is not None:
             on_partial([])
+        if deadline is not None and deadline.expired():
+            return self._finish_degraded(result, "deadline-skip", on_o3)
         plan = self.database.plan(query, blocking=True, use_cache=self.use_plan_cache)
         execution_start = clock()
+        rows: list[Row] = []
+        abandoned = False
         with self.database.statement_latch:
-            rows = plan.run()
-            if on_o3 is not None:
+            if deadline is None:
+                rows = plan.run()
+            else:
+                for batch in plan.execute_batches():
+                    rows.extend(batch)
+                    if deadline.expired():
+                        abandoned = True
+                        break
+            if on_o3 is not None and not abandoned:
                 on_o3(query)
-        if distinct:
-            rows = list(dict.fromkeys(rows))
-        result.remaining_rows = rows
+            if distinct:
+                rows = list(dict.fromkeys(rows))
+            result.remaining_rows = rows
+            if abandoned:
+                # Serialization point of the degraded answer: the rows
+                # scanned so far are true results at this latched
+                # instant.
+                metrics.remaining_tuples = len(rows)
+                metrics.execution_seconds = clock() - execution_start
+                return self._finish_degraded(
+                    result, "deadline-abandon", on_o3, latched=True
+                )
         metrics.remaining_tuples = len(rows)
         metrics.execution_seconds = clock() - execution_start
         self.view.metrics.record_query(metrics)
         return result
+
+    def _finish_degraded(
+        self,
+        result: PMVQueryResult,
+        reason: str,
+        on_o3: Callable[[Query], None] | None,
+        latched: bool = False,
+    ) -> PMVQueryResult:
+        """Seal an answer whose deadline budget ran out.
+
+        Marks the result as explicitly incomplete, estimates its
+        completeness from the view's history, and gives the degraded
+        answer a serialization point: ``on_o3`` fires inside a latched
+        section (everything delivered is a true result there — cached
+        tuples are pinned by the S lock, scanned rows were read under
+        the latch), so op-log replays can verify the subset property.
+        """
+        metrics = result.metrics
+        metrics.deadline_degraded = True
+        result.complete = False
+        result.degraded_reason = reason
+        result.completeness_estimate = self._estimate_completeness(result)
+        metrics.remaining_tuples = len(result.remaining_rows)
+        if latched:
+            if on_o3 is not None:
+                on_o3(result.query)
+        else:
+            with self.database.statement_latch:
+                if on_o3 is not None:
+                    on_o3(result.query)
+        self.view.metrics.record_query(metrics)
+        return result
+
+    def _estimate_completeness(self, result: PMVQueryResult) -> float | None:
+        """Delivered tuples over the view's historical tuples/query.
+
+        A coarse quality signal for clients of degraded answers; the
+        view's lifetime averages are the only estimator that needs no
+        extra bookkeeping.  ``None`` before any history exists.
+        """
+        snap = self.view.metrics.snapshot()
+        if not snap["queries"]:
+            return None
+        expected = (snap["partial_tuples"] + snap["remaining_tuples"]) / snap["queries"]
+        if expected <= 0:
+            return None
+        delivered = len(result.partial_rows) + len(result.remaining_rows)
+        return min(1.0, delivered / expected)
 
     def _execute_locked(
         self,
@@ -369,6 +468,7 @@ class PMVExecutor:
         distinct: bool,
         on_partial: Callable[[list[Row]], None] | None = None,
         on_o3: Callable[[Query], None] | None = None,
+        deadline=None,
     ) -> PMVQueryResult:
         clock = self._clock
         view = self.view
@@ -393,7 +493,7 @@ class PMVExecutor:
             sched.switch("executor.o2")
         if not self._lock_view_or_bypass(txn, metrics):
             return self._execute_bypassed(
-                query, result, distinct, on_partial, on_o3, overhead_start
+                query, result, distinct, on_partial, on_o3, overhead_start, deadline
             )
         ds = DuplicateSuppressor()
         counters: dict[tuple, int] = {}
@@ -475,6 +575,15 @@ class PMVExecutor:
             # not PMV overhead).
             on_partial(list(result.partial_rows))
 
+        # ---- Deadline checkpoint: is there budget left for O3? -----------
+        # O2 always runs (the PMV's partial answer is the product), but
+        # a spent budget means the client asked us not to block: return
+        # the partial answer now, explicitly marked incomplete.  The S
+        # lock is still held, so every delivered tuple stays a current
+        # true result through the degraded answer's serialization point.
+        if deadline is not None and deadline.expired():
+            return self._finish_degraded(result, "deadline-skip", on_o3)
+
         # ---- Operation O3: full execution + dedup + PMV refresh ----------
         # The whole of O3 is one critical section on the statement
         # latch: full execution then reads a consistent snapshot and its
@@ -490,7 +599,16 @@ class PMVExecutor:
             plan = self.database.plan(query, blocking=True, use_cache=False)
         self.database.statement_latch.acquire()
         try:
-            self._run_o3(query, result, plan, ds, counters, distinct, execution_start)
+            completed = self._run_o3(
+                query, result, plan, ds, counters, distinct, execution_start, deadline
+            )
+            if not completed:
+                # Abandoned at a batch checkpoint: seal the degraded
+                # answer here, inside the latch — this instant is its
+                # serialization point.
+                return self._finish_degraded(
+                    result, "deadline-abandon", on_o3, latched=True
+                )
             if on_o3 is not None:
                 on_o3(query)
         finally:
@@ -507,12 +625,20 @@ class PMVExecutor:
         counters: dict,
         distinct: bool,
         execution_start: float,
-    ) -> None:
-        """The body of Operation O3 (caller holds the statement latch)."""
+        deadline=None,
+    ) -> bool:
+        """The body of Operation O3 (caller holds the statement latch).
+
+        Returns True when full execution ran to completion, False when
+        a deadline abandoned it at a cooperative checkpoint — between
+        scan batches on the batched path, between rows on the legacy
+        path.  Deadline checks cost nothing when no deadline is set.
+        """
         clock = self._clock
         view = self.view
         metrics = result.metrics
         overhead = metrics.partial_latency_seconds
+        abandoned = False
         seen_distinct: set[Row] = set()
         f_limit = view.tuples_per_entry
         if self.batched:
@@ -528,6 +654,13 @@ class PMVExecutor:
             add_tuple = view.add_tuple
             consume_many = ds.consume_many
             for batch in plan.execute_batches():
+                if deadline is not None and deadline.expired():
+                    # Cooperative checkpoint between scan batches: the
+                    # budget is spent, so abandon full execution and let
+                    # the caller seal a degraded answer from what O2 and
+                    # the batches so far delivered.
+                    abandoned = True
+                    break
                 check_start = clock()
                 if distinct:
                     kept = []
@@ -554,6 +687,9 @@ class PMVExecutor:
                 overhead += clock() - check_start
         else:
             for row in plan.execute():
+                if deadline is not None and deadline.expired():
+                    abandoned = True
+                    break
                 check_start = clock()
                 if distinct:
                     if row in seen_distinct:
@@ -578,12 +714,16 @@ class PMVExecutor:
                 overhead += clock() - check_start
         execution_seconds = clock() - execution_start
 
-        # Transactional consistency invariant: everything delivered in
-        # O2 must have been re-derived by O3.  (Holds under concurrency
-        # too: the S lock excludes deletions of cached tuples until the
-        # transaction ends, and insertions only add O3 rows.)
-        ds.assert_empty()
+        if not abandoned:
+            # Transactional consistency invariant: everything delivered in
+            # O2 must have been re-derived by O3.  (Holds under concurrency
+            # too: the S lock excludes deletions of cached tuples until the
+            # transaction ends, and insertions only add O3 rows.)  An
+            # abandoned run legitimately leaves undelivered O2 occurrences
+            # in the suppressor — the scan never reached them.
+            ds.assert_empty()
 
         metrics.remaining_tuples = len(result.remaining_rows)
         metrics.overhead_seconds = overhead
         metrics.execution_seconds = execution_seconds
+        return not abandoned

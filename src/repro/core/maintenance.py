@@ -39,7 +39,7 @@ from repro.engine.row import Row
 from repro.engine.schema import Schema
 from repro.engine.template import QueryTemplate
 from repro.engine.transactions import Change, ChangeKind, Transaction
-from repro.errors import LockError, MaintenanceError
+from repro.errors import LockError, MaintenanceError, is_control_exception
 
 __all__ = [
     "MaintenanceStrategy",
@@ -171,6 +171,12 @@ class PMVMaintainer:
         self.x_lock_timeout = x_lock_timeout
         self.x_lock_retries = x_lock_retries
         self.x_lock_backoff = x_lock_backoff
+        # QoS hook: the degradation governor attaches its CircuitBreaker
+        # here while DEGRADED (and detaches it on recovery).  When the
+        # breaker is open, _acquire_x collapses to a single no-wait
+        # attempt so writer statements stop parking on a lock queue that
+        # keeps timing out (DESIGN.md §10).
+        self.breaker = None
         # X-lock transactions opened in the prepare phase for
         # statements outside a caller transaction, committed when the
         # corresponding change (or abort) arrives.  One statement is in
@@ -250,7 +256,12 @@ class PMVMaintainer:
         pending = self.database.begin()
         try:
             self._acquire_x(pending)
-        except Exception:
+        except BaseException:
+            # Pure cleanup, never a swallow: release the transaction so
+            # no lock leaks, then re-raise whatever happened — including
+            # KeyboardInterrupt/SystemExit and injected control
+            # exceptions, which the old ``except Exception`` would have
+            # left holding a half-prepared lock.
             pending.abort()
             raise
         self._push_pending(pending)
@@ -263,6 +274,19 @@ class PMVMaintainer:
         retry-with-backoff rides out reader bursts before giving up and
         letting the LockError abort the writing statement.
         """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow_retries():
+            # Breaker open (governor is DEGRADED and retries keep
+            # losing): one immediate no-wait attempt, no parking on the
+            # lock queue.  Success/failure still feeds the breaker so a
+            # half-open probe can close it again.
+            try:
+                txn.lock_exclusive(self.view.name, wait=False)
+            except LockError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return
         attempts = self.x_lock_retries + 1 if self.x_lock_wait else 1
         for attempt in range(1, attempts + 1):
             try:
@@ -271,9 +295,13 @@ class PMVMaintainer:
                     wait=self.x_lock_wait,
                     timeout=self.x_lock_timeout,
                 )
+                if breaker is not None:
+                    breaker.record_success()
                 return
             except LockError:
                 if attempt >= attempts:
+                    if breaker is not None:
+                        breaker.record_failure()
                     raise
                 self.view.metrics.maintenance_lock_retries += 1
                 time.sleep(self.x_lock_backoff * attempt)
@@ -353,15 +381,29 @@ class PMVMaintainer:
                 self._remove_via_aux_index(relation, old_row)
             else:
                 self._remove_via_delta_join(relation, old_row)
-        except Exception:
+        except Exception as exc:
+            if is_control_exception(exc):
+                # Scheduler-deadlock markers and other control-flow
+                # exceptions are not organic maintenance failures:
+                # propagate without the fail-safe side effects, so the
+                # fault harness sees the PMV exactly as the "crash"
+                # left it.
+                raise
             # Fail-safe: the removal may have stopped partway, so the
             # PMV could now serve stale tuples.  The empty subset is
             # always a correct subset, so clear the whole view before
             # re-raising.  (A SimulatedCrash is a BaseException and
             # bypasses this — after a crash the PMV restarts empty
             # anyway, which is the same fail-safe.)
-            self.view.clear()
+            try:
+                self.view.clear()
+            except Exception:
+                # The clear itself failing must not mask the original
+                # error; account for the eaten secondary exception.
+                self.view.metrics.swallowed_errors += 1
             self.view.metrics.maintenance_failsafe_clears += 1
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise
         finally:
             if pending is not None:

@@ -125,15 +125,22 @@ class PMVManager:
         txn: Transaction | None = None,
         distinct: bool = False,
         on_o3=None,
+        deadline=None,
     ) -> PMVQueryResult:
-        """Run ``query`` through the PMV registered for its template."""
+        """Run ``query`` through the PMV registered for its template.
+
+        ``deadline`` is an optional :class:`~repro.qos.deadline.Deadline`
+        budget: O2 always runs, but O3 is skipped or abandoned when the
+        budget is spent and the answer comes back with
+        ``result.complete`` False (DESIGN.md §10).
+        """
         managed = self._views.get(query.template.name)
         if managed is None:
             raise PMVError(
                 f"no PMV registered for template {query.template.name!r}"
             )
         return managed.executor.execute(
-            query, txn=txn, distinct=distinct, on_o3=on_o3
+            query, txn=txn, distinct=distinct, on_o3=on_o3, deadline=deadline
         )
 
     # -- inspection --------------------------------------------------------------------
@@ -149,6 +156,17 @@ class PMVManager:
             return self._views[template_name].executor
         except KeyError:
             raise PMVError(f"no PMV for template {template_name!r}") from None
+
+    def maintainer(self, template_name: str) -> PMVMaintainer:
+        try:
+            return self._views[template_name].maintainer
+        except KeyError:
+            raise PMVError(f"no PMV for template {template_name!r}") from None
+
+    def managed(self) -> list[ManagedView]:
+        """Every managed view with its executor and maintainer (the QoS
+        governor iterates this to shrink/restore budgets fleet-wide)."""
+        return list(self._views.values())
 
     def template_names(self) -> list[str]:
         return list(self._views)

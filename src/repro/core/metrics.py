@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["QueryMetrics", "PMVMetrics"]
+__all__ = ["QueryMetrics", "PMVMetrics", "QoSMetrics"]
 
 
 @dataclass
@@ -31,6 +31,11 @@ class QueryMetrics:
     bypassed_lock: bool = False
     """The view's S lock was unavailable, so the query skipped the PMV
     and ran as a plain blocking execution (or an empty preview)."""
+    deadline_degraded: bool = False
+    """The query's deadline budget ran out before full execution
+    finished: Operation O3 was skipped (or abandoned at a batch
+    checkpoint) and the answer was returned incomplete, with the
+    ``complete=False`` marker."""
 
     @property
     def hit(self) -> bool:
@@ -71,6 +76,16 @@ class PMVMetrics:
     maintenance_lock_retries: int = 0
     """Times a maintenance X-lock request lost to readers and was
     retried after a backoff before succeeding or giving up."""
+    qos_partial_answers: int = 0
+    """Deadline-degraded answers this view served: the PMV's partial
+    results were returned as the whole (explicitly incomplete) answer
+    because the query's deadline budget ran out before O3 finished."""
+    swallowed_errors: int = 0
+    """Secondary exceptions a fail-safe path consumed (e.g. the
+    maintenance fail-safe clear itself failing while handling the
+    original error).  A non-zero value means the system degraded
+    silently somewhere — each swallow is deliberate, but must never be
+    invisible."""
     per_query: list[QueryMetrics] = field(default_factory=list)
     keep_per_query: bool = False
     # Serializes record_query across concurrent client threads; the
@@ -94,8 +109,35 @@ class PMVMetrics:
                 self.o1_cache_misses += 1
             if metrics.bypassed_lock:
                 self.pmv_bypassed_lock += 1
+            if metrics.deadline_degraded:
+                self.qos_partial_answers += 1
             if self.keep_per_query:
                 self.per_query.append(metrics)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """A consistent counter snapshot, read under the record mutex.
+
+        Concurrent clients bump these counters through
+        :meth:`record_query`; reading them attribute-by-attribute can
+        observe a torn multi-counter state.  ``stats()`` surfaces and
+        bench JSON reports go through this instead.
+        """
+        with self._record_mutex:
+            return {
+                "queries": self.queries,
+                "query_hits": self.query_hits,
+                "partial_tuples": self.partial_tuples,
+                "remaining_tuples": self.remaining_tuples,
+                "overhead_seconds": self.overhead_seconds,
+                "execution_seconds": self.execution_seconds,
+                "tuples_cached": self.tuples_cached,
+                "entries_evicted": self.entries_evicted,
+                "maintenance_failsafe_clears": self.maintenance_failsafe_clears,
+                "pmv_bypassed_lock": self.pmv_bypassed_lock,
+                "maintenance_lock_retries": self.maintenance_lock_retries,
+                "qos_partial_answers": self.qos_partial_answers,
+                "swallowed_errors": self.swallowed_errors,
+            }
 
     @property
     def hit_probability(self) -> float:
@@ -136,4 +178,85 @@ class PMVMetrics:
         self.maintenance_failsafe_clears = 0
         self.pmv_bypassed_lock = 0
         self.maintenance_lock_retries = 0
+        self.qos_partial_answers = 0
+        self.swallowed_errors = 0
         self.per_query.clear()
+
+
+@dataclass
+class QoSMetrics:
+    """Serving-stack-wide QoS counters (one per :class:`ServingGate`).
+
+    Admission and degradation decisions happen before a query is routed
+    to any one view, so these counters live above :class:`PMVMetrics`.
+    All writes and snapshot reads go through the record mutex, exactly
+    like the per-view counters, so concurrent clients and the bench
+    reporter always see a consistent state.
+    """
+
+    admitted: int = 0
+    shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    partial_answers: int = 0
+    complete_answers: int = 0
+    deadline_abandons: int = 0
+    """O3 runs abandoned at a cooperative batch checkpoint (a strict
+    subset of ``partial_answers``; the rest skipped O3 outright)."""
+    state_transitions: int = 0
+    state: str = "NORMAL"
+    breaker_state: str = "closed"
+    breaker_opens: int = 0
+    swallowed_errors: int = 0
+    _record_mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_admitted(self) -> None:
+        with self._record_mutex:
+            self.admitted += 1
+
+    def record_shed(self, reason: str) -> None:
+        with self._record_mutex:
+            self.shed += 1
+            self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+
+    def record_answer(self, complete: bool, abandoned: bool = False) -> None:
+        with self._record_mutex:
+            if complete:
+                self.complete_answers += 1
+            else:
+                self.partial_answers += 1
+                if abandoned:
+                    self.deadline_abandons += 1
+
+    def record_transition(self, state: str) -> None:
+        with self._record_mutex:
+            self.state = state
+            self.state_transitions += 1
+
+    def record_breaker(self, state: str) -> None:
+        with self._record_mutex:
+            if state == "open" and self.breaker_state != "open":
+                self.breaker_opens += 1
+            self.breaker_state = state
+
+    def record_swallowed(self) -> None:
+        with self._record_mutex:
+            self.swallowed_errors += 1
+
+    def snapshot(self) -> dict:
+        """Consistent gauge/counter snapshot (under the record mutex)."""
+        with self._record_mutex:
+            return {
+                "qos_admitted": self.admitted,
+                "qos_shed": self.shed,
+                "qos_shed_by_reason": dict(self.shed_by_reason),
+                "qos_partial_answers": self.partial_answers,
+                "qos_complete_answers": self.complete_answers,
+                "qos_deadline_abandons": self.deadline_abandons,
+                "qos_state_transitions": self.state_transitions,
+                "qos_state": self.state,
+                "breaker_state": self.breaker_state,
+                "breaker_opens": self.breaker_opens,
+                "swallowed_errors": self.swallowed_errors,
+            }

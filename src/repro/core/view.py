@@ -46,22 +46,32 @@ def entries_for_budget(
     tuples_per_entry: int,
     avg_tuple_bytes: int,
     key_fraction: float = KEY_SIZE_FRACTION,
+    strict: bool = True,
 ) -> int:
     """Max entry count L for a storage budget UB (Section 3.2).
 
     The paper bounds ``UB >= L × F × At``; with the bcp key costing
     ``key_fraction`` of an entry's tuples, each entry costs
     ``(1 + key_fraction) × F × At`` bytes.
+
+    ``strict=True`` (the constructor-time default) raises
+    :class:`ViewCapacityError` when the budget holds no entry — a PMV
+    that can never cache anything is a configuration mistake.  Runtime
+    callers that *shrink* a live budget (the QoS governor) pass
+    ``strict=False`` and get 0: an empty-but-alive PMV degrades
+    gracefully instead of erroring mid-query.
     """
     if upper_bound_bytes <= 0 or tuples_per_entry <= 0 or avg_tuple_bytes <= 0:
         raise ViewCapacityError("budget, F, and At must all be positive")
     per_entry = (1.0 + key_fraction) * tuples_per_entry * avg_tuple_bytes
     entries = int(math.floor(upper_bound_bytes / per_entry))
     if entries < 1:
-        raise ViewCapacityError(
-            f"budget {upper_bound_bytes}B holds no entry of "
-            f"{per_entry:.0f}B; raise UB or lower F"
-        )
+        if strict:
+            raise ViewCapacityError(
+                f"budget {upper_bound_bytes}B holds no entry of "
+                f"{per_entry:.0f}B; raise UB or lower F"
+            )
+        return 0
     return entries
 
 
@@ -326,6 +336,20 @@ class PartialMaterializedView:
                 self.discard_entry(key)
                 dropped += 1
             return dropped
+
+    def set_upper_bound(self, upper_bound_bytes: int | None) -> None:
+        """Re-budget a *live* PMV (the QoS governor's shrink/restore).
+
+        Unlike the constructor, a runtime shrink never raises: a budget
+        too small for even one entry simply sheds everything and leaves
+        the view empty-but-alive (the empty subset is always correct),
+        refilling from queries once the budget is restored.
+        """
+        if upper_bound_bytes is not None and upper_bound_bytes < 1:
+            upper_bound_bytes = 1
+        with self.latch:
+            self.upper_bound_bytes = upper_bound_bytes
+            self._enforce_budget()
 
     def _enforce_budget(self) -> None:
         """Shed whole entries while the UB byte budget is exceeded.

@@ -47,6 +47,7 @@ from repro.engine.wal import (
     log_create_index,
     log_create_relation,
 )
+from repro.errors import is_control_exception
 
 __all__ = ["Database", "PlanCache"]
 
@@ -173,6 +174,10 @@ class Database:
         self._listeners: list[ChangeListener] = []
         self._prepare_listeners: list[ChangeListener] = []
         self._abort_listeners: list[ChangeListener] = []
+        # Exceptions eaten by fail-safe paths (best-effort abort
+        # notification): each one bumps this counter so "silently
+        # swallowed" is at least never silent (DESIGN.md §10).
+        self.swallowed_errors = 0
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -255,8 +260,24 @@ class Database:
             listener(change, txn)
 
     def _notify_abort(self, change: Change, txn: Transaction | None) -> None:
+        """Best-effort: every abort listener gets its chance to release
+        resources even if an earlier one raises.  A listener's own
+        exception cannot be allowed to mask the statement failure that
+        triggered the abort, so it is eaten — but counted, never
+        silently (``swallowed_errors``).  Control-flow exceptions
+        (KeyboardInterrupt, injected crashes, scheduler markers) are
+        re-raised after the remaining listeners ran."""
+        control: BaseException | None = None
         for listener in self._abort_listeners:
-            listener(change, txn)
+            try:
+                listener(change, txn)
+            except BaseException as exc:
+                if is_control_exception(exc):
+                    control = exc
+                else:
+                    self.swallowed_errors += 1
+        if control is not None:
+            raise control
 
     def _notify(self, change: Change, txn: Transaction | None) -> None:
         if txn is not None:
@@ -289,7 +310,12 @@ class Database:
                 row = relation.fetch(row_id)
                 for index in self.catalog.indexes_on(relation_name):
                     index.insert(row, row_id)
-            except Exception:
+            except BaseException:
+                # BaseException on purpose: the abort broadcast releases
+                # prepared X locks, cleanup that must happen even when a
+                # KeyboardInterrupt or injected crash unwinds the
+                # statement.  _notify_abort itself is best-effort and
+                # swallows nothing silently.
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:
@@ -329,7 +355,9 @@ class Database:
                 for index in self.catalog.indexes_on(relation_name):
                     index.delete(row, row_id)
                 relation.delete(row_id)
-            except Exception:
+            except BaseException:
+                # See insert(): cleanup broadcast, runs for control
+                # exceptions too, never a silent swallow.
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:
@@ -389,7 +417,9 @@ class Database:
                 old_row, new_row, new_id = relation.update(row_id, **changes)
                 for index in self.catalog.indexes_on(relation_name):
                     index.insert(new_row, new_id)
-            except Exception:
+            except BaseException:
+                # See insert(): cleanup broadcast, runs for control
+                # exceptions too, never a silent swallow.
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:

@@ -123,5 +123,61 @@ class MaintenanceError(PMVError):
     """Deferred maintenance failed or was invoked incorrectly."""
 
 
+# ---------------------------------------------------------------------------
+# QoS / overload-protection errors
+# ---------------------------------------------------------------------------
+
+
+class QoSError(ReproError):
+    """Base class for errors raised by the overload-protection layer."""
+
+
+class OverloadError(QoSError):
+    """The admission controller shed this query instead of queueing it.
+
+    Carries the shed ``reason`` (``"queue_full"``, ``"rate"``,
+    ``"timeout"``, ``"shedding"``) so clients and benchmarks can
+    distinguish the shedding policies.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class WorkloadError(ReproError):
     """A workload/generator parameter is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Control-exception discipline
+# ---------------------------------------------------------------------------
+
+CONTROL_EXCEPTIONS: tuple[type[BaseException], ...] = (
+    KeyboardInterrupt,
+    SystemExit,
+    GeneratorExit,
+)
+"""Exception types that are *control flow*, not statement failures.
+
+Fail-safe handlers (abort notification, the maintenance fail-safe
+clear) must let these propagate untouched instead of treating them as
+an organic error at the site.  ``SimulatedCrash`` needs no entry — it
+derives from :class:`BaseException` precisely so no ``except
+Exception`` handler can see it."""
+
+
+def is_control_exception(exc: BaseException) -> bool:
+    """Whether ``exc`` is control flow that fail-safe paths must not
+    intercept.
+
+    Covers the interpreter's control exceptions and the fault/scheduler
+    harness's control types (recognized structurally, so the engine
+    never imports the test-only modules)."""
+    if isinstance(exc, CONTROL_EXCEPTIONS):
+        return True
+    # repro.faults control types: SimulatedCrash is a BaseException and
+    # never reaches Exception handlers; SchedDeadlock means the test
+    # scheduler wedged — an infrastructure condition, not a statement
+    # failure, so fail-safes must not fire on it.
+    return type(exc).__name__ in ("SimulatedCrash", "SchedDeadlock")

@@ -1,0 +1,32 @@
+"""``repro.qos`` — overload protection for the serving stack.
+
+The load-shedding brain built on the PR 3 concurrent serving layer
+(DESIGN.md §10): admission control with a bounded wait queue and
+token-bucket rate limiting, per-query deadline budgets that degrade
+answers to explicitly-marked PMV partial results instead of blocking,
+a NORMAL → DEGRADED → SHED state machine with hysteresis, a
+memory/maintenance governor (UB shrinking + a circuit breaker pausing
+maintenance retries), and a composed :class:`ServingGate` front end.
+
+The paper's §3.3 promise — a transactionally consistent *partial*
+answer within a millisecond while the full plan still runs — is
+exactly what makes principled degradation possible: under overload the
+partial answer IS the answer, marked ``complete=False``.
+"""
+
+from repro.qos.admission import AdmissionController, AdmissionSlot
+from repro.qos.breaker import CircuitBreaker
+from repro.qos.deadline import Deadline
+from repro.qos.gate import ServingGate
+from repro.qos.governor import DegradationGovernor, GovernorConfig, QoSState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSlot",
+    "CircuitBreaker",
+    "Deadline",
+    "DegradationGovernor",
+    "GovernorConfig",
+    "QoSState",
+    "ServingGate",
+]

@@ -1,0 +1,209 @@
+"""Admission control: the front door of the serving stack.
+
+Without it, every arriving query eventually piles onto
+``Database.statement_latch`` and the lock queues, and p99 latency
+grows without bound past saturation (the `repro.bench.overload`
+baseline measures exactly that collapse).  The controller keeps the
+*inside* of the system at a fixed multiprogramming level and converts
+excess offered load into fast, typed :class:`~repro.errors.OverloadError`
+rejections at the door — the queueing happens in one bounded,
+observable place instead of everywhere at once.
+
+Three gates, each optional:
+
+- **token-bucket rate limiter** (``rate``/``burst``): smooths arrival
+  bursts; a query with no token is shed immediately (``reason="rate"``);
+- **concurrency limit** (``max_concurrency``): at most this many
+  queries run inside the engine at once;
+- **bounded FIFO wait queue** (``max_queue_depth``, ``queue_timeout``):
+  queries beyond the concurrency limit wait here; a full queue sheds
+  (``reason="queue_full"``), a wait that outlives its timeout sheds
+  (``reason="timeout"``).
+
+The governor flips the controller into *shedding* mode under severe
+pressure: the wait queue is bypassed and any query that cannot start
+immediately is shed (``reason="shedding"``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.core.metrics import QoSMetrics
+from repro.errors import OverloadError
+
+__all__ = ["AdmissionController", "AdmissionSlot"]
+
+
+class _Ticket:
+    """One queued admission request, granted by a releasing slot."""
+
+    __slots__ = ("event", "granted")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.granted = False
+
+
+class AdmissionSlot:
+    """An admitted query's slot; release it when the query finishes.
+
+    Usable as a context manager::
+
+        with controller.admit() as slot:
+            ... run the query ...
+    """
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionSlot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded-queue, rate-limited, concurrency-capped admission."""
+
+    def __init__(
+        self,
+        max_concurrency: int = 16,
+        max_queue_depth: int = 32,
+        queue_timeout: float = 0.5,
+        rate: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: QoSMetrics | None = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout = queue_timeout
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else 0.0)
+        self._clock = clock
+        self.metrics = metrics
+        self._mutex = threading.Lock()
+        self._running = 0
+        self._queue: deque[_Ticket] = deque()
+        self._tokens = self.burst
+        self._last_refill = clock()
+        self._shedding = False
+
+    # -- governor hooks -------------------------------------------------------
+
+    def set_shedding(self, shedding: bool) -> None:
+        """SHED mode: bypass the wait queue — start now or shed now."""
+        with self._mutex:
+            self._shedding = shedding
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, timeout: float | None = None) -> AdmissionSlot:
+        """Admit one query or raise :class:`OverloadError`.
+
+        ``timeout`` bounds the wait-queue time (defaults to
+        ``queue_timeout``); callers with a deadline pass its remaining
+        budget so a query never spends its whole budget queueing.
+        """
+        with self._mutex:
+            if not self._take_token():
+                return self._shed("rate")
+            if self._running < self.max_concurrency:
+                self._running += 1
+                return self._admitted()
+            if self._shedding:
+                return self._shed("shedding")
+            if len(self._queue) >= self.max_queue_depth:
+                return self._shed("queue_full")
+            ticket = _Ticket()
+            self._queue.append(ticket)
+        wait = self.queue_timeout if timeout is None else timeout
+        granted = ticket.event.wait(wait)
+        if granted:
+            # The releaser handed its slot over; _running already counts us.
+            return self._admitted()
+        with self._mutex:
+            if ticket.granted:
+                # Granted in the race window between wait() expiring and
+                # re-taking the mutex: the slot is ours after all.
+                return self._admitted()
+            self._queue.remove(ticket)
+            return self._shed("timeout")
+
+    def _release(self) -> None:
+        """Free one slot, handing it to the queue head when one waits."""
+        with self._mutex:
+            while self._queue:
+                ticket = self._queue.popleft()
+                ticket.granted = True
+                ticket.event.set()
+                # Slot transferred, _running unchanged.
+                return
+            self._running -= 1
+
+    # -- internals (mutex held) ----------------------------------------------
+
+    def _take_token(self) -> bool:
+        if self.rate is None:
+            return True
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def _admitted(self) -> AdmissionSlot:
+        if self.metrics is not None:
+            self.metrics.record_admitted()
+        return AdmissionSlot(self)
+
+    def _shed(self, reason: str) -> AdmissionSlot:
+        if self.metrics is not None:
+            self.metrics.record_shed(reason)
+        raise OverloadError(f"query shed by admission control ({reason})", reason)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._mutex:
+            return len(self._queue)
+
+    @property
+    def running(self) -> int:
+        with self._mutex:
+            return self._running
+
+    def stats(self) -> dict:
+        with self._mutex:
+            return {
+                "running": self._running,
+                "queued": len(self._queue),
+                "max_concurrency": self.max_concurrency,
+                "max_queue_depth": self.max_queue_depth,
+                "rate": self.rate,
+                "shedding": self._shedding,
+            }

@@ -1,0 +1,69 @@
+"""Per-query deadline budgets.
+
+A :class:`Deadline` is the cheap, immutable token threaded from the
+serving gate through :meth:`PMVManager.execute` down to the executor's
+O3 loop.  The contract (DESIGN.md §10): Operation O2 always runs — the
+PMV's partial answer is the whole point of the paper — but full
+execution is *best effort*: O3 is skipped when the budget is already
+spent, and abandoned at the next cooperative batch checkpoint when it
+runs out mid-scan.  A deadline never aborts a query; it only degrades
+the answer to an explicitly-marked partial one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute point on a monotonic clock, with budget accounting.
+
+    Build one with :meth:`after` (relative budget, the common case) or
+    directly from an absolute ``expires_at``.  ``clock`` is injectable
+    so deterministic tests can drive virtual time.
+    """
+
+    __slots__ = ("expires_at", "budget", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        budget: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self.budget = budget
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ValueError("deadline budget must be >= 0")
+        return cls(clock() + seconds, budget=seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def tightened(self, factor: float) -> "Deadline":
+        """A new deadline with the *remaining* budget scaled by
+        ``factor`` (<1 brings it forward; used by the governor's
+        DEGRADED mode).  The original is unchanged."""
+        if factor >= 1.0:
+            return self
+        now = self._clock()
+        left = max(0.0, self.expires_at - now)
+        return Deadline(now + left * factor, budget=self.budget * factor,
+                        clock=self._clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.4f}s)"

@@ -1,0 +1,126 @@
+"""The QoS serving gate: admission + deadlines + degradation, composed.
+
+:class:`ServingGate` is the overload-protected front end of a
+:class:`~repro.core.manager.PMVManager`.  Every query passes through:
+
+1. **admission** — the :class:`~repro.qos.admission.AdmissionController`
+   either grants a slot (possibly after a bounded, deadline-aware
+   queue wait) or sheds the query with a typed
+   :class:`~repro.errors.OverloadError`;
+2. **deadline** — a per-query budget (the caller's, or the gate's
+   default, tightened by the governor's state) threaded down to the
+   executor: O2 always runs, O3 is skipped or abandoned when the
+   budget is spent, and the answer comes back explicitly marked
+   ``complete=False``;
+3. **observation** — completion latency and outcome feed the
+   :class:`~repro.qos.governor.DegradationGovernor`, which ticks at a
+   bounded rate from the query path itself (no background thread, so
+   tests and benchmarks stay deterministic).
+
+The gate never *improves* an answer — a degraded answer is always a
+true subset of the full answer (`repro.bench.overload` replay-verifies
+this row for row) — it only bounds how long anyone waits for it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.executor import PMVQueryResult
+from repro.core.metrics import QoSMetrics
+from repro.qos.admission import AdmissionController
+from repro.qos.deadline import Deadline
+from repro.qos.governor import DegradationGovernor, GovernorConfig
+
+__all__ = ["ServingGate"]
+
+
+class ServingGate:
+    """Overload-protected query execution over a PMVManager fleet."""
+
+    def __init__(
+        self,
+        manager,
+        admission: AdmissionController | None = None,
+        governor: DegradationGovernor | None = None,
+        governor_config: GovernorConfig | None = None,
+        default_deadline: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.manager = manager
+        self.metrics = QoSMetrics()
+        self.admission = admission or AdmissionController(metrics=self.metrics)
+        if self.admission.metrics is None:
+            self.admission.metrics = self.metrics
+        self.governor = governor or DegradationGovernor(
+            manager, self.admission, config=governor_config, metrics=self.metrics
+        )
+        if self.governor.metrics is None:
+            self.governor.metrics = self.metrics
+            self.governor.breaker.metrics = self.metrics
+        self.default_deadline = default_deadline
+        self._clock = clock
+
+    # -- the protected query path --------------------------------------------
+
+    def execute(
+        self,
+        query,
+        deadline: Deadline | float | None = None,
+        txn=None,
+        distinct: bool = False,
+        on_o3=None,
+    ) -> PMVQueryResult:
+        """Run ``query`` under admission control and a deadline budget.
+
+        ``deadline`` is a :class:`Deadline`, a relative budget in
+        seconds, or ``None`` for the gate's default.  Raises
+        :class:`~repro.errors.OverloadError` when the query is shed;
+        otherwise always returns an answer — complete when the budget
+        allowed O3 to finish, else the PMV partial answer with
+        ``result.complete`` False.
+        """
+        deadline = self._resolve_deadline(deadline)
+        slot = self.admission.admit(
+            timeout=None if deadline is None else deadline.remaining()
+        )
+        started = self._clock()
+        try:
+            result = self.manager.execute(
+                query, txn=txn, distinct=distinct, on_o3=on_o3, deadline=deadline
+            )
+        finally:
+            slot.release()
+            elapsed = self._clock() - started
+            self.governor.observe_latency(elapsed)
+            self.governor.maybe_tick()
+        self.metrics.record_answer(
+            result.complete, abandoned=result.degraded_reason == "deadline-abandon"
+        )
+        return result
+
+    def _resolve_deadline(self, deadline: Deadline | float | None) -> Deadline | None:
+        if deadline is None:
+            if self.default_deadline is None:
+                return None
+            deadline = self.default_deadline
+        if not isinstance(deadline, Deadline):
+            deadline = Deadline.after(float(deadline), clock=self._clock)
+        return deadline.tightened(self.governor.deadline_factor_now())
+
+    # -- inspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One consistent report: QoS counters (under the record
+        mutex), admission gauges, governor/breaker state, and each
+        managed view's counter snapshot."""
+        report = self.metrics.snapshot()
+        report["admission"] = self.admission.stats()
+        report["governor"] = self.governor.stats()
+        report["views"] = {
+            managed.view.template.name: managed.view.metrics.snapshot()
+            for managed in self.manager.managed()
+        }
+        report["database_swallowed_errors"] = self.manager.database.swallowed_errors
+        return report

@@ -1,0 +1,267 @@
+"""The degradation state machine and the memory/maintenance governor.
+
+Three serving states with hysteresis (DESIGN.md §10):
+
+::
+
+              pressure ELEVATED                pressure SEVERE
+    NORMAL  ─────────────────────▶  DEGRADED ─────────────────────▶  SHED
+       ▲                                │ ▲                            │
+       └────  healthy × recover_ticks ──┘ └── not SEVERE × recover ────┘
+
+Pressure is computed from three signals, sampled at every
+:meth:`DegradationGovernor.tick`:
+
+- the admission controller's **queue depth**;
+- the **p99 latency** of a sliding window of recently completed queries;
+- the **lock-timeout rate** (delta of the lock manager's ``timeouts``
+  counter since the previous tick) — the leading indicator that the
+  S/X pipeline is thrashing.
+
+Entering DEGRADED engages the governor's pressure-relief actions, all
+reversed when the machine returns to NORMAL:
+
+- every managed PMV's UB byte budget is shrunk by ``ub_shrink_factor``
+  (``PartialMaterializedView.set_upper_bound`` sheds entries via the
+  replacement policy; below one entry the view degrades to
+  empty-but-alive, never an error);
+- deferred-maintenance retries are put behind the
+  :class:`~repro.qos.breaker.CircuitBreaker`, so writer statements
+  stop parking on the lock queue when retries keep losing;
+- query deadlines are tightened by ``deadline_factor`` (the serving
+  gate consults :meth:`deadline_factor_now`).
+
+Entering SHED additionally flips the admission controller into
+queue-bypass shedding.  Step-downs require ``recover_ticks``
+*consecutive* healthy ticks — the hysteresis that prevents flapping at
+the threshold.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.metrics import QoSMetrics
+from repro.qos.admission import AdmissionController
+from repro.qos.breaker import CircuitBreaker
+
+__all__ = ["QoSState", "GovernorConfig", "DegradationGovernor"]
+
+
+class QoSState:
+    NORMAL = "NORMAL"
+    DEGRADED = "DEGRADED"
+    SHED = "SHED"
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Knobs of the degradation state machine (see README's QoS table)."""
+
+    degrade_p99: float = 0.5
+    """p99 latency (seconds) at which NORMAL escalates to DEGRADED."""
+    shed_p99: float = 2.0
+    """p99 latency at which anything escalates to SHED."""
+    degrade_queue: int = 8
+    """Admission queue depth at which NORMAL escalates to DEGRADED."""
+    shed_queue: int = 24
+    """Admission queue depth at which anything escalates to SHED."""
+    lock_timeout_rate: int = 5
+    """Lock timeouts per tick at which NORMAL escalates to DEGRADED."""
+    recover_ticks: int = 2
+    """Consecutive healthy ticks required before stepping down one
+    state (the hysteresis)."""
+    ub_shrink_factor: float = 0.5
+    """DEGRADED shrinks every managed PMV's UB to this fraction."""
+    deadline_factor: float = 0.5
+    """DEGRADED multiplies each query's deadline budget by this."""
+    latency_window: int = 256
+    """Completed-query latencies kept for the p99 estimate."""
+    tick_interval: float = 0.25
+    """Minimum seconds between automatic ticks (gate-driven)."""
+
+
+class DegradationGovernor:
+    """Drives NORMAL → DEGRADED → SHED from observed pressure."""
+
+    def __init__(
+        self,
+        manager,
+        admission: AdmissionController,
+        config: GovernorConfig | None = None,
+        breaker: CircuitBreaker | None = None,
+        metrics: QoSMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.manager = manager
+        self.admission = admission
+        self.config = config or GovernorConfig()
+        self.metrics = metrics
+        self.breaker = breaker or CircuitBreaker(metrics=metrics)
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._tick_mutex = threading.Lock()
+        self._state = QoSState.NORMAL
+        self._healthy_streak = 0
+        self._latencies: deque[float] = deque(maxlen=self.config.latency_window)
+        self._last_lock_timeouts: int | None = None
+        self._last_tick = clock()
+        self._saved_upper_bounds: dict[str, int | None] = {}
+        self.transitions: list[tuple[str, str]] = []
+
+    # -- observations ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._mutex:
+            return self._state
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one completed query's end-to-end latency."""
+        with self._mutex:
+            self._latencies.append(seconds)
+
+    def p99_latency(self) -> float:
+        with self._mutex:
+            return self._p99()
+
+    def _p99(self) -> float:
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        return ordered[int(0.99 * (len(ordered) - 1))]
+
+    def deadline_factor_now(self) -> float:
+        """The deadline multiplier for the current state (<= 1)."""
+        with self._mutex:
+            if self._state == QoSState.NORMAL:
+                return 1.0
+            return self.config.deadline_factor
+
+    # -- the tick -------------------------------------------------------------
+
+    def maybe_tick(self) -> None:
+        """Tick if at least ``tick_interval`` elapsed (gate-driven)."""
+        if self._clock() - self._last_tick >= self.config.tick_interval:
+            self.tick()
+
+    def tick(self) -> str:
+        """Sample pressure and run one state-machine step.
+
+        Serialized: concurrent callers skip rather than queue, so the
+        tick can be driven from the query path without convoying.
+        Returns the (possibly new) state.
+        """
+        if not self._tick_mutex.acquire(blocking=False):
+            return self.state
+        try:
+            self._last_tick = self._clock()
+            pressure = self._pressure_level()
+            return self._step(pressure)
+        finally:
+            self._tick_mutex.release()
+
+    def _pressure_level(self) -> str:
+        """Classify current pressure: ``severe``/``elevated``/``healthy``."""
+        cfg = self.config
+        queue_depth = self.admission.queue_depth
+        p99 = self.p99_latency()
+        timeouts = self.manager.database.lock_manager.stats()["timeouts"]
+        with self._mutex:
+            last = self._last_lock_timeouts
+            self._last_lock_timeouts = timeouts
+        timeout_delta = 0 if last is None else max(0, timeouts - last)
+        if p99 >= cfg.shed_p99 or queue_depth >= cfg.shed_queue:
+            return "severe"
+        if (
+            p99 >= cfg.degrade_p99
+            or queue_depth >= cfg.degrade_queue
+            or timeout_delta >= cfg.lock_timeout_rate
+        ):
+            return "elevated"
+        return "healthy"
+
+    def _step(self, pressure: str) -> str:
+        with self._mutex:
+            state = self._state
+        if pressure == "severe":
+            self._healthy_streak = 0
+            if state != QoSState.SHED:
+                if state == QoSState.NORMAL:
+                    self._enter_degraded()
+                self._enter_shed()
+            return self.state
+        if pressure == "elevated":
+            self._healthy_streak = 0
+            if state == QoSState.NORMAL:
+                self._enter_degraded()
+            # DEGRADED under elevated pressure holds; SHED holds too —
+            # stepping down from SHED requires the pressure to drop
+            # below the *degrade* thresholds, not just the shed ones.
+            return self.state
+        # healthy: hysteresis before stepping down one level.
+        self._healthy_streak += 1
+        if self._healthy_streak >= self.config.recover_ticks:
+            self._healthy_streak = 0
+            if state == QoSState.SHED:
+                self._exit_shed()
+            elif state == QoSState.DEGRADED:
+                self._exit_degraded()
+        return self.state
+
+    # -- transitions (actions + bookkeeping) ----------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        with self._mutex:
+            old = self._state
+            self._state = new_state
+        self.transitions.append((old, new_state))
+        if self.metrics is not None:
+            self.metrics.record_transition(new_state)
+
+    def _enter_degraded(self) -> None:
+        """Engage the memory/maintenance governor."""
+        for managed in self.manager.managed():
+            view = managed.view
+            self._saved_upper_bounds[view.name] = view.upper_bound_bytes
+            if view.upper_bound_bytes is not None:
+                view.set_upper_bound(
+                    max(1, int(view.upper_bound_bytes * self.config.ub_shrink_factor))
+                )
+            managed.maintainer.breaker = self.breaker
+        self._transition(QoSState.DEGRADED)
+
+    def _exit_degraded(self) -> None:
+        """Pressure cleared: restore budgets and retry policy."""
+        for managed in self.manager.managed():
+            view = managed.view
+            if view.name in self._saved_upper_bounds:
+                view.set_upper_bound(self._saved_upper_bounds.pop(view.name))
+            managed.maintainer.breaker = None
+        self.breaker.reset()
+        self._transition(QoSState.NORMAL)
+
+    def _enter_shed(self) -> None:
+        self.admission.set_shedding(True)
+        self._transition(QoSState.SHED)
+
+    def _exit_shed(self) -> None:
+        self.admission.set_shedding(False)
+        self._transition(QoSState.DEGRADED)
+
+    # -- inspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._mutex:
+            return {
+                "state": self._state,
+                "p99_latency": self._p99(),
+                "healthy_streak": self._healthy_streak,
+                "transitions": len(self.transitions),
+                "breaker_state": self.breaker.state,
+                "breaker_opens": self.breaker.opens,
+            }

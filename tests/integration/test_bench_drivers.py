@@ -85,6 +85,62 @@ class TestEngineMeasurement:
         assert m.mean_overhead_seconds < m.mean_simulated_execution_seconds
 
 
+class TestOverloadDriver:
+    """The QoS overload driver, at a bounded smoke scale."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.bench.overload import OverloadConfig, run_overload
+
+        config = OverloadConfig(
+            clients=6,
+            queries_per_client=8,
+            ops_per_writer=5,
+            max_concurrency=2,
+            max_queue_depth=3,
+            cooldown_queries=40,
+        )
+        return run_overload(config, verbose=False)
+
+    def test_run_passes_slo_story(self, outcome):
+        assert outcome.ok, (outcome.failures, outcome.thread_errors)
+
+    def test_no_silently_incomplete_answers(self, outcome):
+        assert outcome.silently_incomplete == 0
+        assert outcome.subset_violations == 0
+        assert outcome.queries_checked > 0
+
+    def test_partial_answers_are_explicit(self, outcome):
+        # The deterministic zero-budget probes guarantee at least these.
+        assert outcome.partial_answers >= 3
+
+    def test_recovers_to_normal(self, outcome):
+        assert outcome.final_state == "NORMAL"
+
+    def test_cli_report(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.overload import main
+
+        path = tmp_path / "overload.json"
+        code = main(
+            [
+                "--clients", "5",
+                "--queries", "6",
+                "--max-concurrency", "2",
+                "--report", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[overload] OK" in out
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert data["silently_incomplete"] == 0
+        assert data["final_state"] == "NORMAL"
+        assert data["partial_answers"] >= 3
+
+
 class TestAnalyticalFigures:
     def test_fig11_shapes(self):
         mv, pmv = run_fig11(verbose=False)
