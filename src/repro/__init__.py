@@ -22,7 +22,11 @@ The package has four layers:
 - :mod:`repro.qos` — overload protection around a PMV fleet: admission
   control, per-query deadlines that degrade answers to explicit PMV
   partial results, and the NORMAL/DEGRADED/SHED governor
-  (:class:`~repro.qos.ServingGate` is the front door).
+  (:class:`~repro.qos.ServingGate` is the front door);
+- :mod:`repro.replication` — WAL-shipping replication: checksummed log
+  records streamed to warm-standby replicas whose PMV fleets survive
+  failover, with epoch fencing and a heartbeat-driven
+  :class:`~repro.replication.FailoverCoordinator`.
 
 Quickstart::
 
@@ -88,6 +92,11 @@ from repro.qos import (
     QoSState,
     ServingGate,
 )
+from repro.replication import (
+    FailoverCoordinator,
+    PrimaryNode,
+    ReplicaNode,
+)
 
 __version__ = "0.1.0"
 
@@ -106,6 +115,7 @@ __all__ = [
     "Discretization",
     "DuplicateSuppressor",
     "EqualityDisjunction",
+    "FailoverCoordinator",
     "GovernorConfig",
     "Interval",
     "IntervalDisjunction",
@@ -119,7 +129,9 @@ __all__ = [
     "PMVManager",
     "PMVQueryResult",
     "PartialMaterializedView",
+    "PrimaryNode",
     "QoSState",
+    "ReplicaNode",
     "Query",
     "QueryTemplate",
     "ReproError",

@@ -24,12 +24,17 @@ import time
 from dataclasses import asdict
 
 from repro.bench import figures
+from repro.bench.failover import sweep as run_failover_sweep
 from repro.bench.overload import run_overload
 from repro.bench.reporting import Series
 
 
 def _run_overload(verbose: bool = True):
     return asdict(run_overload(verbose=verbose))
+
+
+def _run_failover(verbose: bool = True):
+    return asdict(run_failover_sweep([0, 1], verbose=verbose))
 
 
 EXPERIMENTS = {
@@ -42,6 +47,7 @@ EXPERIMENTS = {
     "fig11": figures.run_fig11,
     "fig12": figures.run_fig12,
     "overload": _run_overload,
+    "failover": _run_failover,
 }
 
 

@@ -1,0 +1,718 @@
+"""Failover drill: kill the primary mid-workload, promote, verify.
+
+The drill runs a seeded primary+2-replica topology (a third replica is
+bootstrapped mid-run from a checksummed checkpoint snapshot) through a
+mixed write/query workload with WAL shipping pumped every few ops, then
+crashes the primary at a scheduled fault point — reusing the torture
+harness's crash windows (``wal.append`` crash-before / torn /
+crash-after, ``maintenance.prepare``, ``maintenance.apply``) — and
+drives the :class:`~repro.replication.FailoverCoordinator` through
+detection, epoch fencing, promotion, and serving-gate rewiring.
+
+After every crash the drill asserts the PR's acceptance battery:
+
+- **zero acked-write loss** — a write is acknowledged only once some
+  replica applied it (semi-sync); replaying the driver's own copy of
+  the acked op log into a fresh database must reproduce the promoted
+  node's contents exactly (op-log replay agreement);
+- **warm PMVs survive** — the promoted node's PMV hit rate over a
+  probe window must be at least ``hit_factor`` × the pre-crash hit
+  rate on the primary (the standby cache was maintained, not cold);
+- **honest staleness** — every answer a lagging replica served during
+  the run was flagged ``complete=False, degraded_reason="replica_lag"``
+  and is re-verified as a multiset subset of the true answer at that
+  replica's applied watermark (by incremental op-log replay);
+- **fencing** — the deposed primary refuses writes
+  (:class:`~repro.errors.WALFencedError`) and its ships are rejected
+  by the promoted epoch;
+- the new primary keeps serving: post-failover writes replicate to the
+  surviving replicas and contents converge.
+
+Every point is replayable::
+
+    python -m repro.bench.failover --replay SEED/site:occurrence:mode
+
+Run the CI sweep::
+
+    python -m repro.bench.failover --seeds 2 --report FAILOVER_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core import Discretization, MaintenanceStrategy, PMVManager
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+from repro.engine.snapshot import snapshot_to_json, take_snapshot
+from repro.engine.wal import replay_record
+from repro.errors import ReplicaLagError, ReproError, WALFencedError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
+from repro.faults.check import InvariantViolation, contents_of
+from repro.faults.inject import build_faulty_database
+from repro.faults.plan import FaultMode
+from repro.qos import ServingGate
+from repro.replication import (
+    FailoverCoordinator,
+    PrimaryNode,
+    ReplicaNode,
+    ShippedRecord,
+)
+
+__all__ = [
+    "FailoverConfig",
+    "DrillResult",
+    "DrillReport",
+    "crash_sites_for",
+    "run_drill",
+    "sweep",
+    "main",
+]
+
+DEFAULT_OPS = 120
+DEFAULT_PAGE_SIZE = 256
+DEFAULT_POOL_PAGES = 8
+PUMP_EVERY = 3
+"""Ops between shipping pumps — the window in which replicas lag."""
+PROBE_WINDOW = 30
+"""Queries in the pre-crash / post-promotion hit-rate probe windows."""
+
+_RELATIONS = ("r", "s")
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    seed: int = 0
+    ops: int = DEFAULT_OPS
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pool_pages: int = DEFAULT_POOL_PAGES
+    staleness_bound: int = 2 * PUMP_EVERY
+    hit_factor: float = 0.5
+    heartbeat_interval: float = 1.0
+    missed_heartbeats: int = 3
+
+
+@dataclass
+class DrillResult:
+    """Outcome of one crash point (or the fault-free enumeration run)."""
+
+    seed: int
+    spec: str | None
+    ok: bool
+    status: str  # failed-over | completed | divergence
+    acked_records: int = 0
+    promoted: str | None = None
+    pre_hit_rate: float = 0.0
+    post_hit_rate: float = 0.0
+    replica_answers: int = 0
+    lagged_answers: int = 0
+    stale_epoch_rejects: int = 0
+    error: str | None = None
+
+    @property
+    def replay(self) -> str:
+        return f"{self.seed}/{self.spec or 'none'}"
+
+
+@dataclass
+class DrillReport:
+    points_run: int = 0
+    failed_over: int = 0
+    completed: int = 0
+    divergences: list[dict] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+def _make_template() -> QueryTemplate:
+    return QueryTemplate(
+        name="tq",
+        relations=("r", "s"),
+        select_list=("r.a", "s.e"),
+        joins=(JoinEquality("r", "c", "s", "d"),),
+        slots=(
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+
+
+class _Cluster:
+    """One drill's topology plus the driver-side ledgers."""
+
+    def __init__(self, config: FailoverConfig, injector: FaultInjector, wal_path: str):
+        self.config = config
+        database = build_faulty_database(
+            injector,
+            wal_path,
+            buffer_pool_pages=config.buffer_pool_pages,
+            page_size=config.page_size,
+        )
+        database.create_relation(
+            "r",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("c", INTEGER, nullable=False),
+                Column("f", INTEGER, nullable=False),
+                Column("a", TEXT),
+            ],
+        )
+        database.create_relation(
+            "s",
+            [
+                Column("d", INTEGER, nullable=False),
+                Column("g", INTEGER, nullable=False),
+                Column("e", TEXT),
+            ],
+        )
+        database.create_index("r_f", "r", ["f"])
+        database.create_index("r_c", "r", ["c"])
+        database.create_index("s_d", "s", ["d"])
+        database.create_index("s_g", "s", ["g"])
+        for i in range(24):
+            database.insert("r", (i, i % 6, i % 4, f"a{i}"))
+        for j in range(12):
+            database.insert("s", (j % 6, j % 3, f"e{j}"))
+        self.template = _make_template()
+        strategy = (
+            MaintenanceStrategy.AUX_INDEX
+            if config.seed % 2
+            else MaintenanceStrategy.DELTA_JOIN
+        )
+        manager = PMVManager(database, maintenance_strategy=strategy)
+        manager.create_view(
+            self.template,
+            Discretization(self.template),
+            tuples_per_entry=3,
+            max_entries=8,
+            aux_index_columns=("r.a", "s.e"),
+            upper_bound_bytes=4096,
+        )
+        self.primary = PrimaryNode(database, manager=manager)
+        self.replicas = [
+            ReplicaNode(
+                f"replica-{n}",
+                buffer_pool_pages=config.buffer_pool_pages,
+                page_size=config.page_size,
+            )
+            for n in (1, 2)
+        ]
+        for replica in self.replicas:
+            self.primary.attach_replica(replica)
+        self.primary.ship()  # DDL + seed rows reach the standbys
+        for replica in self.replicas:
+            replica.mirror_views(manager)
+        self.clock = [0.0]
+        self.gate = ServingGate(manager)
+        self.coordinator = FailoverCoordinator(
+            self.primary,
+            self.replicas,
+            gate=self.gate,
+            heartbeat_interval=config.heartbeat_interval,
+            missed_heartbeats=config.missed_heartbeats,
+            clock=lambda: self.clock[0],
+        )
+        # Driver-side ledgers: the acked op log (our own copies of every
+        # acknowledged WAL record) and the replica answers to re-verify.
+        self.op_log: list = []
+        self._synced_lsn = 0
+        self.replica_answers: list[tuple] = []  # (query, rows, watermark, lagged)
+        self.pre_hits: list[int] = []
+        self.refused_reads = 0
+
+    def pump(self) -> None:
+        """Ship outstanding records and extend the acked op log."""
+        self.primary.ship()
+        acked = self.primary.acked_lsn
+        for record in self.primary.database.wal.records(after_lsn=self._synced_lsn):
+            if record.lsn > acked:
+                break
+            self.op_log.append(record)
+            self._synced_lsn = record.lsn
+
+    def bind_query(self, rng: random.Random):
+        f = rng.randrange(2) if rng.random() < 0.75 else 2 + rng.randrange(2)
+        return self.template.bind(
+            [
+                EqualityDisjunction("r.f", [f]),
+                EqualityDisjunction("s.g", [rng.randrange(3)]),
+            ]
+        )
+
+    def serve_replica(self, rng: random.Random, query) -> None:
+        """Mirror a read to one standby (warms its PMV) and ledger it."""
+        replica = self.replicas[rng.randrange(len(self.replicas))]
+        replica.note_watermark(self.primary.database.wal.last_lsn)
+        lag = replica.lag
+        try:
+            result = replica.serve(query, staleness_bound=self.config.staleness_bound)
+        except ReplicaLagError:
+            # Beyond the bound the read is refused, not served stale —
+            # the router would retry on the primary.
+            self.refused_reads += 1
+            return
+        rows = sorted((tuple(r.values) for r in result.all_rows()), key=repr)
+        if lag > 0:
+            if result.complete or result.degraded_reason != "replica_lag":
+                raise InvariantViolation(
+                    f"{replica.name} served {lag} records behind without "
+                    f"flagging the answer (complete={result.complete}, "
+                    f"reason={result.degraded_reason!r})"
+                )
+        self.replica_answers.append((query, rows, replica.applied_lsn, lag > 0))
+
+
+# ---------------------------------------------------------------------------
+# The drill
+# ---------------------------------------------------------------------------
+
+
+def _run_workload(cluster: _Cluster, rng: random.Random) -> None:
+    """The seeded op mix; raises SimulatedCrash when the plan fires."""
+    config = cluster.config
+    database = cluster.primary.database
+    next_r_id = 1000
+    for op in range(config.ops):
+        cluster.clock[0] += config.heartbeat_interval * 0.2
+        cluster.primary.heartbeat(cluster.coordinator)
+        roll = rng.random()
+        if roll < 0.30:  # insert
+            if rng.random() < 0.7:
+                database.insert(
+                    "r", (next_r_id, rng.randrange(6), rng.randrange(4), f"a{next_r_id}")
+                )
+                next_r_id += 1
+            else:
+                database.insert(
+                    "s", (rng.randrange(6), rng.randrange(3), f"e{rng.randrange(99)}")
+                )
+        elif roll < 0.42:  # delete
+            relation = "r" if rng.random() < 0.6 else "s"
+            rows = list(database.catalog.relation(relation).scan())
+            if rows:
+                row_id, _ = rows[rng.randrange(len(rows))]
+                database.delete(relation, row_id)
+        elif roll < 0.55:  # update
+            relation = "r" if rng.random() < 0.6 else "s"
+            rows = list(database.catalog.relation(relation).scan())
+            if rows:
+                row_id, row = rows[rng.randrange(len(rows))]
+                if relation == "r":
+                    database.update(relation, row_id, f=rng.randrange(4))
+                else:
+                    database.update(relation, row_id, e=f"relab-{rng.randrange(99)}")
+        elif roll < 0.92:  # gate query on the primary + mirrored standby read
+            query = cluster.bind_query(rng)
+            result = cluster.gate.execute(query)
+            got = sorted((tuple(r.values) for r in result.all_rows()), key=repr)
+            want = sorted((tuple(r.values) for r in database.run(query)), key=repr)
+            if got != want:
+                raise InvariantViolation("primary gate answer diverged from truth")
+            cluster.pre_hits.append(1 if result.partial_rows else 0)
+            cluster.serve_replica(rng, cluster.bind_query(rng))
+        else:  # checkpoint; halfway through, bootstrap a standby from it
+            database.wal.checkpoint()
+            snapshot_text = snapshot_to_json(take_snapshot(database))
+            if op >= config.ops // 2 and len(cluster.replicas) < 3:
+                late = ReplicaNode.from_snapshot(
+                    snapshot_text,
+                    name="replica-3",
+                    buffer_pool_pages=config.buffer_pool_pages,
+                    page_size=config.page_size,
+                )
+                cluster.primary.attach_replica(late)
+                cluster.replicas.append(late)
+                cluster.coordinator.replicas.append(late)
+                cluster.pump()
+                late.mirror_views(cluster.primary.manager)
+        if (op + 1) % PUMP_EVERY == 0:
+            cluster.pump()
+
+
+def _hit_rate(hits: list[int]) -> float:
+    window = hits[-PROBE_WINDOW:]
+    return sum(window) / len(window) if window else 0.0
+
+
+def _verify_replica_answers(cluster: _Cluster) -> int:
+    """Re-check every ledgered standby answer by op-log replay.
+
+    The ledger is replayed watermark by watermark (ascending) into one
+    scratch database; at each stop the recorded rows must be a multiset
+    subset of the true answer at that state — and lag-flagged answers
+    were already required to carry ``complete=False``.
+    """
+    config = cluster.config
+    scratch = Database(
+        buffer_pool_pages=config.buffer_pool_pages, page_size=config.page_size
+    )
+    position = 0
+    lagged = 0
+    for query, rows, watermark, was_lagged in sorted(
+        cluster.replica_answers, key=lambda item: item[2]
+    ):
+        while position < len(cluster.op_log) and cluster.op_log[position].lsn <= watermark:
+            replay_record(scratch, cluster.op_log[position])
+            position += 1
+        truth = sorted((tuple(r.values) for r in scratch.run(query)), key=repr)
+        remaining = list(truth)
+        for row in rows:
+            if row not in remaining:
+                raise InvariantViolation(
+                    f"standby answer at watermark {watermark} is not a "
+                    f"multiset subset of the state it claims: extra {row!r}"
+                )
+            remaining.remove(row)
+        lagged += was_lagged
+    return lagged
+
+
+def run_drill(
+    seed: int, spec: FaultSpec | None, config: FailoverConfig | None = None
+) -> DrillResult:
+    """One topology, one scheduled primary crash, full verification."""
+    config = config or FailoverConfig(seed=seed)
+    spec_text = spec.describe() if spec is not None else None
+    with tempfile.TemporaryDirectory(prefix="failover-") as workdir:
+        wal_path = os.path.join(workdir, "wal.jsonl")
+        injector = FaultInjector(FaultPlan.none())
+        try:
+            cluster = _Cluster(config, injector, wal_path)
+            injector.plan = (
+                FaultPlan([spec]) if spec is not None else FaultPlan.none()
+            )
+            injector.counts.clear()
+            rng = random.Random(seed * 6271 + 11)
+            try:
+                _run_workload(cluster, rng)
+            except SimulatedCrash:
+                return _after_crash(cluster, rng, spec_text)
+            # The plan never fired (or no fault was scheduled): final
+            # convergence checks still must hold.
+            cluster.pump()
+            cluster.pump()
+            primary_contents = contents_of(cluster.primary.database, _RELATIONS)
+            for replica in cluster.replicas:
+                if contents_of(replica.database, _RELATIONS) != primary_contents:
+                    raise InvariantViolation(
+                        f"{replica.name} did not converge to the primary"
+                    )
+            lagged = _verify_replica_answers(cluster)
+            return DrillResult(
+                seed,
+                spec_text,
+                True,
+                "completed",
+                acked_records=len(cluster.op_log),
+                pre_hit_rate=_hit_rate(cluster.pre_hits),
+                replica_answers=len(cluster.replica_answers),
+                lagged_answers=lagged,
+            )
+        except ReproError as exc:
+            return DrillResult(
+                seed, spec_text, False, "divergence",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            injector.crashed = True  # silence hooks during teardown
+
+
+def _after_crash(cluster: _Cluster, rng: random.Random, spec_text: str | None) -> DrillResult:
+    """Primary died: detect, fail over, and run the acceptance battery."""
+    config = cluster.config
+    seed = config.seed
+    # Heartbeats stop; advance past the miss budget and tick.
+    cluster.clock[0] += config.heartbeat_interval * (config.missed_heartbeats + 1)
+    if not cluster.coordinator.primary_suspected():
+        return DrillResult(
+            seed, spec_text, False, "divergence",
+            error="coordinator did not suspect a silent primary",
+        )
+    old_primary = cluster.primary
+    new_primary = cluster.coordinator.tick()
+    if new_primary is None:
+        return DrillResult(
+            seed, spec_text, False, "divergence", error="tick() did not fail over"
+        )
+    try:
+        # 1. Zero acked-write loss / op-log replay agreement: the acked
+        # ledger replayed into a fresh database IS the promoted state.
+        replayed = Database(
+            buffer_pool_pages=config.buffer_pool_pages, page_size=config.page_size
+        )
+        for record in cluster.op_log:
+            replay_record(replayed, record)
+        if contents_of(replayed, _RELATIONS) != contents_of(
+            new_primary.database, _RELATIONS
+        ):
+            raise InvariantViolation(
+                f"acked op-log replay ({len(cluster.op_log)} records) "
+                f"disagrees with the promoted node {new_primary.name} "
+                f"(applied LSN {new_primary.database.wal.last_lsn})"
+            )
+        # 2. Fencing: the deposed primary must refuse writes, and its
+        # zombie ships must be rejected by the promoted epoch.
+        try:
+            old_primary.database.insert("r", (999999, 0, 0, "zombie"))
+            raise InvariantViolation("deposed primary accepted a write")
+        except WALFencedError:
+            pass
+        stale_rejects = 0
+        zombie_record = None
+        for record in old_primary.database.wal.records(
+            after_lsn=old_primary.database.wal.last_lsn - 1
+        ):
+            zombie_record = record
+        if zombie_record is not None and old_primary.links:
+            link = old_primary.links[0]
+            before = link.stale_epoch_rejects
+            link.send(
+                ShippedRecord(
+                    epoch=old_primary.epoch,
+                    watermark=old_primary.database.wal.last_lsn,
+                    line=zombie_record.to_json(),
+                ).to_wire()
+            )
+            stale_rejects = link.stale_epoch_rejects - before
+            if stale_rejects <= 0:
+                raise InvariantViolation(
+                    "promoted epoch accepted a record shipped by the "
+                    "deposed primary"
+                )
+        # 3. Warm-standby PMVs: probe the rebound gate; the promoted
+        # fleet must hit at a rate >= hit_factor x the pre-crash rate —
+        # and serve correct answers while doing it.
+        if cluster.gate.manager is not new_primary.manager:
+            raise InvariantViolation("serving gate was not rewired to the survivor")
+        for managed in new_primary.manager.managed():
+            if (
+                managed.view.upper_bound_bytes
+                != managed.view.configured_upper_bound_bytes
+            ):
+                raise InvariantViolation(
+                    f"promoted view {managed.view.name} serves with a "
+                    f"non-configured UB {managed.view.upper_bound_bytes}"
+                )
+        post_hits = []
+        for _ in range(PROBE_WINDOW):
+            query = cluster.bind_query(rng)
+            result = cluster.gate.execute(query)
+            got = sorted((tuple(r.values) for r in result.all_rows()), key=repr)
+            want = sorted(
+                (tuple(r.values) for r in new_primary.database.run(query)), key=repr
+            )
+            if got != want:
+                raise InvariantViolation("promoted gate answer diverged from truth")
+            post_hits.append(1 if result.partial_rows else 0)
+        pre_rate = _hit_rate(cluster.pre_hits)
+        post_rate = _hit_rate(post_hits)
+        if post_rate < config.hit_factor * pre_rate:
+            raise InvariantViolation(
+                f"promoted PMV went cold: hit rate {post_rate:.2f} < "
+                f"{config.hit_factor} x pre-crash {pre_rate:.2f}"
+            )
+        # 4. Every standby answer served during lag was honest.
+        lagged = _verify_replica_answers(cluster)
+        # 5. The new era serves writes and replicates them.
+        for i in range(6):
+            new_primary.database.insert(
+                "r", (5000 + i, i % 6, i % 4, f"era2-{i}")
+            )
+        new_primary.ship()
+        new_primary.ship()
+        promoted_contents = contents_of(new_primary.database, _RELATIONS)
+        for link in new_primary.links:
+            if contents_of(link.replica.database, _RELATIONS) != promoted_contents:
+                raise InvariantViolation(
+                    f"{link.replica.name} did not converge to the new primary"
+                )
+        return DrillResult(
+            seed,
+            spec_text,
+            True,
+            "failed-over",
+            acked_records=len(cluster.op_log),
+            promoted=new_primary.name,
+            pre_hit_rate=pre_rate,
+            post_hit_rate=post_rate,
+            replica_answers=len(cluster.replica_answers),
+            lagged_answers=lagged,
+            stale_epoch_rejects=stale_rejects,
+        )
+    except ReproError as exc:
+        return DrillResult(
+            seed, spec_text, False, "divergence",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Crash-site selection and the sweep
+# ---------------------------------------------------------------------------
+
+_CRASH_SITES = (
+    ("wal.append", FaultMode.CRASH_BEFORE),
+    ("wal.append", FaultMode.TORN),
+    ("wal.append", FaultMode.CRASH_AFTER),
+    ("maintenance.prepare", FaultMode.CRASH_BEFORE),
+    ("maintenance.apply", FaultMode.CRASH_BEFORE),
+)
+
+
+def crash_sites_for(seed: int, config: FailoverConfig | None = None) -> list[FaultSpec]:
+    """Pick crash specs for ``seed``: enumerate the workload's fault-site
+    arrivals fault-free, then schedule a mid-workload crash at every
+    distinct site the run reaches (>= 3 in practice)."""
+    config = config or FailoverConfig(seed=seed)
+    with tempfile.TemporaryDirectory(prefix="failover-enum-") as workdir:
+        wal_path = os.path.join(workdir, "wal.jsonl")
+        injector = FaultInjector(FaultPlan.none())
+        cluster = _Cluster(config, injector, wal_path)
+        injector.counts.clear()
+        _run_workload(cluster, random.Random(seed * 6271 + 11))
+    specs = []
+    for site, mode in _CRASH_SITES:
+        arrivals = injector.counts.get(site, 0)
+        if arrivals == 0:
+            continue
+        # Mid-range occurrence: deep enough that PMVs are warm and
+        # replicas have applied history, early enough that ops remain.
+        specs.append(FaultSpec(site, max(1, arrivals // 2), mode))
+    return specs
+
+
+def sweep(
+    seeds: list[int],
+    config_base: FailoverConfig | None = None,
+    verbose: bool = False,
+) -> DrillReport:
+    report = DrillReport(seeds=list(seeds))
+    started = time.perf_counter()
+    for seed in seeds:
+        config = FailoverConfig(
+            seed=seed,
+            **{
+                k: v
+                for k, v in (asdict(config_base) if config_base else {}).items()
+                if k != "seed"
+            },
+        )
+        specs = crash_sites_for(seed, config)
+        if len({s.site for s in specs}) < 3:
+            report.divergences.append(
+                {
+                    "seed": seed,
+                    "spec": None,
+                    "error": f"workload reached only {len(specs)} crash sites",
+                }
+            )
+            continue
+        for spec in specs:
+            result = run_drill(seed, spec, config)
+            report.points_run += 1
+            report.failed_over += result.status == "failed-over"
+            report.completed += result.status == "completed"
+            if not result.ok:
+                report.divergences.append(asdict(result))
+                print(f"DIVERGENCE at {result.replay}: {result.error}", file=sys.stderr)
+            elif verbose:
+                print(
+                    f"ok {result.replay} [{result.status}] "
+                    f"hit {result.pre_hit_rate:.2f}->{result.post_hit_rate:.2f} "
+                    f"acked={result.acked_records} lagged={result.lagged_answers}"
+                )
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.failover",
+        description="Kill-the-primary failover drill over scheduled crash sites.",
+    )
+    parser.add_argument("--seeds", type=int, default=2, help="number of workload seeds")
+    parser.add_argument("--seed-base", type=int, default=0, help="first seed value")
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS, help="ops per workload")
+    parser.add_argument(
+        "--hit-factor",
+        type=float,
+        default=0.5,
+        help="required post/pre PMV hit-rate ratio on the promoted node",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None, help="write a JSON report here"
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="SEED/SITE:OCC:MODE",
+        default=None,
+        help="re-run one printed divergence point and exit",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        seed_text, _, spec_text = args.replay.partition("/")
+        spec = None if spec_text in ("", "none") else FaultSpec.parse(spec_text)
+        config = FailoverConfig(
+            seed=int(seed_text), ops=args.ops, hit_factor=args.hit_factor
+        )
+        result = run_drill(int(seed_text), spec, config)
+        print(json.dumps(asdict(result), indent=2))
+        return 0 if result.ok else 1
+
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    base = FailoverConfig(ops=args.ops, hit_factor=args.hit_factor)
+    report = sweep(seeds, config_base=base, verbose=args.verbose)
+    summary = asdict(report)
+    summary["ok"] = report.ok
+    print(
+        f"failover: {report.points_run} crash points over seeds {report.seeds} "
+        f"({report.failed_over} failed over, {report.completed} completed) "
+        f"in {report.elapsed_seconds:.1f}s — "
+        + ("ALL DRILLS PASSED" if report.ok else f"{len(report.divergences)} DIVERGENCES")
+    )
+    for divergence in report.divergences:
+        print(
+            f"  replay: python -m repro.bench.failover --replay "
+            f"{divergence['seed']}/{divergence['spec']}"
+        )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ class PMVManager:
         self.database = database
         self.maintenance_strategy = maintenance_strategy
         self._views: dict[str, ManagedView] = {}
+        self._specs: dict[str, dict] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -108,6 +109,28 @@ class PMVManager:
             **(executor_options or {}),
         )
         self._views[template.name] = ManagedView(view, executor, maintainer)
+        if isinstance(policy, ReplacementPolicy):
+            from repro.core.replacement import _POLICIES
+
+            policy_name = next(
+                (name for name, cls in _POLICIES.items() if type(policy) is cls),
+                "clock",
+            )
+        else:
+            policy_name = policy
+        self._specs[template.name] = {
+            "template": template,
+            "discretization": discretization,
+            "tuples_per_entry": tuples_per_entry,
+            "max_entries": max_entries,
+            "policy": policy_name,
+            "aux_index_columns": tuple(aux_index_columns),
+            "upper_bound_bytes": upper_bound_bytes,
+            "maintenance_strategy": strategy,
+            "o1_cache_size": o1_cache_size,
+            "executor_options": dict(executor_options or {}),
+            "maintainer_options": dict(maintainer_options or {}),
+        }
         return view
 
     def drop_view(self, template_name: str) -> None:
@@ -115,7 +138,16 @@ class PMVManager:
         managed = self._views.pop(template_name, None)
         if managed is None:
             raise PMVError(f"no PMV for template {template_name!r}")
+        self._specs.pop(template_name, None)
         managed.maintainer.detach()
+
+    def view_specs(self) -> dict[str, dict]:
+        """The creation parameters of every managed view, keyed by
+        template name (policy instances reduced to their registered
+        names).  Replication standbys mirror the primary's fleet from
+        this — same templates, budgets, and strategies — so a promoted
+        replica serves the identical view configuration."""
+        return {name: dict(spec) for name, spec in self._specs.items()}
 
     # -- routing --------------------------------------------------------------------
 

@@ -132,6 +132,10 @@ class PartialMaterializedView:
         if upper_bound_bytes is not None and upper_bound_bytes < 1:
             raise ViewCapacityError("upper_bound_bytes must be positive")
         self.upper_bound_bytes = upper_bound_bytes
+        # The operator-configured UB, untouched by runtime re-budgeting:
+        # set_upper_bound moves upper_bound_bytes (the live budget), but
+        # failover promotion must restore *this* value before serving.
+        self.configured_upper_bound_bytes = upper_bound_bytes
         self.name = f"pmv_{template.name}"
         self.metrics = PMVMetrics()
         # Structural latch: replacement-policy state and the entry dict

@@ -47,7 +47,7 @@ from repro.engine.wal import (
     log_create_index,
     log_create_relation,
 )
-from repro.errors import is_control_exception
+from repro.errors import WALFencedError, is_control_exception
 
 __all__ = ["Database", "PlanCache"]
 
@@ -287,6 +287,20 @@ class Database:
 
     # -- DML -----------------------------------------------------------------------------
 
+    def _check_fence(self) -> None:
+        """Refuse writes on a fenced instance *before* any mutation.
+
+        A deposed primary's WAL rejects appends, but by the time the
+        append runs the heap and indexes are already mutated — the
+        zombie would diverge from its own log.  Checking up front keeps
+        a fenced instance read-only and internally consistent.
+        """
+        if self.wal is not None and self.wal.fenced_by_epoch is not None:
+            raise WALFencedError(
+                f"instance is fenced (epoch {self.wal.fenced_by_epoch} promoted "
+                f"elsewhere); writes are refused"
+            )
+
     def insert(
         self,
         relation_name: str,
@@ -300,6 +314,7 @@ class Database:
         mutation and the change broadcast are one latched critical
         section, so listeners observe changes in serialization order.
         """
+        self._check_fence()
         relation = self.catalog.relation(relation_name)
         prospective = Row(relation.schema.validate_values(values), relation.schema)
         change = Change(ChangeKind.INSERT, relation_name, new_row=prospective)
@@ -345,6 +360,7 @@ class Database:
         The prepare phase runs before the heap or any index is touched,
         so a lock denial aborts the statement with no base change.
         """
+        self._check_fence()
         relation = self.catalog.relation(relation_name)
         with self.statement_latch:
             row = relation.fetch(row_id)
@@ -401,6 +417,7 @@ class Database:
         The prepare phase (with the prospective new row) runs before
         any mutation, so lock denials and type errors abort cleanly.
         """
+        self._check_fence()
         relation = self.catalog.relation(relation_name)
         with self.statement_latch:
             old_row = relation.fetch(row_id)

@@ -14,19 +14,35 @@ its checkpoint LSN instead of the whole history::
 Like the plain :func:`~repro.engine.wal.recover`, snapshots cover the
 durable substrate only; templates and PMVs are in-memory objects that
 the application re-registers (PMVs restart empty by design).
+
+Serialized snapshots are framed with a CRC32 over the document
+(:func:`snapshot_to_json` embeds it, :func:`snapshot_from_json`
+verifies it): a corrupted snapshot file fails loudly with
+:class:`~repro.errors.SnapshotCorruptionError` instead of silently
+installing a garbled page image — the same checksum discipline the WAL
+applies per record.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any
 
 from repro.engine.database import Database
 from repro.engine.page import Page
 from repro.engine.wal import WriteAheadLog, _column_from_payload, _column_to_payload
-from repro.errors import EngineError
+from repro.errors import EngineError, SnapshotCorruptionError
 
-__all__ = ["take_snapshot", "restore_snapshot", "checkpoint", "recover_from_snapshot"]
+__all__ = [
+    "take_snapshot",
+    "restore_snapshot",
+    "checkpoint",
+    "recover_from_snapshot",
+    "snapshot_crc",
+    "snapshot_to_json",
+    "snapshot_from_json",
+]
 
 SNAPSHOT_FORMAT = 1
 
@@ -130,6 +146,12 @@ def restore_snapshot(
                 database.disk._pages[page.page_no] = page
                 relation._page_nos.append(page.page_no)
             relation._open_page_nos = list(rel_entry["open_pages"])
+            # Rebuild the membership set alongside the list: with a
+            # stale (empty) set, the first post-restore delete would
+            # re-append an already-open page and shift which page the
+            # next insert picks — a restored heap must place future
+            # rows exactly where the live heap would have.
+            relation._open_page_set = set(rel_entry["open_pages"])
             relation._row_count = row_count
         database.disk._next_page_no = snapshot["next_page_no"]
         for idx_entry in snapshot["indexes"]:
@@ -169,10 +191,37 @@ def recover_from_snapshot(
     return database
 
 
+def snapshot_crc(snapshot: dict[str, Any]) -> int:
+    """CRC32 over the snapshot document (sans any embedded ``crc`` key)."""
+    body = {k: v for k, v in snapshot.items() if k != "crc"}
+    text = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
 def snapshot_to_json(snapshot: dict[str, Any]) -> str:
-    """Serialize a snapshot for storage."""
-    return json.dumps(snapshot, separators=(",", ":"))
+    """Serialize a snapshot for storage, embedding a CRC32 frame."""
+    body = {k: v for k, v in snapshot.items() if k != "crc"}
+    body["crc"] = snapshot_crc(snapshot)
+    return json.dumps(body, separators=(",", ":"))
 
 
 def snapshot_from_json(text: str) -> dict[str, Any]:
-    return json.loads(text)
+    """Parse a stored snapshot, verifying its CRC32 when present.
+
+    Snapshots written before checksum framing carry no ``crc`` key and
+    are accepted as-is; anything with a mismatched checksum fails
+    loudly rather than restoring a silently-garbled page image.
+    """
+    try:
+        snapshot = json.loads(text)
+    except ValueError as exc:
+        raise SnapshotCorruptionError(f"snapshot is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict):
+        raise SnapshotCorruptionError("snapshot document is not an object")
+    stored = snapshot.pop("crc", None)
+    if stored is not None and stored != snapshot_crc(snapshot):
+        raise SnapshotCorruptionError(
+            f"snapshot checksum mismatch (stored {stored}, "
+            f"computed {snapshot_crc(snapshot)})"
+        )
+    return snapshot

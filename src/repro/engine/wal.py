@@ -10,6 +10,11 @@ The engine's durability story, kept deliberately simple but honest:
   is durable simply never happened);
 - the log lives in memory and, optionally, in a JSON-lines file so it
   survives a process crash;
+- every serialized record carries a CRC32 over its canonical body
+  (``lsn``/``kind``/``payload``), verified whenever the record is read
+  back — on crash-recovery replay and again on the replication ship
+  path — so bit rot is detected loudly instead of being replayed into
+  a fresh instance;
 - :func:`recover` replays a log into a fresh :class:`Database`.  Replay
   is deterministic — row ids are allocated in the same order as the
   original execution — so DELETE/UPDATE records can address rows by
@@ -27,13 +32,19 @@ from __future__ import annotations
 import enum
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 from repro.engine.datatypes import DataType, TypeKind
 from repro.engine.row import RowId
 from repro.engine.schema import Column
-from repro.errors import EngineError, WALCorruptionError
+from repro.errors import (
+    EngineError,
+    WALChecksumError,
+    WALCorruptionError,
+    WALFencedError,
+)
 
 __all__ = ["LogKind", "LogRecord", "WriteAheadLog", "recover", "replay_record"]
 
@@ -65,18 +76,45 @@ class LogRecord:
     kind: LogKind
     payload: dict[str, Any]
 
-    def to_json(self) -> str:
+    def body_json(self) -> str:
+        """The canonical serialized body the CRC covers."""
         return json.dumps(
             {"lsn": self.lsn, "kind": self.kind.value, "payload": self.payload},
+            separators=(",", ":"),
+        )
+
+    @property
+    def crc(self) -> int:
+        """CRC32 of the canonical body — the per-record checksum that
+        frames every durable and every shipped copy of this record."""
+        return zlib.crc32(self.body_json().encode("utf-8")) & 0xFFFFFFFF
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "lsn": self.lsn,
+                "kind": self.kind.value,
+                "payload": self.payload,
+                "crc": self.crc,
+            },
             separators=(",", ":"),
         )
 
     @staticmethod
     def from_json(line: str) -> "LogRecord":
         data = json.loads(line)
-        return LogRecord(
+        record = LogRecord(
             lsn=data["lsn"], kind=LogKind(data["kind"]), payload=data["payload"]
         )
+        # Records written before the CRC framing carry no checksum;
+        # they are accepted as-is.  A present checksum must match.
+        stored = data.get("crc")
+        if stored is not None and stored != record.crc:
+            raise WALChecksumError(
+                f"checksum mismatch on LSN {record.lsn}: stored {stored}, "
+                f"computed {record.crc}"
+            )
+        return record
 
 
 class WriteAheadLog:
@@ -93,6 +131,9 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._file = None
         self.torn_tail: str | None = None
+        self.checksum_tail: str | None = None
+        self.checksum_failures = 0
+        self.fenced_by_epoch: int | None = None
         self._complete_bytes: int | None = None
         if path is not None:
             self._file = open(path, "a", encoding="utf-8")
@@ -100,6 +141,11 @@ class WriteAheadLog:
     # -- writing -------------------------------------------------------------
 
     def append(self, kind: LogKind, payload: dict[str, Any]) -> LogRecord:
+        if self.fenced_by_epoch is not None:
+            raise WALFencedError(
+                f"log is fenced: epoch {self.fenced_by_epoch} was promoted "
+                f"elsewhere; this instance must not accept appends"
+            )
         record = LogRecord(lsn=self._next_lsn, kind=kind, payload=payload)
         self._next_lsn += 1
         self._records.append(record)
@@ -113,6 +159,28 @@ class WriteAheadLog:
         """Append a checkpoint marker (replay may start after the last
         one when the caller also persists a data snapshot)."""
         return self.append(LogKind.CHECKPOINT, {})
+
+    def fence(self, epoch: int) -> None:
+        """Refuse all further appends: a newer epoch has been promoted.
+
+        The replication coordinator fences a deposed primary's log so a
+        zombie instance cannot keep acknowledging writes that no
+        replica will ever accept (stale-epoch ships are additionally
+        rejected on the receiving side)."""
+        self.fenced_by_epoch = epoch
+
+    def advance_to(self, lsn: int) -> None:
+        """Set the next LSN to ``lsn + 1`` (replica bootstrap).
+
+        A replica restored from a snapshot joins the primary's LSN
+        space mid-stream; its local log must hand out the same LSNs the
+        primary's log does for the records it applies.  Only valid on a
+        log that has not outgrown ``lsn`` already."""
+        if lsn + 1 < self._next_lsn:
+            raise EngineError(
+                f"cannot rewind log from LSN {self._next_lsn - 1} to {lsn}"
+            )
+        self._next_lsn = lsn + 1
 
     def close(self) -> None:
         if self._file is not None:
@@ -145,6 +213,12 @@ class WriteAheadLog:
         """Whether :meth:`load` found an incomplete final record."""
         return self.torn_tail is not None
 
+    @property
+    def needs_repair(self) -> bool:
+        """Whether :meth:`load` found damage :meth:`repair` can cut off
+        — a torn final record or a checksum-mismatched record."""
+        return self.torn_tail is not None or self.checksum_tail is not None
+
     @staticmethod
     def load(path: str) -> "WriteAheadLog":
         """Read a log file back (the crashed process's log).
@@ -153,9 +227,15 @@ class WriteAheadLog:
         cut short, or its newline never made it to disk).  That tail is
         tolerated: it is reported via ``torn_tail`` / ``has_torn_tail``
         and skipped, because an append that never completed is a
-        statement that never happened.  Damage anywhere *before* the
-        final record — an unparseable line followed by further complete
-        records — is real corruption and raises
+        statement that never happened.
+
+        A record that parses but fails its CRC32 check is bit rot:
+        reading stops at the first such record (everything from it on
+        is untrusted — counted in ``checksum_failures`` and reported
+        via ``checksum_tail``), and :meth:`repair` truncates the file
+        there.  Structural damage anywhere *before* the final record —
+        an unparseable line followed by further complete records — is
+        corruption beyond repair and raises
         :class:`~repro.errors.WALCorruptionError`.
         """
         log = WriteAheadLog()
@@ -172,6 +252,17 @@ class WriteAheadLog:
                 continue
             try:
                 record = LogRecord.from_json(line)
+            except WALChecksumError:
+                log.checksum_failures += 1
+                if offset_after > len(raw):
+                    # Final line, no terminating newline: the bytes were
+                    # still in flight — an ordinary torn tail.
+                    log.torn_tail = line
+                    break
+                # A durable record whose stored CRC disagrees with its
+                # body: trust nothing from here on.
+                log.checksum_tail = line
+                break
             except (ValueError, KeyError) as exc:
                 if offset_after > len(raw):
                     # Final line, no terminating newline: a torn tail.
@@ -194,8 +285,10 @@ class WriteAheadLog:
         return log
 
     def repair(self, path: str | None = None) -> int:
-        """Truncate the on-disk log to the last complete record.
+        """Truncate the on-disk log to the last trustworthy record.
 
+        Cuts off a torn final record and, when :meth:`load` found one,
+        everything from the first checksum-mismatched record onward.
         Returns the number of bytes removed.  A no-op (returning 0)
         when the tail is intact.  Only meaningful on a log produced by
         :meth:`load`.
@@ -210,6 +303,7 @@ class WriteAheadLog:
         if removed > 0:
             os.truncate(target, self._complete_bytes)
         self.torn_tail = None
+        self.checksum_tail = None
         return removed
 
 

@@ -69,6 +69,21 @@ class WALCorruptionError(EngineError):
     (e.g. an unparseable record followed by further records)."""
 
 
+class WALChecksumError(WALCorruptionError):
+    """A log record's stored CRC32 disagrees with its body — bit rot,
+    detected on recovery replay or on the replication ship path."""
+
+
+class WALFencedError(EngineError):
+    """An append was attempted on a fenced log: a newer epoch has been
+    promoted and this instance must not acknowledge further writes."""
+
+
+class SnapshotCorruptionError(EngineError):
+    """A snapshot document's stored CRC32 disagrees with its contents;
+    loading it would silently install garbage, so it fails loudly."""
+
+
 class FaultInjectionError(EngineError):
     """An injected, recoverable fault (see :mod:`repro.faults`).
 
@@ -147,6 +162,33 @@ class OverloadError(QoSError):
 
 class WorkloadError(ReproError):
     """A workload/generator parameter is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Replication errors
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for errors raised by the replication layer."""
+
+
+class StaleEpochError(ReplicationError):
+    """A shipped record (or an operation) carried an epoch older than
+    the receiver's — the sender is a fenced, deposed primary."""
+
+
+class ReplicaLagError(ReplicationError):
+    """A replica read was refused because the replica's applied
+    watermark trails the primary by more than the staleness bound.
+
+    Carries ``lag`` (records behind) and ``bound`` so routers can
+    decide whether to retry elsewhere or surface the refusal."""
+
+    def __init__(self, message: str, lag: int = 0, bound: int = 0) -> None:
+        super().__init__(message)
+        self.lag = lag
+        self.bound = bound
 
 
 # ---------------------------------------------------------------------------

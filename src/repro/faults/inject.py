@@ -32,7 +32,7 @@ from repro.engine.disk import DiskManager
 from repro.engine.page import Page
 from repro.engine.wal import LogKind, LogRecord, WriteAheadLog
 from repro.errors import FaultInjectionError
-from repro.faults.plan import FaultMode, FaultPlan, FaultSpec
+from repro.faults.plan import NETWORK_MODES, FaultMode, FaultPlan, FaultSpec
 
 __all__ = [
     "SimulatedCrash",
@@ -87,7 +87,9 @@ class FaultInjector:
         spec = self.plan.match(site, arrival)
         if spec is not None:
             self.fired.append(spec)
-            if spec.mode is not FaultMode.ERROR:
+            if spec.mode is not FaultMode.ERROR and spec.mode not in NETWORK_MODES:
+                # Network modes model a lossy link, not a dying
+                # process — the injector stays armed after them.
                 self.crashed = True
         return spec
 

@@ -20,6 +20,8 @@ Fault sites (see :mod:`repro.faults.inject` for the wiring):
 ``txn.abort``           a transaction abort, before the status flip
 ``maintenance.prepare`` PMV X-lock acquisition, before the base write
 ``maintenance.apply``   PMV stale-tuple removal, after the base write
+``ship.send``           a replication transport send (drop / duplicate /
+                        reorder / partition)
 ======================  ====================================================
 """
 
@@ -30,7 +32,14 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-__all__ = ["FaultMode", "FaultSpec", "FaultPlan", "SITES", "modes_for_site"]
+__all__ = [
+    "FaultMode",
+    "FaultSpec",
+    "FaultPlan",
+    "SITES",
+    "NETWORK_MODES",
+    "modes_for_site",
+]
 
 
 class FaultMode(enum.Enum):
@@ -45,12 +54,26 @@ class FaultMode(enum.Enum):
     - ``ERROR`` — a recoverable exception
       (:class:`~repro.errors.FaultInjectionError`) is raised; the
       engine must abort the statement cleanly and keep running.
+
+    Network modes (meaningful only at transport sites such as
+    ``ship.send``; they model a lossy link, not a dying process):
+
+    - ``DROP`` — the message vanishes in flight;
+    - ``DUPLICATE`` — the message is delivered twice;
+    - ``REORDER`` — the message is held back and delivered after its
+      successors;
+    - ``PARTITION`` — the link goes down: this message and everything
+      after it is lost until the link is explicitly healed.
     """
 
     CRASH_BEFORE = "crash_before"
     CRASH_AFTER = "crash_after"
     TORN = "torn"
     ERROR = "error"
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    PARTITION = "partition"
 
 
 #: Every fault site with the modes that are meaningful there.  WAL
@@ -69,7 +92,21 @@ SITES: dict[str, tuple[FaultMode, ...]] = {
     "txn.abort": (FaultMode.CRASH_BEFORE,),
     "maintenance.prepare": (FaultMode.ERROR, FaultMode.CRASH_BEFORE),
     "maintenance.apply": (FaultMode.ERROR, FaultMode.CRASH_BEFORE),
+    "ship.send": (
+        FaultMode.DROP,
+        FaultMode.DUPLICATE,
+        FaultMode.REORDER,
+        FaultMode.PARTITION,
+    ),
 }
+
+
+#: Modes that model a lossy link rather than a dying process.  The
+#: injector must not disarm after one (the "process" is still alive),
+#: and transports interpret them in-line instead of raising.
+NETWORK_MODES: frozenset[FaultMode] = frozenset(
+    {FaultMode.DROP, FaultMode.DUPLICATE, FaultMode.REORDER, FaultMode.PARTITION}
+)
 
 
 def modes_for_site(site: str) -> tuple[FaultMode, ...]:

@@ -109,6 +109,22 @@ class ServingGate:
             deadline = Deadline.after(float(deadline), clock=self._clock)
         return deadline.tightened(self.governor.deadline_factor_now())
 
+    # -- failover -------------------------------------------------------------
+
+    def rebind(self, manager, configured_bounds: dict[str, int | None] | None = None) -> None:
+        """Route all future queries to ``manager`` (failover rewiring).
+
+        The :class:`~repro.replication.FailoverCoordinator` calls this
+        after promoting a replica: the gate's admission controller,
+        deadlines, and governor state all survive — only the fleet
+        underneath changes.  The governor adopts the new fleet first
+        (restoring configured PMV UBs even mid-DEGRADED, DESIGN.md
+        §11), so no query ever reaches a promoted view still carrying
+        the dead primary's shrunken budget.
+        """
+        self.governor.adopt_manager(manager, configured_bounds)
+        self.manager = manager
+
     # -- inspection -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -123,4 +139,6 @@ class ServingGate:
             for managed in self.manager.managed()
         }
         report["database_swallowed_errors"] = self.manager.database.swallowed_errors
+        wal = self.manager.database.wal
+        report["wal_checksum_failures"] = 0 if wal is None else wal.checksum_failures
         return report

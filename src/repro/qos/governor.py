@@ -213,6 +213,42 @@ class DegradationGovernor:
                 self._exit_degraded()
         return self.state
 
+    # -- failover -------------------------------------------------------------
+
+    def adopt_manager(self, manager, configured_bounds: dict[str, int | None] | None = None) -> None:
+        """Rebind the governor to a promoted replica's PMV fleet.
+
+        Failover while DEGRADED is the trap this guards: the old
+        fleet's shrunken budgets (and this governor's saved-bounds map)
+        belong to views that just died with the primary.  The promoted
+        replica's warm PMVs must serve at their *configured* UBs — a
+        standby promoted into a degraded budget would throw away the
+        very cache warmth replication paid to keep.
+
+        Every adopted view's UB is restored via ``set_upper_bound``
+        before it serves (from ``configured_bounds`` keyed by view
+        name, else the view's own ``configured_upper_bound_bytes``),
+        and the saved-bounds map is re-seeded with those values so a
+        later step-down to NORMAL re-applies them harmlessly.  While
+        DEGRADED/SHED, the breaker still guards the adopted
+        maintainers — pressure policy survives the failover even
+        though budgets are restored.
+        """
+        with self._mutex:
+            state = self._state
+            self._saved_upper_bounds.clear()
+            self._last_lock_timeouts = None
+        self.manager = manager
+        bounds = configured_bounds or {}
+        for managed in manager.managed():
+            view = managed.view
+            target = bounds.get(view.name, view.configured_upper_bound_bytes)
+            view.set_upper_bound(target)
+            if state != QoSState.NORMAL:
+                with self._mutex:
+                    self._saved_upper_bounds[view.name] = target
+                managed.maintainer.breaker = self.breaker
+
     # -- transitions (actions + bookkeeping) ----------------------------------
 
     def _transition(self, new_state: str) -> None:

@@ -1,0 +1,22 @@
+"""WAL-shipping replication with warm-standby PMVs (DESIGN.md §11).
+
+The primary streams its checksummed write-ahead log over in-process,
+fault-injectable links to replicas that apply it through the shared
+crash-recovery replay path and keep mirrored PMV fleets warm; a
+coordinator detects primary death by missed heartbeats, fences the old
+epoch, promotes the most-caught-up replica, and rewires the serving
+gate onto the survivor's warm cache.
+"""
+
+from repro.replication.coordinator import FailoverCoordinator
+from repro.replication.node import PrimaryNode, ReplicaNode
+from repro.replication.ship import SHIP_SITE, ReplicationLink, ShippedRecord
+
+__all__ = [
+    "FailoverCoordinator",
+    "PrimaryNode",
+    "ReplicaNode",
+    "ReplicationLink",
+    "ShippedRecord",
+    "SHIP_SITE",
+]

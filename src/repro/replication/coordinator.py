@@ -1,0 +1,113 @@
+"""Failure detection and failover orchestration.
+
+The :class:`FailoverCoordinator` watches the primary's heartbeats (the
+primary calls :meth:`notify_heartbeat` while alive; the clock is
+injectable, so tests and the failover bench drive time explicitly).
+After ``missed_heartbeats`` intervals of silence, :meth:`tick` declares
+the primary dead and runs the failover protocol:
+
+1. **fence** — the new epoch is stamped into the old primary's WAL
+   (:meth:`~repro.engine.wal.WriteAheadLog.fence`), so a zombie that
+   was merely slow can no longer mutate or acknowledge anything; its
+   ships are additionally rejected by every replica's epoch check;
+2. **promote** — the most-caught-up replica (highest applied LSN)
+   becomes the primary for the bumped epoch.  Because a write counts
+   as acknowledged only once some replica applied it (semi-sync, see
+   :attr:`~repro.replication.node.PrimaryNode.acked_lsn`), the winner
+   necessarily holds every acknowledged write;
+3. **rechain** — surviving replicas are attached to the new primary,
+   which ships them its log tail (their watermark-based links resume
+   exactly where they were);
+4. **rewire** — the :class:`~repro.qos.gate.ServingGate`, when one is
+   registered, is rebound to the promoted fleet.  The governor adopts
+   the new views and restores their configured UBs first, so a
+   promotion that happens mid-DEGRADED never serves through the dead
+   primary's shrunken budgets (the warm cache is the point of the
+   standby).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ReplicationError
+from repro.replication.node import PrimaryNode, ReplicaNode
+
+__all__ = ["FailoverCoordinator"]
+
+
+class FailoverCoordinator:
+    """Detects primary death and promotes the best replica."""
+
+    def __init__(
+        self,
+        primary: PrimaryNode,
+        replicas: list[ReplicaNode],
+        gate=None,
+        heartbeat_interval: float = 1.0,
+        missed_heartbeats: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not replicas:
+            raise ReplicationError("failover needs at least one replica")
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.gate = gate
+        self.heartbeat_interval = heartbeat_interval
+        self.missed_heartbeats = missed_heartbeats
+        self._clock = clock
+        self._last_heartbeat = clock()
+        self.failovers = 0
+        self.epoch_history: list[int] = [primary.epoch]
+
+    # -- failure detection ----------------------------------------------------
+
+    def notify_heartbeat(self) -> None:
+        self._last_heartbeat = self._clock()
+
+    def primary_suspected(self) -> bool:
+        """Whether the primary has missed its heartbeat budget."""
+        silence = self._clock() - self._last_heartbeat
+        return silence >= self.heartbeat_interval * self.missed_heartbeats
+
+    def tick(self) -> PrimaryNode | None:
+        """Run one detection step; fails over if the primary is dead.
+
+        Returns the new primary when a failover happened, else None.
+        """
+        if not self.primary_suspected():
+            return None
+        return self.failover()
+
+    # -- the failover protocol ------------------------------------------------
+
+    def failover(self) -> PrimaryNode:
+        """Fence the old primary, promote the best replica, rewire."""
+        new_epoch = self.primary.epoch + 1
+        # Fence first: from this instant the deposed primary can neither
+        # append (WALFencedError) nor mutate (Database._check_fence).
+        self.primary.database.wal.fence(new_epoch)
+        candidate = max(self.replicas, key=lambda replica: replica.applied_lsn)
+        new_primary = candidate.promote(new_epoch)
+        for replica in self.replicas:
+            if replica is not candidate:
+                new_primary.attach_replica(replica)
+        self.replicas = [r for r in self.replicas if r is not candidate]
+        if self.gate is not None:
+            self.gate.rebind(new_primary.manager)
+        self.primary = new_primary
+        self.failovers += 1
+        self.epoch_history.append(new_epoch)
+        self.notify_heartbeat()  # the new primary starts with a fresh budget
+        return new_primary
+
+    def stats(self) -> dict:
+        return {
+            "epoch": self.primary.epoch,
+            "failovers": self.failovers,
+            "epoch_history": list(self.epoch_history),
+            "primary": self.primary.name,
+            "replicas": [replica.stats() for replica in self.replicas],
+            "suspected": self.primary_suspected(),
+        }

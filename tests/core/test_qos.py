@@ -509,3 +509,94 @@ class TestSwallowAudit:
         snap = PMVMetrics().snapshot()
         assert snap["qos_partial_answers"] == 0
         assert snap["swallowed_errors"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Failover adoption (replication rewiring, DESIGN.md §11)
+# ---------------------------------------------------------------------------
+
+
+class TestFailoverAdoption:
+    """The governor/gate side of failover: adopting a promoted fleet
+    must restore its configured budgets even mid-DEGRADED — the warm
+    standby cache is the point of having one."""
+
+    def _standby_manager(self, eqt_db, eqt):
+        standby = PMVManager(eqt_db)
+        standby.create_view(
+            eqt,
+            tuples_per_entry=2,
+            max_entries=16,
+            aux_index_columns=("r.a", "s.e"),
+            upper_bound_bytes=8192,
+        )
+        return standby
+
+    def test_adopt_while_degraded_restores_configured_bounds(self, eqt_db, eqt):
+        primary_manager = PMVManager(eqt_db)
+        primary_manager.create_view(
+            eqt, tuples_per_entry=2, max_entries=16, upper_bound_bytes=8192
+        )
+        governor = _governor(primary_manager, FakeClock())
+        for _ in range(4):
+            governor.observe_latency(1.0)
+        assert governor.tick() == QoSState.DEGRADED
+        standby = self._standby_manager(eqt_db, eqt)
+        standby_view = standby.managed()[0].view
+        standby_view.set_upper_bound(1024)  # mirrored a shrunken budget
+        governor.adopt_manager(standby)
+        assert governor.manager is standby
+        # The promoted view serves at its operator-configured budget
+        # immediately, not at the dead primary's shrunken one.
+        assert standby_view.upper_bound_bytes == 8192
+        # Mid-DEGRADED adoption attaches the breaker to the new fleet.
+        assert standby.managed()[0].maintainer.breaker is governor.breaker
+
+    def test_recovery_after_adoption_keeps_configured_bounds(self, eqt_db, eqt):
+        primary_manager = PMVManager(eqt_db)
+        primary_manager.create_view(
+            eqt, tuples_per_entry=2, max_entries=16, upper_bound_bytes=8192
+        )
+        governor = _governor(primary_manager, FakeClock())
+        for _ in range(4):
+            governor.observe_latency(1.0)
+        governor.tick()
+        standby = self._standby_manager(eqt_db, eqt)
+        governor.adopt_manager(standby)
+        view = standby.managed()[0].view
+        for _ in range(4):
+            governor.observe_latency(0.001)
+        governor.tick(), governor.tick()
+        # Leaving DEGRADED restores the *standby's* configured bound —
+        # the saved-bounds map was re-seeded at adoption, so recovery
+        # cannot resurrect the dead primary's budgets.
+        assert governor.state == QoSState.NORMAL
+        assert view.upper_bound_bytes == 8192
+        assert standby.managed()[0].maintainer.breaker is None
+
+    def test_adopt_with_explicit_bounds_override(self, eqt_db, eqt):
+        primary_manager = PMVManager(eqt_db)
+        primary_manager.create_view(
+            eqt, tuples_per_entry=2, max_entries=16, upper_bound_bytes=8192
+        )
+        governor = _governor(primary_manager, FakeClock())
+        standby = self._standby_manager(eqt_db, eqt)
+        governor.adopt_manager(standby, configured_bounds={"pmv_Eqt": 2048})
+        assert standby.managed()[0].view.upper_bound_bytes == 2048
+
+    def test_gate_rebind_reroutes_and_reports_wal_checksums(self, eqt_db, eqt):
+        from repro.engine import Database, WriteAheadLog
+
+        primary_manager = PMVManager(eqt_db)
+        primary_manager.create_view(
+            eqt, tuples_per_entry=2, max_entries=16, upper_bound_bytes=8192
+        )
+        gate = ServingGate(primary_manager)
+        assert gate.stats()["wal_checksum_failures"] == 0  # no WAL at all
+        logged_db = Database(wal=WriteAheadLog())
+        standby = PMVManager(logged_db)
+        gate.rebind(standby)
+        assert gate.manager is standby
+        assert gate.governor.manager is standby
+        logged_db.wal.checksum_failures = 3
+        assert gate.stats()["wal_checksum_failures"] == 3

@@ -134,3 +134,88 @@ class TestCheckpointRecovery:
         db.insert("t", (3, "c"))
         recovered = recover_from_snapshot(snap2, wal)
         assert contents(recovered) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+class TestSnapshotChecksum:
+    """CRC32 over the canonical snapshot body: a rotten checkpoint must
+    refuse to restore instead of resurrecting a subtly wrong heap."""
+
+    def test_serialized_snapshot_carries_matching_crc(self):
+        import json
+
+        from repro.engine.snapshot import snapshot_crc
+
+        db = build_db()
+        db.insert("t", (1, "a"))
+        data = json.loads(snapshot_to_json(take_snapshot(db)))
+        crc = data.pop("crc")
+        assert crc == snapshot_crc(data)
+
+    def test_roundtrip_restores_identical_database(self):
+        db = build_db()
+        for i in range(12):
+            db.insert("t", (i, f"v{i}"))
+        text = snapshot_to_json(take_snapshot(db))
+        restored = restore_snapshot(snapshot_from_json(text))
+        assert contents(restored) == contents(db)
+        assert physical(restored) == physical(db)
+
+    def test_corrupted_body_refused(self):
+        from repro.errors import SnapshotCorruptionError
+
+        db = build_db()
+        db.insert("t", (1, "payload"))
+        text = snapshot_to_json(take_snapshot(db))
+        tampered = text.replace('"payload"', '"tampered"')
+        with pytest.raises(SnapshotCorruptionError):
+            snapshot_from_json(tampered)
+
+    def test_garbage_and_truncation_refused(self):
+        from repro.errors import SnapshotCorruptionError
+
+        db = build_db()
+        text = snapshot_to_json(take_snapshot(db))
+        for bad in ("not json at all", text[: len(text) // 2], "[1, 2, 3]"):
+            with pytest.raises(SnapshotCorruptionError):
+                snapshot_from_json(bad)
+
+    def test_legacy_snapshot_without_crc_accepted(self):
+        import json
+
+        db = build_db()
+        db.insert("t", (1, "a"))
+        data = json.loads(snapshot_to_json(take_snapshot(db)))
+        del data["crc"]
+        restored = restore_snapshot(snapshot_from_json(json.dumps(data)))
+        assert contents(restored) == [(1, "a")]
+
+
+class TestRestoredHeapPlacement:
+    def test_restored_heap_tracks_open_pages_like_the_live_heap(self):
+        """Regression: ``restore_snapshot`` must rebuild the open-page
+        *set* alongside the open-page list.  With a stale empty set,
+        the first delete on an already-open page re-appends it, and the
+        next insert lands on a different page than the live heap's —
+        replayed physical addresses then point at the wrong rows."""
+        from repro.engine import WriteAheadLog
+
+        db = Database(wal=WriteAheadLog(), page_size=256, buffer_pool_pages=8)
+        db.create_relation(
+            "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)]
+        )
+        # Enough rows to close the first page and open a second.
+        ids = [db.insert("t", (i, "x" * 24)) for i in range(20)]
+        relation = db.catalog.relation("t")
+        assert len(relation._page_nos) >= 2
+        restored = restore_snapshot(take_snapshot(db), buffer_pool_pages=8)
+        restored_rel = restored.catalog.relation("t")
+        assert restored_rel._open_page_set == relation._open_page_set
+        # Delete from a closed page and from the open page, then
+        # insert: both heaps must pick the same page and slot.
+        for target in (db, restored):
+            target.delete("t", ids[0])
+            target.delete("t", ids[-1])
+        assert db.insert("t", (777, "y" * 24)) == restored.insert(
+            "t", (777, "y" * 24)
+        )
+        assert physical(restored) == physical(db)

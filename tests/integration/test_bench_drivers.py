@@ -154,3 +154,77 @@ class TestAnalyticalFigures:
         finite = [y for y in line.y if y != float("inf")]
         assert all(a < b for a, b in zip(finite, finite[1:]))
         assert line.y[-1] == float("inf")
+
+
+class TestFailoverDriver:
+    """The replication failover drill, at a bounded smoke scale."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.bench.failover import FailoverConfig, crash_sites_for, run_drill
+
+        seed = 0
+        config = FailoverConfig(seed=seed, ops=80)
+        specs = crash_sites_for(seed, config)
+        results = [run_drill(seed, spec, config) for spec in specs]
+        return specs, results
+
+    def test_reaches_at_least_three_distinct_crash_sites(self, outcome):
+        specs, _ = outcome
+        assert len({spec.site for spec in specs}) >= 3
+
+    def test_every_drill_passes(self, outcome):
+        _, results = outcome
+        assert results
+        for result in results:
+            assert result.ok, (result.replay, result.error)
+            assert result.status == "failed-over"
+            assert result.promoted is not None
+
+    def test_zero_acked_write_loss_is_checked_on_real_traffic(self, outcome):
+        _, results = outcome
+        # Every drill had acknowledged writes to verify against.
+        assert all(result.acked_records > 0 for result in results)
+
+    def test_warm_standby_hit_rate_survives_promotion(self, outcome):
+        _, results = outcome
+        for result in results:
+            assert result.post_hit_rate >= 0.5 * result.pre_hit_rate
+
+    def test_lagged_replica_answers_were_served_and_verified(self, outcome):
+        _, results = outcome
+        assert sum(result.replica_answers for result in results) > 0
+        assert sum(result.lagged_answers for result in results) > 0
+
+    def test_fault_free_run_completes_and_converges(self):
+        from repro.bench.failover import FailoverConfig, run_drill
+
+        result = run_drill(3, None, FailoverConfig(seed=3, ops=80))
+        assert result.ok, result.error
+        assert result.status == "completed"
+
+    def test_cli_report(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.failover import main
+
+        path = tmp_path / "failover.json"
+        code = main(["--seeds", "1", "--ops", "60", "--report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL DRILLS PASSED" in out
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert data["points_run"] >= 3
+        assert data["divergences"] == []
+
+    def test_cli_replay_one_point(self, capsys):
+        import json
+
+        from repro.bench.failover import main
+
+        code = main(["--replay", "0/wal.append:30:torn", "--ops", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["ok"] is True
