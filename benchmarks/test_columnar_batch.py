@@ -1,0 +1,50 @@
+"""Columnar batch-size sweep: ``batch_rows`` vs. PMV overhead.
+
+Runs the hot-path Zipfian workload through the default (columnar)
+executor at several ``batch_rows`` settings and asserts:
+
+- every setting returns row-for-row identical results (batch
+  boundaries are an execution detail, never a semantic one);
+- the sweep actually ran every configured batch size.
+
+The measured summary is persisted to ``BENCH_columnar.json`` at the
+repository root so CI can archive the sweep curve.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.columnar import run_columnar_sweep
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_columnar.json"
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_columnar_batch_sweep(benchmark, report):
+    result = run_once(benchmark, lambda: run_columnar_sweep())
+    config = result.config
+
+    report("\n== Columnar batch-size sweep ==")
+    report(
+        f"workload: {config.queries} queries, Zipf alpha={config.alpha}, "
+        f"F={config.tuples_per_entry}"
+    )
+    for batch_rows in config.batch_sizes:
+        overhead = result.overhead_by_batch[batch_rows]
+        report(
+            f"  batch_rows={batch_rows:>5}: overhead "
+            f"{overhead * 1e6 / config.queries:7.1f} us/query"
+        )
+    report(f"best batch_rows: {result.best_batch_rows}")
+
+    RESULT_PATH.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+    report(f"wrote {RESULT_PATH.name}")
+
+    # Batch size must never change query answers.
+    assert result.rows_identical, "batch size altered query results"
+    assert result.result_rows > 0
+    assert set(result.overhead_by_batch) == set(config.batch_sizes)
+    assert all(v > 0 for v in result.overhead_by_batch.values())

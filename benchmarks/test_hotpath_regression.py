@@ -1,12 +1,17 @@
-"""Hot-path regression: the default executor must beat the legacy path.
+"""Hot-path regression: the default executor must beat its ancestors.
 
-Runs a 1000-query Zipfian workload through two identically-built
-databases — once with every hot-path optimization on (O1 memo, plan
-cache, batched O3) and once with all of them off (the original
-per-row, re-derive-everything path) — and asserts:
+Runs a 1000-query Zipfian workload through three identically-built
+databases — the default columnar batch pipeline, the previous
+row-at-a-time hot path (``columnar=False``), and the original
+per-row, re-derive-everything path (every knob off) — and asserts:
 
-- the PMV overhead (O1 + O2 + O3's checking) drops by at least 2x;
-- both paths return row-for-row identical results for every query.
+- the columnar pipeline cuts PMV overhead (O1 + O2 + O3's checking)
+  by at least 2x over the row hot path, measured within one run so
+  machine speed divides out;
+- the legacy path stays at least 2x more expensive than the default
+  (the historical gate);
+- all three paths return row-for-row identical results for every
+  query.
 
 The measured summary is persisted to ``BENCH_hotpath.json`` at the
 repository root so CI can archive the trend.
@@ -29,15 +34,17 @@ def test_hotpath_overhead_regression(benchmark, report):
     result = run_once(benchmark, lambda: run_hotpath_benchmark())
     config = result.config
 
-    report("\n== Hot-path regression: cached/batched vs legacy executor ==")
+    report("\n== Hot-path regression: columnar vs row vs legacy executor ==")
     report(
         f"workload: {config.queries} queries, Zipf alpha={config.alpha}, "
         f"h={math.prod(config.values_per_slot)}, F={config.tuples_per_entry}"
     )
     report(
         f"overhead: fast {result.fast_overhead_seconds * 1e3:.1f} ms, "
+        f"row {result.row_overhead_seconds * 1e3:.1f} ms, "
         f"slow {result.slow_overhead_seconds * 1e3:.1f} ms "
-        f"-> {result.speedup:.2f}x reduction"
+        f"-> slow/fast {result.speedup:.2f}x, "
+        f"row/fast {result.columnar_speedup:.2f}x"
     )
     report(
         f"O1 memo hit ratio {result.o1_cache_hit_ratio:.1%}, "
@@ -48,17 +55,24 @@ def test_hotpath_overhead_regression(benchmark, report):
     RESULT_PATH.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
     report(f"wrote {RESULT_PATH.name}")
 
-    # The hot path must never change query answers.
-    assert result.rows_identical, "cached/batched path altered query results"
+    # No pipeline may ever change query answers.
+    assert result.rows_identical, "a pipeline altered query results"
     assert result.result_rows > 0
 
     # The workload actually exercises the caches.
     assert result.o1_cache_hit_ratio > 0.5
     assert result.plan_cache.get("hits", 0) > 0
 
-    # The acceptance bar: >= 2x cheaper per-query PMV overhead.
+    # The historical bar: >= 2x cheaper than the legacy path.
     assert result.speedup >= 2.0, (
         f"hot path speedup {result.speedup:.2f}x below the 2x bar "
         f"(fast {result.fast_overhead_seconds:.4f}s, "
         f"slow {result.slow_overhead_seconds:.4f}s)"
+    )
+
+    # The columnar bar: >= 2x cheaper than the row hot path it replaced.
+    assert result.columnar_speedup >= 2.0, (
+        f"columnar speedup {result.columnar_speedup:.2f}x below the 2x bar "
+        f"(fast {result.fast_overhead_seconds:.4f}s, "
+        f"row {result.row_overhead_seconds:.4f}s)"
     )

@@ -18,10 +18,17 @@ from repro.bench.figures import (
     run_table1,
     sim_scale,
 )
+from repro.bench.columnar import (
+    ColumnarSweepConfig,
+    ColumnarSweepResult,
+    run_columnar_sweep,
+)
 from repro.bench.hotpath import HotpathConfig, HotpathResult, run_hotpath_benchmark
 from repro.bench.reporting import Series, format_series, format_table, scale_note
 
 __all__ = [
+    "ColumnarSweepConfig",
+    "ColumnarSweepResult",
     "ExperimentDatabase",
     "HotpathConfig",
     "HotpathResult",
@@ -33,6 +40,7 @@ __all__ = [
     "format_series",
     "format_table",
     "measure_overhead",
+    "run_columnar_sweep",
     "run_fig6",
     "run_fig7",
     "run_fig8",

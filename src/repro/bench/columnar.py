@@ -1,0 +1,173 @@
+"""The columnar batch-size sweep: ``batch_rows`` vs. PMV overhead.
+
+Runs the hot-path Zipfian workload through the default (columnar)
+executor once per candidate ``batch_rows`` setting.  The knob bounds
+how many heap-page payload chunks a scan coalesces into one
+:class:`~repro.engine.columns.ColumnBatch`; the sweep shows the
+characteristic curve — tiny batches re-pay per-batch dispatch, huge
+batches stop helping once every page fits in one batch — and proves
+the answers do not depend on batching (row-for-row identity across
+the sweep).
+
+The summary is persisted as ``BENCH_columnar.json`` by the benchmark
+gate in ``benchmarks/test_columnar_batch.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.figures import build_experiment_database
+from repro.core.discretize import Discretization
+from repro.core.executor import PMVExecutor
+from repro.core.view import PartialMaterializedView
+from repro.workload.queries import ZipfianQueryStream
+from repro.workload.templates import make_t1
+
+__all__ = ["ColumnarSweepConfig", "ColumnarSweepResult", "run_columnar_sweep"]
+
+DEFAULT_BATCH_SIZES = (64, 256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class ColumnarSweepConfig:
+    """Parameters of one batch-size sweep."""
+
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES
+    queries: int = 600
+    repeats: int = 2
+    alpha: float = 3.0
+    values_per_slot: tuple[int, ...] = (2, 2)
+    tuples_per_entry: int = 64
+    max_entries: int = 20_000
+    policy: str = "clock"
+    distinct_order_dates: int = 20
+    suppliers: int = 8
+    seed: int = 99
+
+
+@dataclass
+class ColumnarSweepResult:
+    """Outcome of :func:`run_columnar_sweep`."""
+
+    config: ColumnarSweepConfig
+    overhead_by_batch: dict[int, float]
+    execution_by_batch: dict[int, float]
+    rows_identical: bool
+    result_rows: int
+    runs_by_batch: dict[int, list[float]] = field(default_factory=dict)
+
+    @property
+    def best_batch_rows(self) -> int:
+        return min(self.overhead_by_batch, key=self.overhead_by_batch.get)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (persisted as ``BENCH_columnar.json``)."""
+        c = self.config
+        per_query = 1e6 / c.queries
+        return {
+            "benchmark": "columnar_batch_sweep",
+            "config": {
+                "batch_sizes": list(c.batch_sizes),
+                "queries": c.queries,
+                "repeats": c.repeats,
+                "alpha": c.alpha,
+                "values_per_slot": list(c.values_per_slot),
+                "tuples_per_entry": c.tuples_per_entry,
+                "max_entries": c.max_entries,
+                "policy": c.policy,
+                "distinct_order_dates": c.distinct_order_dates,
+                "suppliers": c.suppliers,
+                "seed": c.seed,
+            },
+            "sweep": [
+                {
+                    "batch_rows": batch_rows,
+                    "overhead_seconds": self.overhead_by_batch[batch_rows],
+                    "overhead_us_per_query": self.overhead_by_batch[batch_rows]
+                    * per_query,
+                    "execution_seconds": self.execution_by_batch[batch_rows],
+                    "runs_seconds": self.runs_by_batch.get(batch_rows, []),
+                }
+                for batch_rows in c.batch_sizes
+            ],
+            "best_batch_rows": self.best_batch_rows,
+            "rows_identical": self.rows_identical,
+            "result_rows": self.result_rows,
+        }
+
+
+def _run_workload(config: ColumnarSweepConfig, batch_rows: int):
+    """One full pass at one ``batch_rows`` setting.
+
+    Returns ``(overhead_seconds, execution_seconds, row_values)``.
+    The database is rebuilt per pass so no setting sees another's
+    buffer pool or PMV state.
+    """
+    env = build_experiment_database(
+        distinct_order_dates=config.distinct_order_dates,
+        suppliers=config.suppliers,
+    )
+    env.database.batch_rows = batch_rows
+    template = make_t1()
+    view = PartialMaterializedView(
+        template,
+        Discretization(template),
+        tuples_per_entry=config.tuples_per_entry,
+        max_entries=config.max_entries,
+        policy=config.policy,
+    )
+    executor = PMVExecutor(env.database, view)
+    stream = ZipfianQueryStream(
+        template,
+        [env.dates, env.suppliers],
+        alpha=config.alpha,
+        values_per_slot=list(config.values_per_slot),
+        seed=config.seed,
+    )
+    rows: list[list[tuple]] = []
+    for query in stream.queries(config.queries):
+        result = executor.execute(query)
+        rows.append([tuple(row.values) for row in result.all_rows()])
+    metrics = view.metrics
+    return metrics.overhead_seconds, metrics.execution_seconds, rows
+
+
+def run_columnar_sweep(
+    config: ColumnarSweepConfig | None = None,
+    verbose: bool = False,
+) -> ColumnarSweepResult:
+    """Sweep ``batch_rows`` over one workload, checking row identity."""
+    if config is None:
+        config = ColumnarSweepConfig()
+    runs: dict[int, list[float]] = {b: [] for b in config.batch_sizes}
+    execution: dict[int, float] = {}
+    reference_rows: list[list[tuple]] | None = None
+    rows_identical = True
+    for _repeat in range(config.repeats):
+        for batch_rows in config.batch_sizes:
+            overhead, exec_seconds, rows = _run_workload(config, batch_rows)
+            runs[batch_rows].append(overhead)
+            previous = execution.get(batch_rows)
+            if previous is None or exec_seconds < previous:
+                execution[batch_rows] = exec_seconds
+            if reference_rows is None:
+                reference_rows = rows
+            elif rows != reference_rows:
+                rows_identical = False
+            if verbose:
+                print(
+                    f"  batch_rows={batch_rows}: overhead {overhead * 1e3:.1f} ms, "
+                    f"execution {exec_seconds * 1e3:.1f} ms"
+                )
+    result = ColumnarSweepResult(
+        config=config,
+        overhead_by_batch={b: min(r) for b, r in runs.items()},
+        execution_by_batch=execution,
+        rows_identical=rows_identical,
+        result_rows=sum(len(r) for r in (reference_rows or [])),
+        runs_by_batch=runs,
+    )
+    if verbose:
+        print(f"  best batch_rows: {result.best_batch_rows}")
+    return result

@@ -10,6 +10,9 @@ multiset, not a set.
 
 from __future__ import annotations
 
+from collections import Counter
+from typing import Iterable, Sequence
+
 from repro.engine.row import Row
 from repro.errors import PMVError
 
@@ -23,10 +26,15 @@ class DuplicateSuppressor:
     :class:`Row` object: row equality and hashing are values-only
     anyway, and tuple keys hash and compare at C speed — this matters
     because O2 adds and O3 consumes every delivered tuple.
+
+    The columnar pipeline talks to DS in value tuples directly
+    (:meth:`add_batch` / :meth:`consume_batch`), so no :class:`Row`
+    objects exist on that path; the count store is a
+    :class:`collections.Counter` so bulk adds run in C.
     """
 
     def __init__(self) -> None:
-        self._counts: dict[tuple, int] = {}
+        self._counts: Counter[tuple] = Counter()
         self._size = 0
 
     def add(self, row: Row) -> None:
@@ -48,16 +56,58 @@ class DuplicateSuppressor:
             counts[values] = get(values, 0) + 1
         self._size += len(rows)
 
+    def add_batch(self, values: "Sequence[tuple] | Iterable[tuple]") -> None:
+        """Record a batch of delivered *value tuples* (columnar O2).
+
+        ``Counter.update`` runs the counting loop in C — this is the
+        vectorized analogue of :meth:`add_many` with no ``Row``
+        objects involved.
+        """
+        if not hasattr(values, "__len__"):
+            values = list(values)
+        self._counts.update(values)
+        self._size += len(values)
+
+    def consume_batch(self, values: "Sequence[tuple]") -> list[tuple]:
+        """Consume one recorded occurrence of each value tuple; return
+        the tuples that were *not* recorded (columnar O3).
+
+        Tuple-level twin of :meth:`consume_many`: same semantics, same
+        order preservation, no ``Row`` objects.
+        """
+        counts = self._counts
+        if not counts:
+            return list(values)
+        fresh: list[tuple] = []
+        append = fresh.append
+        get = counts.get
+        consumed = 0
+        for t in values:
+            count = get(t, 0)
+            if count == 0:
+                append(t)
+            elif count == 1:
+                del counts[t]
+                consumed += 1
+            else:
+                counts[t] = count - 1
+                consumed += 1
+        self._size -= consumed
+        return fresh
+
     def consume_many(self, rows: list[Row]) -> list[Row]:
         """Consume one recorded occurrence of each row; return the
         rows that were *not* recorded (O3's bulk dedup path).
 
         Equivalent to ``[row for row in rows if not self.consume(row)]``
-        with the loop run inside one call.  Order is preserved.
+        with the loop run inside one call.  Order is preserved.  The
+        returned list is always a fresh object, never the caller's —
+        aliasing the input would let downstream mutation corrupt the
+        operator's batch.
         """
         counts = self._counts
         if not counts:
-            return rows
+            return list(rows)
         fresh: list[Row] = []
         append = fresh.append
         get = counts.get

@@ -143,8 +143,16 @@ class PMVExecutor:
         the overhead clock once per batch rather than twice per row,
         and hoist O2's per-part ``is_basic`` evaluation out of the
         per-cached-row loop.
+    ``columnar``
+        Run O2/O3 over the engine's :class:`ColumnBatch` pipeline: the
+        whole hot path moves plain value tuples (O2 delivers live entry
+        value lists by reference, O3 deduplicates with set algebra over
+        value tuples) and :class:`Row` objects are materialized only at
+        the :class:`PMVQueryResult` client boundary.  ``columnar=False``
+        restores the row-at-a-time pipeline, which the equivalence
+        suite and the hot-path benchmark compare against.
 
-    Turning all three off reproduces the original per-row, re-derive-
+    Turning them all off reproduces the original per-row, re-derive-
     everything path — the baseline the hot-path benchmark compares
     against.
     """
@@ -157,6 +165,7 @@ class PMVExecutor:
         o1_cache_size: int = DEFAULT_O1_CACHE_SIZE,
         use_plan_cache: bool = True,
         batched: bool = True,
+        columnar: bool = True,
         lock_wait: bool = True,
         lock_timeout: float = DEFAULT_LOCK_GRACE,
     ) -> None:
@@ -168,6 +177,16 @@ class PMVExecutor:
         )
         self.use_plan_cache = use_plan_cache
         self.batched = batched
+        self.columnar = columnar
+        # Compiled tuple-position matchers for non-basic part groups,
+        # keyed by the (hashable, frozen) parts tuple; bounded so a
+        # pathological workload cannot grow it without limit.
+        self._part_matchers: dict[tuple, Callable[[tuple], bool]] = {}
+        # Memoized bcp-key extractor for the columnar refresh: every
+        # plan of one template shares a root schema, so the extractor
+        # compiles once, not once per query with fresh rows.
+        self._values_key_of: Callable[[tuple], tuple] | None = None
+        self._values_key_schema = None
         # S-lock acquisition policy: wait up to ``lock_timeout`` seconds
         # for the view's S lock, then bypass the PMV instead of failing
         # the query.  ``lock_wait=False`` restores the historical
@@ -470,6 +489,10 @@ class PMVExecutor:
         on_o3: Callable[[Query], None] | None = None,
         deadline=None,
     ) -> PMVQueryResult:
+        if self.columnar:
+            return self._execute_columnar(
+                query, txn, distinct, on_partial, on_o3, deadline
+            )
         clock = self._clock
         view = self.view
         result = PMVQueryResult(query=query)
@@ -724,6 +747,379 @@ class PMVExecutor:
             ds.assert_empty()
 
         metrics.remaining_tuples = len(result.remaining_rows)
+        metrics.overhead_seconds = overhead
+        metrics.execution_seconds = execution_seconds
+        return not abandoned
+
+    # -- the columnar pipeline -----------------------------------------------------
+
+    def _part_matcher(self, parts: tuple) -> Callable[[tuple], bool]:
+        """Compile a non-basic part group into one tuple-position test.
+
+        A cached value tuple satisfies the group iff it lies in any of
+        the group's (non-overlapping) condition parts; each dimension
+        test is resolved to a ``(position, contains_value)`` pair
+        against the view's captured result schema, so the hot loop
+        indexes plain tuples instead of resolving column names.  The
+        parts tuple is hashable (frozen dataclasses all the way down),
+        so compiled matchers are memoized across queries.
+        """
+        matcher = self._part_matchers.get(parts)
+        if matcher is not None:
+            return matcher
+        schema = self.view.row_schema
+        compiled = tuple(
+            tuple((schema.position(d.column), d.contains_value) for d in part.dims)
+            for part in parts
+        )
+        if len(compiled) == 1:
+            tests = compiled[0]
+            if len(tests) == 1:
+                position, test = tests[0]
+
+                def matcher(t, position=position, test=test):
+                    return test(t[position])
+
+            else:
+
+                def matcher(t, tests=tests):
+                    return all(test(t[p]) for p, test in tests)
+
+        else:
+
+            def matcher(t, compiled=compiled):
+                return any(
+                    all(test(t[p]) for p, test in tests) for tests in compiled
+                )
+
+        if len(self._part_matchers) >= 512:
+            self._part_matchers.clear()
+        self._part_matchers[parts] = matcher
+        return matcher
+
+    def _execute_columnar(
+        self,
+        query: Query,
+        txn: Transaction,
+        distinct: bool,
+        on_partial: Callable[[list[Row]], None] | None = None,
+        on_o3: Callable[[Query], None] | None = None,
+        deadline=None,
+    ) -> PMVQueryResult:
+        """O1/O2/O3 over the columnar batch pipeline.
+
+        The clocked hot path never touches a :class:`Row`: O2 delivers
+        resident entries as *references to their live value-tuple
+        lists* (an O(1) append per bcp — no per-row duplicate-
+        suppressor build), and O3 settles the delivered-vs-derived
+        ledger once at the end with set algebra over value tuples.
+        Rows are materialized at the client boundary only — after the
+        overhead window closes — from the entry's lazily-cached Row
+        list (``cached_rows``), which amortizes to a plain list extend
+        on every hit after the first.
+        """
+        clock = self._clock
+        view = self.view
+        result = PMVQueryResult(query=query)
+        metrics = result.metrics
+
+        # ---- Operation O1: Cselect -> grouped condition parts ------------
+        overhead_start = clock()
+        parts, groups = self._decompose_grouped(query, metrics)
+        metrics.condition_parts = len(parts)
+
+        # ---- Operation O2: deliver cached partial results ----------------
+        sched = self.database.scheduler
+        if sched is not None:
+            sched.switch("executor.o2")
+        if not self._lock_view_or_bypass(txn, metrics):
+            return self._execute_bypassed(
+                query, result, distinct, on_partial, on_o3, overhead_start, deadline
+            )
+        counters: dict[tuple, int] = {}
+        # Chunks delivered to the user, in delivery order.  A chunk is
+        # (bcp key, live entry value list) when the whole entry matched
+        # (has_basic, no distinct filter) — the key lets the boundary
+        # reuse the entry's cached Row list — or (None, fresh list) for
+        # filtered deliveries.  Live chunks are strictly read-only and
+        # are only *read* before any O3 refresh can grow them.
+        partial_chunks: list[tuple[tuple | None, list]] = []
+        delivered = 0
+        delivered_distinct: set[tuple] = set()
+        cached_values = view.cached_values
+        tuple_count = view.tuple_count
+        chunk_append = partial_chunks.append
+        for group in groups:
+            key = group.key
+            reference = view.reference(key)
+            if reference.resident_before:
+                metrics.bcp_hits += 1
+                values = cached_values(key)
+                if values is None:
+                    counters[key] = 0
+                    continue
+                counters[key] = n = len(values)
+                if not n:
+                    continue
+                if group.has_basic:
+                    # Every cached tuple of the entry matches: deliver
+                    # the entry's backing list by reference.
+                    matching = values
+                    live_key = key
+                else:
+                    matcher = self._part_matcher(group.parts)
+                    matching = [t for t in values if matcher(t)]
+                    live_key = None
+                if distinct:
+                    kept = []
+                    seen_add = delivered_distinct.add
+                    for t in matching:
+                        if t not in delivered_distinct:
+                            seen_add(t)
+                            kept.append(t)
+                    matching = kept
+                    live_key = None
+                if matching:
+                    chunk_append((live_key, matching))
+                    delivered += len(matching)
+            else:
+                counters[key] = tuple_count(key)
+        metrics.partial_tuples = delivered
+        overhead = clock() - overhead_start
+
+        # ---- Client boundary: materialize the partial Rows ---------------
+        # Outside the overhead window (delivery, not checking) but
+        # inside the partial latency the user observes.  A live chunk
+        # reuses the entry's lazily-built Row cache — after an entry's
+        # first hit this is one list extend, exactly what the row
+        # pipeline paid; filtered chunks build fresh Rows.
+        if partial_chunks:
+            row_schema = view.row_schema
+            partial_extend = result.partial_rows.extend
+            for live_key, chunk in partial_chunks:
+                rows = (
+                    view.cached_rows(live_key) if live_key is not None else None
+                )
+                if rows is not None and len(rows) == len(chunk):
+                    partial_extend(rows)
+                else:
+                    # The entry was evicted by a later group's reference
+                    # (or never had a Row cache): the delivered chunk
+                    # still holds the tuples as they were probed.
+                    partial_extend(Row(t, row_schema) for t in chunk)
+        metrics.partial_latency_seconds = clock() - overhead_start
+        if on_partial is not None:
+            on_partial(list(result.partial_rows))
+
+        # ---- Deadline checkpoint: is there budget left for O3? -----------
+        if deadline is not None and deadline.expired():
+            return self._finish_degraded(result, "deadline-skip", on_o3)
+
+        # ---- Operation O3: full execution + dedup + PMV refresh ----------
+        if sched is not None:
+            sched.switch("executor.o3")
+        execution_start = clock()
+        if self.use_plan_cache:
+            plan = self.database.plan(query, blocking=True)
+        else:
+            plan = self.database.plan(query, blocking=True, use_cache=False)
+        self.database.statement_latch.acquire()
+        try:
+            completed = self._run_o3_columnar(
+                result,
+                plan,
+                partial_chunks,
+                delivered,
+                counters,
+                distinct,
+                overhead,
+                execution_start,
+                deadline,
+            )
+            if not completed:
+                return self._finish_degraded(
+                    result, "deadline-abandon", on_o3, latched=True
+                )
+            if on_o3 is not None:
+                on_o3(query)
+        finally:
+            self.database.statement_latch.release()
+        view.metrics.record_query(metrics)
+        return result
+
+    def _run_o3_columnar(
+        self,
+        result: PMVQueryResult,
+        plan,
+        partial_chunks: list,
+        partial_count: int,
+        counters: dict,
+        distinct: bool,
+        overhead: float,
+        execution_start: float,
+        deadline=None,
+    ) -> bool:
+        """The body of columnar O3 (caller holds the statement latch).
+
+        Full execution streams :class:`ColumnBatch` objects; each batch
+        contributes its value-tuple chunk (row-major transposition is
+        execution work, done before the check window opens).  The
+        delivered-vs-derived ledger is settled once, after the stream:
+
+        - when both sides are duplicate-free (the overwhelmingly common
+          case — and always true under ``distinct``), plain set algebra
+          is exact: ``fresh = o3 − partial`` in plan order, and a
+          non-empty ``partial − o3`` means the PMV served stale tuples
+          (the :meth:`DuplicateSuppressor.assert_empty` invariant);
+        - otherwise an exact multiset fallback replays the chunks
+          through a :class:`DuplicateSuppressor` in value-tuple form.
+
+        The PMV refresh runs *after* the ledger is read, so growing a
+        live entry list can never corrupt a delivered chunk.  Returns
+        False when a deadline abandoned the stream at a batch
+        checkpoint; the chunks collected before expiry are still
+        consumed and refreshed — they were delivered work.
+        """
+        clock = self._clock
+        view = self.view
+        metrics = result.metrics
+        abandoned = False
+        o3_chunks: list[list[tuple]] = []
+        o3_count = 0
+        seen: set | None = set() if distinct else None
+        chunks_append = o3_chunks.append
+        for cb in plan.execute_column_batches():
+            if deadline is not None and deadline.expired():
+                # Cooperative checkpoint between batches: the budget is
+                # spent; seal a degraded answer from what was produced.
+                abandoned = True
+                break
+            chunk = cb.tuples()
+            if seen is None:
+                if chunk:
+                    chunks_append(chunk)
+                    o3_count += len(chunk)
+            else:
+                # Distinct streams are deduplicated inside the check
+                # window (the row path's seen_distinct filter).
+                check_start = clock()
+                kept = []
+                kept_append = kept.append
+                seen_add = seen.add
+                for t in chunk:
+                    if t not in seen:
+                        seen_add(t)
+                        kept_append(t)
+                if kept:
+                    chunks_append(kept)
+                    o3_count += len(kept)
+                overhead += clock() - check_start
+
+        # ---- The ledger: one clocked settlement for the whole stream -----
+        check_start = clock()
+        completed = not abandoned
+        fresh: list[tuple] = []
+        if partial_count == 0:
+            for chunk in o3_chunks:
+                fresh.extend(chunk)
+        else:
+            # Delivered side: prefer the entries' version-tagged cached
+            # frozensets — set-to-set merges reuse stored hashes, so a
+            # hot entry's tuples are hashed once per residency, not
+            # once per query.  A live chunk whose entry was evicted (or
+            # that holds duplicate tuples, which a frozenset would
+            # collapse) falls back to hashing the chunk itself.
+            partial_set: "set | frozenset"
+            if len(partial_chunks) == 1:
+                live_key, chunk = partial_chunks[0]
+                fs = (
+                    view.cached_value_set(live_key)
+                    if live_key is not None
+                    else None
+                )
+                partial_set = (
+                    fs if fs is not None and len(fs) == len(chunk) else set(chunk)
+                )
+            else:
+                partial_set = set()
+                partial_update = partial_set.update
+                for live_key, chunk in partial_chunks:
+                    fs = (
+                        view.cached_value_set(live_key)
+                        if live_key is not None
+                        else None
+                    )
+                    partial_update(
+                        fs if fs is not None and len(fs) == len(chunk) else chunk
+                    )
+            o3_set: set = set()
+            for chunk in o3_chunks:
+                o3_set.update(chunk)
+            if len(partial_set) == partial_count and len(o3_set) == o3_count:
+                # All-distinct on both sides: set difference is exact.
+                need = o3_set - partial_set
+                n_need = len(need)
+                if n_need == o3_count:
+                    # Nothing was delivered from this stream (cold
+                    # bcps): every tuple is fresh, in plan order.
+                    for chunk in o3_chunks:
+                        fresh.extend(chunk)
+                elif n_need:
+                    fresh = [t for chunk in o3_chunks for t in chunk if t in need]
+                # |partial − o3| = |partial| − |o3| + |need| when both
+                # sides are duplicate-free: the invariant check is
+                # count arithmetic, no second difference pass.
+                if completed and partial_count - o3_count + n_need:
+                    leftover = partial_set - o3_set
+                    raise PMVError(
+                        f"DS not empty after O3: {len(leftover)} tuple(s) "
+                        f"left, e.g. {next(iter(leftover))!r}; the PMV "
+                        "delivered results full execution did not produce"
+                    )
+            else:
+                # Duplicates present somewhere: exact multiset replay.
+                ds = DuplicateSuppressor()
+                add_batch = ds.add_batch
+                for _live_key, chunk in partial_chunks:
+                    add_batch(chunk)
+                consume_batch = ds.consume_batch
+                for chunk in o3_chunks:
+                    fresh.extend(consume_batch(chunk))
+                if completed:
+                    ds.assert_empty()
+
+        # ---- Refresh the PMV "for free" (after the ledger is read) -------
+        if fresh:
+            schema = plan.root.schema
+            key_of = self._values_key_of
+            if key_of is None or self._values_key_schema is not schema:
+                key_of = view.values_key_extractor(schema)
+                self._values_key_of = key_of
+                self._values_key_schema = schema
+            f_limit = view.tuples_per_entry
+            counters_get = counters.get
+            tuple_count = view.tuple_count
+            add_value_tuple = view.add_value_tuple
+            for t in fresh:
+                key = key_of(t)
+                cj = counters_get(key)
+                if cj is None:
+                    cj = tuple_count(key)
+                if cj < f_limit and add_value_tuple(key, t, schema):
+                    counters[key] = cj + 1
+                else:
+                    counters[key] = cj
+        overhead += clock() - check_start
+
+        # ---- Client boundary: materialize the remaining Rows -------------
+        # Real work the row pipeline did during the scan, so it counts
+        # as execution time, not PMV overhead.
+        if fresh:
+            schema = plan.root.schema
+            result.remaining_rows = [Row(t, schema) for t in fresh]
+        execution_seconds = clock() - execution_start
+
+        metrics.remaining_tuples = len(fresh)
         metrics.overhead_seconds = overhead
         metrics.execution_seconds = execution_seconds
         return not abandoned

@@ -41,6 +41,36 @@ NOMINAL_TUPLE_BYTES = 50
 """The paper's example average tuple size At (Section 3.2)."""
 
 
+class _Entry:
+    """One resident bcp's cached result tuples, stored compactly.
+
+    The source of truth is ``values`` — a list of plain value tuples
+    (the columnar pipeline's native currency, one object per tuple
+    instead of a :class:`Row` with schema and hash slots) — plus
+    ``bytes``, the entry's incrementally-maintained storage footprint,
+    so eviction subtracts one number instead of re-sizing every tuple.
+    ``_rows`` is a lazily-built, index-synchronized :class:`Row` cache
+    for the row-level APIs (``lookup``/``cached_rows``/maintenance);
+    the row path materializes an entry's Rows once and reuses them on
+    every later query, preserving its zero-alloc hit behaviour.
+
+    ``version`` counts mutations; ``_value_set`` caches a version-
+    tagged frozenset of the values for the columnar executor's
+    delivered-vs-derived ledger.  CPython set-to-set operations reuse
+    the hashes stored in the table, so a hot entry's tuples are hashed
+    once when first cached instead of once per query.
+    """
+
+    __slots__ = ("values", "bytes", "version", "_rows", "_value_set")
+
+    def __init__(self) -> None:
+        self.values: list[tuple] = []
+        self.bytes = 0
+        self.version = 0
+        self._rows: list[Row] | None = None
+        self._value_set: tuple[int, frozenset] | None = None
+
+
 def entries_for_budget(
     upper_bound_bytes: int,
     tuples_per_entry: int,
@@ -144,10 +174,17 @@ class PartialMaterializedView:
         # nests discard_entry() and add_tuple() nests _enforce_budget().
         # Lock-ordering rule: nothing is awaited while holding it.
         self.latch = threading.RLock()
-        self._entries: dict[BcpKey, list[Row]] = {}
+        self._entries: dict[BcpKey, _Entry] = {}
         self.current_bytes = 0
         self._stored_tuples = 0
         self._tuple_bytes = 0
+        # Captured from the first stored tuple's schema: Row
+        # materialization target, per-column byte sizers, and aux-index
+        # column positions (every result tuple shares the expanded
+        # select list ``Ls'``, so one capture covers the view's life).
+        self._row_schema = None
+        self._sizers: tuple | None = None
+        self._aux_positions: tuple[tuple[str, int], ...] = ()
         # Nominal per-entry key charge: 4% of F tuples at the paper's
         # example At of 50 bytes.  Fixed at construction so admission
         # and eviction charge symmetrically.
@@ -209,6 +246,28 @@ class PartialMaterializedView:
 
         return extract
 
+    def values_key_extractor(self, schema) -> "Callable[[tuple], BcpKey]":
+        """Like :meth:`key_extractor` but mapping bare value tuples —
+        the columnar path's bcp recovery, with no ``Row`` in sight."""
+        steps = []
+        for slot in self.template.slots:
+            position = schema.position(slot.column)
+            if slot.form is SlotForm.INTERVAL:
+                steps.append(
+                    (position, self.discretization.grid(slot.column).id_for_value)
+                )
+            else:
+                steps.append((position, None))
+        frozen = tuple(steps)
+
+        def extract(values: tuple) -> BcpKey:
+            return tuple(
+                values[position] if id_of is None else id_of(values[position])
+                for position, id_of in frozen
+            )
+
+        return extract
+
     def bcp_of_row(self, row: Row) -> BasicConditionPart:
         """Full :class:`BasicConditionPart` for the tuple ``row``."""
         dims = []
@@ -240,7 +299,7 @@ class PartialMaterializedView:
                 self._drop_entry(victim)
                 self.metrics.entries_evicted += 1
             if result.admitted and key not in self._entries:
-                self._entries[key] = []
+                self._entries[key] = _Entry()
                 self.current_bytes += self._key_cost
             return result
 
@@ -255,22 +314,52 @@ class PartialMaterializedView:
         Returns a copy so callers cannot mutate the entry.
         """
         with self.latch:
-            rows = self._entries.get(key)
-            return list(rows) if rows is not None else None
+            entry = self._entries.get(key)
+            return list(self._rows_of(entry)) if entry is not None else None
 
     def cached_rows(self, key: BcpKey) -> list[Row] | None:
-        """Like :meth:`lookup` but returns the live entry list.
+        """Like :meth:`lookup` but returns the live entry Row cache.
 
         The executor's O2 hot path probes resident entries once per
         query; copying the entry there is pure overhead.  Callers MUST
-        treat the result as read-only — it is the entry itself.
+        treat the result as read-only — it is the entry's own cache.
         """
-        return self._entries.get(key)
+        entry = self._entries.get(key)
+        return self._rows_of(entry) if entry is not None else None
+
+    def cached_values(self, key: BcpKey) -> list[tuple] | None:
+        """A resident bcp's live value-tuple list (columnar O2 probe).
+
+        No ``Row`` objects are touched.  Callers MUST treat the result
+        as read-only — it is the entry's backing store.
+        """
+        entry = self._entries.get(key)
+        return entry.values if entry is not None else None
+
+    def cached_value_set(self, key: BcpKey) -> frozenset | None:
+        """A resident bcp's values as a cached frozenset, or ``None``.
+
+        The columnar ledger builds its delivered-tuple set from these:
+        the frozenset is rebuilt only when the entry mutates (version-
+        tagged), and CPython's set-to-set merge reuses the stored
+        hashes, so a hot entry's tuples are hashed once in its
+        lifetime, not once per query.  Note a frozenset collapses
+        duplicate tuples — callers must compare its length against the
+        entry's tuple count before treating it as the exact multiset.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        cached = entry._value_set
+        if cached is None or cached[0] != entry.version:
+            fs = frozenset(entry.values)
+            entry._value_set = cached = (entry.version, fs)
+        return cached[1]
 
     def tuple_count(self, key: BcpKey) -> int:
         """The counter ``cj`` base value: tuples stored for this bcp."""
-        rows = self._entries.get(key)
-        return len(rows) if rows is not None else 0
+        entry = self._entries.get(key)
+        return len(entry.values) if entry is not None else 0
 
     # -- tuple storage -----------------------------------------------------------------
 
@@ -281,19 +370,61 @@ class PartialMaterializedView:
         or already holds ``F`` tuples.
         """
         with self.latch:
-            rows = self._entries.get(key)
-            if rows is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 return False
-            if len(rows) >= self.tuples_per_entry:
+            values_list = entry.values
+            if len(values_list) >= self.tuples_per_entry:
                 self.metrics.tuples_rejected_full += 1
                 return False
-            rows.append(row)
+            if self._row_schema is None:
+                self._capture_schema(row.schema)
+            values = row.values
+            values_list.append(values)
+            entry.version += 1
+            rows = entry._rows
+            if rows is not None:
+                rows.append(row)
             size = row.byte_size()
+            entry.bytes += size
             self.current_bytes += size
             self._stored_tuples += 1
             self._tuple_bytes += size
             self.metrics.tuples_cached += 1
-            self._aux_add(key, row)
+            self._aux_add(key, values)
+            self._enforce_budget()
+            return True
+
+    def add_value_tuple(self, key: BcpKey, values: tuple, schema) -> bool:
+        """Columnar twin of :meth:`add_tuple`: store one result *value
+        tuple* under a resident bcp, no ``Row`` object involved.
+
+        ``schema`` describes the tuple's columns (captured once for Row
+        materialization and byte sizing).  Same residency/F semantics
+        and metrics as :meth:`add_tuple`.
+        """
+        with self.latch:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            values_list = entry.values
+            if len(values_list) >= self.tuples_per_entry:
+                self.metrics.tuples_rejected_full += 1
+                return False
+            if self._row_schema is None:
+                self._capture_schema(schema)
+            values_list.append(values)
+            entry.version += 1
+            rows = entry._rows
+            if rows is not None:
+                rows.append(Row(values, self._row_schema))
+            size = self._values_size(values)
+            entry.bytes += size
+            self.current_bytes += size
+            self._stored_tuples += 1
+            self._tuple_bytes += size
+            self.metrics.tuples_cached += 1
+            self._aux_add(key, values)
             self._enforce_budget()
             return True
 
@@ -305,19 +436,25 @@ class PartialMaterializedView:
         """
         key = self.key_of_row(row)
         with self.latch:
-            rows = self._entries.get(key)
-            if not rows:
+            entry = self._entries.get(key)
+            if entry is None or not entry.values:
                 return False
             try:
-                rows.remove(row)
+                i = entry.values.index(row.values)
             except ValueError:
                 return False
+            values = entry.values.pop(i)
+            entry.version += 1
+            rows = entry._rows
+            if rows is not None:
+                del rows[i]
             size = row.byte_size()
+            entry.bytes -= size
             self.current_bytes -= size
             self._stored_tuples -= 1
             self._tuple_bytes -= size
             self.metrics.maintenance_tuples_removed += 1
-            self._aux_remove(key, row)
+            self._aux_remove(key, values)
             return True
 
     def discard_entry(self, key: BcpKey) -> bool:
@@ -390,19 +527,22 @@ class PartialMaterializedView:
         """Cached tuples whose ``column`` equals ``value``."""
         out: list[Row] = []
         for key in self.entries_with_value(column, value):
-            for row in self._entries.get(key, ()):
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            for row in self._rows_of(entry):
                 if row[column] == value:
                     out.append(row)
         return out
 
-    def _aux_add(self, key: BcpKey, row: Row) -> None:
-        for column in self._aux_columns:
-            bucket = self._aux[column].setdefault(row[column], {})
+    def _aux_add(self, key: BcpKey, values: tuple) -> None:
+        for column, position in self._aux_positions:
+            bucket = self._aux[column].setdefault(values[position], {})
             bucket[key] = bucket.get(key, 0) + 1
 
-    def _aux_remove(self, key: BcpKey, row: Row) -> None:
-        for column in self._aux_columns:
-            value = row[column]
+    def _aux_remove(self, key: BcpKey, values: tuple) -> None:
+        for column, position in self._aux_positions:
+            value = values[position]
             bucket = self._aux[column].get(value)
             if not bucket or key not in bucket:
                 continue
@@ -415,16 +555,46 @@ class PartialMaterializedView:
 
     # -- internals ----------------------------------------------------------------------
 
+    def _capture_schema(self, schema) -> None:
+        """Bind the result schema (first stored tuple wins): compile
+        per-column byte sizers and aux-index positions against it."""
+        self._row_schema = schema
+        self._sizers = tuple(col.dtype.byte_size for col in schema.columns)
+        self._aux_positions = tuple(
+            (column, schema.position(column)) for column in self._aux_columns
+        )
+
+    def _values_size(self, values: tuple) -> int:
+        """Byte footprint of one value tuple (same arithmetic as
+        :meth:`Row.byte_size`, via the precompiled sizers)."""
+        total = 0
+        for sizer, value in zip(self._sizers, values):
+            total += sizer(value)
+        return total
+
+    def _rows_of(self, entry: _Entry) -> list[Row]:
+        """The entry's Row-materialized form, built lazily and kept in
+        step with its value list."""
+        rows = entry._rows
+        if rows is None or len(rows) != len(entry.values):
+            schema = self._row_schema
+            entry._rows = rows = [Row(values, schema) for values in entry.values]
+        return rows
+
     def _drop_entry(self, key: BcpKey) -> bool:
-        rows = self._entries.pop(key, None)
-        if rows is None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
             return False
-        for row in rows:
-            size = row.byte_size()
-            self.current_bytes -= size
-            self._stored_tuples -= 1
-            self._tuple_bytes -= size
-            self._aux_remove(key, row)
+        values_list = entry.values
+        if values_list:
+            if self._aux_positions:
+                for values in values_list:
+                    self._aux_remove(key, values)
+            # Vectorized accounting: the entry carries its own byte
+            # total, so eviction is O(1) in tuple sizing.
+            self.current_bytes -= entry.bytes
+            self._stored_tuples -= len(values_list)
+            self._tuple_bytes -= entry.bytes
         self.current_bytes -= self._key_cost
         return True
 
@@ -438,6 +608,14 @@ class PartialMaterializedView:
     # -- inspection --------------------------------------------------------------------
 
     @property
+    def row_schema(self):
+        """The result schema captured from the first stored tuple, or
+        ``None`` while the view is empty.  The columnar executor uses
+        it to compile tuple-position predicates and to materialize
+        :class:`Row` objects at the client boundary."""
+        return self._row_schema
+
+    @property
     def entry_count(self) -> int:
         return len(self._entries)
 
@@ -446,8 +624,14 @@ class PartialMaterializedView:
         return self._stored_tuples
 
     def entries(self) -> Iterator[tuple[BcpKey, list[Row]]]:
-        for key, rows in self._entries.items():
-            yield key, list(rows)
+        for key, entry in self._entries.items():
+            yield key, list(self._rows_of(entry))
+
+    def entry_values(self) -> Iterator[tuple[BcpKey, list[tuple]]]:
+        """Iterate entries as live value-tuple lists (read-only), the
+        columnar counterpart of :meth:`entries`."""
+        for key, entry in self._entries.items():
+            yield key, entry.values
 
     def check_invariants(self) -> None:
         """Internal consistency checks (used by tests).
@@ -464,12 +648,18 @@ class PartialMaterializedView:
             raise ViewCapacityError(
                 f"view holds {self.current_bytes}B > UB {self.upper_bound_bytes}B"
             )
-        for key, rows in self._entries.items():
-            if len(rows) > self.tuples_per_entry:
-                raise ViewCapacityError(f"entry {key!r} holds {len(rows)} > F tuples")
+        for key, entry in self._entries.items():
+            if len(entry.values) > self.tuples_per_entry:
+                raise ViewCapacityError(
+                    f"entry {key!r} holds {len(entry.values)} > F tuples"
+                )
             if not self.policy.contains(key):
                 raise ViewDefinitionError(f"entry {key!r} not resident in policy")
-            for row in rows:
+            if entry.values and self._row_schema is None:
+                raise ViewDefinitionError(
+                    f"entry {key!r} holds tuples but no schema was captured"
+                )
+            for row in self._rows_of(entry):
                 if self.key_of_row(row) != key:
                     raise ViewDefinitionError(
                         f"tuple {row!r} stored under wrong bcp {key!r}"

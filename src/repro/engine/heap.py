@@ -255,6 +255,66 @@ class HeapRelation:
             if batch:
                 yield batch
 
+    def fetch_payload(self, row_id: RowId) -> tuple:
+        """Return the raw value tuple at ``row_id`` (no :class:`Row`).
+
+        The columnar pipeline's fetch primitive — identical page
+        traffic to :meth:`fetch`, minus the per-record object.
+        """
+        self._check_owned(row_id)
+        page = self._pool.fetch(row_id.page_no)
+        try:
+            payload = page.read(row_id.slot_no)
+        finally:
+            self._pool.unpin(row_id.page_no)
+        if payload is None:
+            raise StorageError(f"{self.name}: {row_id} is deleted")
+        return payload
+
+    def fetch_payloads(self, row_ids: Sequence[RowId]) -> list[tuple]:
+        """Fetch many records' value tuples, in input order.
+
+        Consecutive row ids on the same page are served under a single
+        pin, so an index probe whose postings cluster physically
+        touches each page once instead of once per record.
+        """
+        payloads: list[tuple] = []
+        page = None
+        page_no = -1
+        try:
+            for row_id in row_ids:
+                if page is None or row_id.page_no != page_no:
+                    if page is not None:
+                        self._pool.unpin(page_no)
+                        page = None
+                    self._check_owned(row_id)
+                    page_no = row_id.page_no
+                    page = self._pool.fetch(page_no)
+                payload = page.read(row_id.slot_no)
+                if payload is None:
+                    raise StorageError(f"{self.name}: {row_id} is deleted")
+                payloads.append(payload)
+        finally:
+            if page is not None:
+                self._pool.unpin(page_no)
+        return payloads
+
+    def scan_payload_chunks(self) -> Iterator[list[tuple]]:
+        """Full scan yielding one list of live value tuples per page.
+
+        The columnar counterpart of :meth:`scan_batches`: same per-page
+        fetch pattern, no :class:`Row` objects.  Callers coalesce
+        chunks up to their ``batch_rows`` target.
+        """
+        for page_no in self._page_nos:
+            page = self._pool.fetch(page_no)
+            try:
+                chunk = [payload for _, payload in page.live_slots()]
+            finally:
+                self._pool.unpin(page_no)
+            if chunk:
+                yield chunk
+
     def find(self, predicate: Callable[[Row], bool]) -> Iterator[tuple[RowId, Row]]:
         """Scan filtered by an arbitrary Python predicate."""
         for row_id, row in self.scan():
@@ -270,12 +330,21 @@ class HeapRelation:
     @property
     def _page_set(self) -> set[int]:
         # Small relations dominate tests; recompute lazily but cache on
-        # the instance dict to keep hot paths fast.
-        cached = getattr(self, "_page_set_cache", None)
-        if cached is None or len(cached) != len(self._page_nos):
-            cached = set(self._page_nos)
-            object.__setattr__(self, "_page_set_cache", cached)
-        return cached
+        # the instance dict to keep hot paths fast.  The cache is keyed
+        # on the page list's identity AND length: length catches
+        # in-place appends (inserts, snapshot restore), identity catches
+        # wholesale list replacement — including an equal-length page
+        # swap, which a length-only key would wrongly validate against
+        # the stale set.  The keyed list is held by strong reference so
+        # the identity test cannot be fooled by id reuse.
+        page_nos = self._page_nos
+        if (
+            getattr(self, "_page_set_src", None) is not page_nos
+            or len(self._page_set_cache) != len(page_nos)
+        ):
+            self._page_set_cache = set(page_nos)
+            self._page_set_src = page_nos
+        return self._page_set_cache
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HeapRelation({self.name!r}, rows={self._row_count}, pages={self.page_count})"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.engine.columns import ColumnBatch, coalesce_chunks
 from repro.engine.heap import HeapRelation
 from repro.engine.index import HashIndex, OrderedIndex
 from repro.engine.predicate import Interval
@@ -41,12 +42,21 @@ __all__ = [
     "NestedLoopJoin",
     "DEFAULT_BATCH_ROWS",
     "iter_batches",
+    "iter_column_batches",
 ]
 
 RowPredicate = Callable[[Row], bool]
 
+ColumnTests = Sequence[tuple[str, Callable[[Any], bool]]]
+"""Vectorizable conjunctive predicate: ``(column_name, value_test)`` pairs."""
+
 DEFAULT_BATCH_ROWS = 256
 """Chunk size used when an operator has to batch a row-at-a-time child."""
+
+
+def _compile_tests(schema: Schema, tests: ColumnTests) -> tuple[tuple[int, Callable], ...]:
+    """Resolve named column tests to positional ones, once."""
+    return tuple((schema.position(name), test) for name, test in tests)
 
 
 class Operator:
@@ -73,6 +83,17 @@ class Operator:
                 chunk = []
         if chunk:
             yield chunk
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        """Columnar fallback: wrap the row path's batches.
+
+        Operators with a native vector implementation override this;
+        everything else (including black-box predicates) stays correct
+        by flowing through the authoritative row path.
+        """
+        schema = self.schema
+        for batch in iter_batches(self):
+            yield ColumnBatch.from_rows(batch, schema)
 
     def explain(self, indent: int = 0) -> str:
         """A one-line-per-operator plan rendering (for debugging/tests)."""
@@ -118,6 +139,31 @@ def iter_batches(op: Operator) -> Iterator[list[Row]]:
     yield from op.execute_batches()
 
 
+def iter_column_batches(op: Operator) -> Iterator[ColumnBatch]:
+    """Yield ``op``'s output as :class:`ColumnBatch`es, honouring overrides.
+
+    Mirrors :func:`iter_batches`: an operator's native
+    ``execute_columns`` is preferred, but a subclass that overrides the
+    row-level ``execute``/``execute_batches`` *below* the class
+    providing ``execute_columns`` is authoritative — its rows are
+    wrapped, not bypassed.  Parent operators consume children through
+    this helper on the columnar path.
+    """
+    for klass in type(op).__mro__:
+        if klass is Operator:
+            break
+        namespace = klass.__dict__
+        if "execute_columns" in namespace:
+            yield from op.execute_columns()
+            return
+        if "execute_batches" in namespace or "execute" in namespace:
+            schema = op.schema
+            for batch in iter_batches(op):
+                yield ColumnBatch.from_rows(batch, schema)
+            return
+    yield from op.execute_columns()
+
+
 class SeqScan(Operator):
     """Full scan of a heap relation, with an optional pushed-down filter.
 
@@ -125,10 +171,18 @@ class SeqScan(Operator):
     batch.
     """
 
-    def __init__(self, relation: HeapRelation, predicate: RowPredicate | None = None) -> None:
+    def __init__(
+        self,
+        relation: HeapRelation,
+        predicate: RowPredicate | None = None,
+        tests: ColumnTests | None = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> None:
         self.relation = relation
         self.predicate = predicate
+        self.batch_rows = batch_rows
         self.schema = relation.schema
+        self._tests = None if tests is None else _compile_tests(relation.schema, tests)
 
     def execute_batches(self) -> Iterator[list[Row]]:
         predicate = self.predicate
@@ -138,8 +192,23 @@ class SeqScan(Operator):
             if batch:
                 yield batch
 
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self.predicate is not None and self._tests is None:
+            # Black-box predicate with no vector form: row path rules.
+            yield from Operator.execute_columns(self)
+            return
+        schema = self.schema
+        tests = self._tests or ()
+        chunks = self.relation.scan_payload_chunks()
+        for chunk in coalesce_chunks(chunks, self.batch_rows):
+            batch = ColumnBatch.from_tuples(chunk, schema)
+            if tests:
+                batch = batch.filter(tests)
+            if batch:
+                yield batch
+
     def _describe(self) -> str:
-        suffix = " (filtered)" if self.predicate else ""
+        suffix = " (filtered)" if (self.predicate or self._tests) else ""
         return f"SeqScan({self.relation.name}){suffix}"
 
 
@@ -156,6 +225,8 @@ class IndexEqualityScan(Operator):
         index: HashIndex | OrderedIndex,
         keys: Sequence[Any],
         predicate: RowPredicate | None = None,
+        tests: ColumnTests | None = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
     ) -> None:
         if index.relation is not relation:
             raise PlanningError(f"index {index.name!r} is not on {relation.name!r}")
@@ -163,7 +234,9 @@ class IndexEqualityScan(Operator):
         self.index = index
         self.keys = list(keys)
         self.predicate = predicate
+        self.batch_rows = batch_rows
         self.schema = relation.schema
+        self._tests = None if tests is None else _compile_tests(relation.schema, tests)
 
     def execute_batches(self) -> Iterator[list[Row]]:
         fetch = self.relation.fetch
@@ -176,6 +249,28 @@ class IndexEqualityScan(Operator):
                 batch = [
                     row for row_id in row_ids if predicate(row := fetch(row_id))
                 ]
+            if batch:
+                yield batch
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self.predicate is not None and self._tests is None:
+            yield from Operator.execute_columns(self)
+            return
+        schema = self.schema
+        tests = self._tests or ()
+        fetch_payloads = self.relation.fetch_payloads
+        probe = self.index.probe
+
+        def probe_chunks() -> Iterator[list[tuple]]:
+            for key in self.keys:
+                row_ids = probe(key)
+                if row_ids:
+                    yield fetch_payloads(row_ids)
+
+        for chunk in coalesce_chunks(probe_chunks(), self.batch_rows):
+            batch = ColumnBatch.from_tuples(chunk, schema)
+            if tests:
+                batch = batch.filter(tests)
             if batch:
                 yield batch
 
@@ -195,6 +290,8 @@ class IndexRangeScan(Operator):
         index: OrderedIndex,
         intervals: Sequence[Interval],
         predicate: RowPredicate | None = None,
+        tests: ColumnTests | None = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
     ) -> None:
         if index.relation is not relation:
             raise PlanningError(f"index {index.name!r} is not on {relation.name!r}")
@@ -204,7 +301,9 @@ class IndexRangeScan(Operator):
         self.index = index
         self.intervals = list(intervals)
         self.predicate = predicate
+        self.batch_rows = batch_rows
         self.schema = relation.schema
+        self._tests = None if tests is None else _compile_tests(relation.schema, tests)
 
     def execute_batches(self) -> Iterator[list[Row]]:
         fetch = self.relation.fetch
@@ -225,6 +324,33 @@ class IndexRangeScan(Operator):
             if batch:
                 yield batch
 
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self.predicate is not None and self._tests is None:
+            yield from Operator.execute_columns(self)
+            return
+        schema = self.schema
+        tests = self._tests or ()
+        fetch_payloads = self.relation.fetch_payloads
+        probe_range = self.index.probe_range
+
+        def probe_chunks() -> Iterator[list[tuple]]:
+            for interval in self.intervals:
+                row_ids = probe_range(
+                    interval.low,
+                    interval.high,
+                    low_inclusive=interval.low_inclusive,
+                    high_inclusive=interval.high_inclusive,
+                )
+                if row_ids:
+                    yield fetch_payloads(row_ids)
+
+        for chunk in coalesce_chunks(probe_chunks(), self.batch_rows):
+            batch = ColumnBatch.from_tuples(chunk, schema)
+            if tests:
+                batch = batch.filter(tests)
+            if batch:
+                yield batch
+
     def _describe(self) -> str:
         return (
             f"IndexRangeScan({self.relation.name} via {self.index.name}, "
@@ -235,11 +361,27 @@ class IndexRangeScan(Operator):
 class Filter(Operator):
     """Apply a residual predicate."""
 
-    def __init__(self, child: Operator, predicate: RowPredicate, label: str = "") -> None:
+    def __init__(
+        self,
+        child: Operator,
+        predicate: RowPredicate,
+        label: str = "",
+        tests: ColumnTests | None = None,
+        equal_columns: tuple[str, str] | None = None,
+    ) -> None:
         self.child = child
         self.predicate = predicate
         self.label = label
         self.schema = child.schema
+        self._tests = None if tests is None else _compile_tests(child.schema, tests)
+        if equal_columns is None:
+            self._equal_positions = None
+        else:
+            left, right = equal_columns
+            self._equal_positions = (
+                child.schema.position(left),
+                child.schema.position(right),
+            )
 
     def execute_batches(self) -> Iterator[list[Row]]:
         predicate = self.predicate
@@ -247,6 +389,23 @@ class Filter(Operator):
             out = [row for row in batch if predicate(row)]
             if out:
                 yield out
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self._equal_positions is not None:
+            left, right = self._equal_positions
+            for batch in iter_column_batches(self.child):
+                out = batch.filter_equal_columns(left, right)
+                if out:
+                    yield out
+        elif self._tests is not None:
+            tests = self._tests
+            for batch in iter_column_batches(self.child):
+                out = batch.filter(tests)
+                if out:
+                    yield out
+        else:
+            # Black-box predicate: the row path is authoritative.
+            yield from Operator.execute_columns(self)
 
     def _describe(self) -> str:
         return f"Filter({self.label})" if self.label else "Filter"
@@ -277,6 +436,13 @@ class Project(Operator):
                 for values in (row.values for row in batch)
             ]
 
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        # Zero-copy: the projected batch shares the picked column lists.
+        positions = self._positions
+        schema = self.schema
+        for batch in iter_column_batches(self.child):
+            yield batch.project(positions, schema)
+
     def _describe(self) -> str:
         return f"Project({', '.join(self.names)})"
 
@@ -300,6 +466,7 @@ class IndexNestedLoopJoin(Operator):
         inner_index: HashIndex | OrderedIndex,
         outer_key: str,
         inner_predicate: RowPredicate | None = None,
+        inner_tests: ColumnTests | None = None,
     ) -> None:
         if inner_index.relation is not inner_relation:
             raise PlanningError(
@@ -312,6 +479,11 @@ class IndexNestedLoopJoin(Operator):
         self.inner_predicate = inner_predicate
         self.schema = outer.schema.concat(inner_relation.schema)
         self._key_pos = outer.schema.position(outer_key)
+        self._inner_tests = (
+            None
+            if inner_tests is None
+            else _compile_tests(inner_relation.schema, inner_tests)
+        )
 
     def execute_batches(self) -> Iterator[list[Row]]:
         schema = self.schema
@@ -330,6 +502,30 @@ class IndexNestedLoopJoin(Operator):
                         append(Row(outer_values + inner_row.values, schema))
             if out:
                 yield out
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self.inner_predicate is not None and self._inner_tests is None:
+            yield from Operator.execute_columns(self)
+            return
+        schema = self.schema
+        key_pos = self._key_pos
+        probe = self.inner_index.probe
+        fetch_payloads = self.inner_relation.fetch_payloads
+        tests = self._inner_tests or ()
+        for outer_batch in iter_column_batches(self.outer):
+            out: list[tuple] = []
+            append = out.append
+            for outer_t in outer_batch.tuples():
+                row_ids = probe(outer_t[key_pos])
+                if not row_ids:
+                    continue
+                inners = fetch_payloads(row_ids)
+                for pos, test in tests:
+                    inners = [t for t in inners if test(t[pos])]
+                for inner_t in inners:
+                    append(outer_t + inner_t)
+            if out:
+                yield ColumnBatch.from_tuples(out, schema)
 
     def _describe(self) -> str:
         return (
@@ -357,6 +553,7 @@ class NestedLoopJoin(Operator):
         inner_key: str,
         outer_key: str,
         inner_predicate: RowPredicate | None = None,
+        inner_tests: ColumnTests | None = None,
     ) -> None:
         self.outer = outer
         self.inner_relation = inner_relation
@@ -366,6 +563,11 @@ class NestedLoopJoin(Operator):
         self.schema = outer.schema.concat(inner_relation.schema)
         self._key_pos = outer.schema.position(outer_key)
         self._inner_pos = inner_relation.schema.position(inner_key)
+        self._inner_tests = (
+            None
+            if inner_tests is None
+            else _compile_tests(inner_relation.schema, inner_tests)
+        )
 
     def _build_table(self) -> dict[Any, list[Row]]:
         inner_pos = self._inner_pos
@@ -375,6 +577,18 @@ class NestedLoopJoin(Operator):
             for inner_row in batch:
                 if predicate is None or predicate(inner_row):
                     table.setdefault(inner_row.values[inner_pos], []).append(inner_row)
+        return table
+
+    def _build_payload_table(self) -> dict[Any, list[tuple]]:
+        """Hash-join build over raw value tuples (columnar path)."""
+        inner_pos = self._inner_pos
+        tests = self._inner_tests or ()
+        table: dict[Any, list[tuple]] = {}
+        for chunk in self.inner_relation.scan_payload_chunks():
+            for pos, test in tests:
+                chunk = [t for t in chunk if test(t[pos])]
+            for inner_t in chunk:
+                table.setdefault(inner_t[inner_pos], []).append(inner_t)
         return table
 
     def execute_batches(self) -> Iterator[list[Row]]:
@@ -391,6 +605,22 @@ class NestedLoopJoin(Operator):
                     append(Row(outer_values + inner_row.values, schema))
             if out:
                 yield out
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        if self.inner_predicate is not None and self._inner_tests is None:
+            yield from Operator.execute_columns(self)
+            return
+        schema = self.schema
+        key_pos = self._key_pos
+        get = self._build_payload_table().get
+        for outer_batch in iter_column_batches(self.outer):
+            out: list[tuple] = []
+            append = out.append
+            for outer_t in outer_batch.tuples():
+                for inner_t in get(outer_t[key_pos], ()):
+                    append(outer_t + inner_t)
+            if out:
+                yield ColumnBatch.from_tuples(out, schema)
 
     def _describe(self) -> str:
         return (
@@ -419,6 +649,10 @@ class Materialize(Operator):
 
     def execute_batches(self) -> Iterator[list[Row]]:
         buffered = list(iter_batches(self.child))
+        yield from buffered
+
+    def execute_columns(self) -> Iterator[ColumnBatch]:
+        buffered = list(iter_column_batches(self.child))
         yield from buffered
 
     def _describe(self) -> str:

@@ -32,7 +32,9 @@ from typing import Iterator, Sequence
 from repro.engine.catalog import Catalog
 from repro.engine.heap import HeapRelation
 from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.columns import ColumnBatch
 from repro.engine.operators import (
+    DEFAULT_BATCH_ROWS,
     Filter,
     IndexEqualityScan,
     IndexNestedLoopJoin,
@@ -43,6 +45,7 @@ from repro.engine.operators import (
     Project,
     SeqScan,
     iter_batches,
+    iter_column_batches,
 )
 from repro.engine.predicate import (
     EqualityDisjunction,
@@ -81,6 +84,11 @@ class Plan:
     def execute_batches(self) -> Iterator[list[Row]]:
         """Yield result rows in batches (page/probe granularity)."""
         return iter_batches(self.root)
+
+    def execute_column_batches(self) -> Iterator[ColumnBatch]:
+        """Yield the result as :class:`ColumnBatch`es (the vectorized
+        path — no :class:`Row` objects until someone asks for them)."""
+        return iter_column_batches(self.root)
 
     def run(self) -> list[Row]:
         """Execute to completion and return all rows."""
@@ -123,6 +131,13 @@ class _PredicateRecipe:
             return all(c.matches(row) for c in conds)
 
         return predicate
+
+    def build_tests(self, conditions: Sequence[SelectionCondition]):
+        """The same residual predicate in vector form: ``(column,
+        value_test)`` pairs for :class:`ColumnBatch` filtering."""
+        parts = [conditions[i] for i in self.slot_indices]
+        parts.extend(self.fixed)
+        return tuple((c.column, c.value_test()) for c in parts)
 
 
 def _recipes_by_relation(template: QueryTemplate) -> dict[str, _PredicateRecipe]:
@@ -254,15 +269,30 @@ class CompiledPlan:
     steps: tuple[_EdgeFilterStep | _JoinStep, ...]
     project_names: tuple[str, ...]
 
-    def bind(self, query: Query) -> Plan:
-        """Stamp out an executable plan for one bound query."""
+    def bind(self, query: Query, batch_rows: int | None = None) -> Plan:
+        """Stamp out an executable plan for one bound query.
+
+        ``batch_rows`` is the columnar coalescing target for the plan's
+        scans (``None`` → :data:`DEFAULT_BATCH_ROWS`); the row path
+        ignores it.  Every predicate is bound in both forms — a row
+        closure for the row path and ``(column, value_test)`` pairs for
+        the vector path — so one compiled skeleton serves both.
+        """
         if query.template is not self.template:
             raise PlanningError("query is from a different template")
+        if batch_rows is None:
+            batch_rows = DEFAULT_BATCH_ROWS
         conditions = query.cselect.conditions
         root: Operator
         driver_predicate = self.driver_recipe.build(conditions)
+        driver_tests = self.driver_recipe.build_tests(conditions)
         if self.driver_slot is None:
-            root = SeqScan(self.driver_relation, predicate=driver_predicate)
+            root = SeqScan(
+                self.driver_relation,
+                predicate=driver_predicate,
+                tests=driver_tests,
+                batch_rows=batch_rows,
+            )
         else:
             driver_condition = conditions[self.driver_slot]
             assert self.driver_index is not None
@@ -273,6 +303,8 @@ class CompiledPlan:
                     self.driver_index,
                     driver_condition.intervals,
                     predicate=driver_predicate,
+                    tests=driver_tests,
+                    batch_rows=batch_rows,
                 )
             else:
                 assert isinstance(driver_condition, EqualityDisjunction)
@@ -281,6 +313,8 @@ class CompiledPlan:
                     self.driver_index,
                     driver_condition.values,
                     predicate=driver_predicate,
+                    tests=driver_tests,
+                    batch_rows=batch_rows,
                 )
         for step in self.steps:
             if isinstance(step, _EdgeFilterStep):
@@ -288,9 +322,11 @@ class CompiledPlan:
                     root,
                     lambda row, lc=step.left_col, rc=step.right_col: row[lc] == row[rc],
                     label=step.label,
+                    equal_columns=(step.left_col, step.right_col),
                 )
             else:
                 inner_predicate = step.recipe.build(conditions)
+                inner_tests = step.recipe.build_tests(conditions)
                 if step.inner_index is not None:
                     root = IndexNestedLoopJoin(
                         root,
@@ -298,6 +334,7 @@ class CompiledPlan:
                         step.inner_index,
                         step.outer_key,
                         inner_predicate,
+                        inner_tests=inner_tests,
                     )
                 else:
                     root = NestedLoopJoin(
@@ -306,6 +343,7 @@ class CompiledPlan:
                         step.inner_key,
                         step.outer_key,
                         inner_predicate,
+                        inner_tests=inner_tests,
                     )
         root = Project(root, self.project_names)
         if self.blocking:
@@ -424,6 +462,7 @@ def plan_query(
     query: Query,
     blocking: bool = True,
     statistics: StatisticsCollector | None = None,
+    batch_rows: int | None = None,
 ) -> Plan:
     """Build a plan for ``query`` (one-shot compile + bind).
 
@@ -444,4 +483,5 @@ def plan_query(
     """
     candidates = driver_candidates(catalog, query.template)
     driver_slot = choose_driver_slot(candidates, query, statistics)
-    return compile_plan(catalog, query.template, blocking, driver_slot).bind(query)
+    compiled = compile_plan(catalog, query.template, blocking, driver_slot)
+    return compiled.bind(query, batch_rows=batch_rows)

@@ -17,7 +17,7 @@ which we model as one-value equality or one-interval disjunctions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence, Union
+from typing import Any, Callable, Iterator, Sequence, Union
 
 from repro.engine.datatypes import Infinity, MINUS_INFINITY, PLUS_INFINITY
 from repro.engine.row import Row
@@ -192,6 +192,11 @@ class EqualityDisjunction:
     def matches(self, row: Row) -> bool:
         return row[self.column] in self.values
 
+    def value_test(self) -> Callable[[Any], bool]:
+        """A compiled bare-value membership test for vectorized
+        evaluation (a frozenset ``__contains__`` bound method)."""
+        return frozenset(self.values).__contains__
+
     def is_equality(self) -> bool:
         return True
 
@@ -222,6 +227,19 @@ class IntervalDisjunction:
     def matches(self, row: Row) -> bool:
         value = row[self.column]
         return any(iv.contains_value(value) for iv in self.intervals)
+
+    def value_test(self) -> Callable[[Any], bool]:
+        """A compiled bare-value membership test for vectorized
+        evaluation.  The common single-interval case binds the
+        interval's ``contains_value`` directly."""
+        if len(self.intervals) == 1:
+            return self.intervals[0].contains_value
+        intervals = self.intervals
+
+        def test(value: Any) -> bool:
+            return any(iv.contains_value(value) for iv in intervals)
+
+        return test
 
     def is_equality(self) -> bool:
         return False

@@ -1,0 +1,354 @@
+"""Knob equivalence: the columnar pipeline must be observationally
+identical to the row pipeline it replaced.
+
+Every test builds two identical worlds — same data, same template, same
+view shape — and runs the same query stream through a default
+(``columnar=True``) executor and a ``columnar=False`` executor.  The
+batch representation is an execution detail: partial rows must match
+exactly (same tuples, same delivery order), remaining rows must match
+as multisets, and the complete/degraded flags must agree.  The answers
+are additionally checked against a brute-force join oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Discretization, PartialMaterializedView, PMVExecutor
+from repro.core.discretize import BasicIntervals
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+
+DEFAULT_R = [(i, i % 8, i % 5, f"a{i}") for i in range(40)]
+DEFAULT_S = [(j % 8, j % 4, f"e{j}") for j in range(24)]
+
+
+def make_db(r_rows, s_rows):
+    db = Database()
+    db.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+        ],
+    )
+    db.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    db.create_index("r_f", "r", ["f"])
+    db.create_index("r_c", "r", ["c"])
+    db.create_index("s_d", "s", ["d"])
+    db.create_index("s_g", "s", ["g"])
+    for row in r_rows:
+        db.insert("r", row)
+    for row in s_rows:
+        db.insert("s", row)
+    return db
+
+
+def eqt_template():
+    return QueryTemplate(
+        "Eqt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def ivt_template():
+    """Eqt with an *interval-form* slot on s.g: sub-interval queries
+    produce non-basic condition parts, exercising the columnar
+    executor's compiled tuple-position matchers."""
+    return QueryTemplate(
+        "Ivt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.INTERVAL),
+        ),
+    )
+
+
+def build_world(
+    *,
+    columnar,
+    template_factory=eqt_template,
+    grids=None,
+    r_rows=DEFAULT_R,
+    s_rows=DEFAULT_S,
+    F=3,
+    entries=8,
+):
+    db = make_db(r_rows, s_rows)
+    template = template_factory()
+    db.register_template(template)
+    view = PartialMaterializedView(
+        template,
+        Discretization(template, grids),
+        tuples_per_entry=F,
+        max_entries=entries,
+        aux_index_columns=("r.a", "s.e"),
+    )
+    return db, template, PMVExecutor(db, view, columnar=columnar)
+
+
+class Pair:
+    """Two identical worlds, one per pipeline."""
+
+    def __init__(self, **world_kwargs):
+        self.col_db, self.col_t, self.col_ex = build_world(
+            columnar=True, **world_kwargs
+        )
+        self.row_db, self.row_t, self.row_ex = build_world(
+            columnar=False, **world_kwargs
+        )
+        assert self.col_ex.columnar and not self.row_ex.columnar
+
+    def run(self, binder, **execute_kwargs):
+        col = self.col_ex.execute(binder(self.col_t), **execute_kwargs)
+        row = self.row_ex.execute(binder(self.row_t), **execute_kwargs)
+        return col, row
+
+
+def values(rows):
+    return [tuple(row.values) for row in rows]
+
+
+def assert_same_answer(col, row):
+    # Partial rows are delivered in O2 probe order — identical streams.
+    assert values(col.partial_rows) == values(row.partial_rows)
+    # Remaining rows are a multiset contract (plan order may differ).
+    assert sorted(values(col.remaining_rows)) == sorted(values(row.remaining_rows))
+    assert col.complete == row.complete
+    assert col.degraded_reason == row.degraded_reason
+
+
+def oracle(db, fs, g_test):
+    r_rows = list(db.catalog.relation("r").scan_rows())
+    s_rows = list(db.catalog.relation("s").scan_rows())
+    return sorted(
+        (r["a"], s["e"], r["f"], s["g"])
+        for r in r_rows
+        for s in s_rows
+        if r["c"] == s["d"] and r["f"] in fs and g_test(s["g"])
+    )
+
+
+def eqt_binder(fs, gs):
+    return lambda t: t.bind(
+        [EqualityDisjunction("r.f", list(fs)), EqualityDisjunction("s.g", list(gs))]
+    )
+
+
+class TestEqualityWorkload:
+    STREAM = [
+        ([1, 3], [2]),
+        ([1, 3], [2]),  # repeat: resident entries, O1 memo, plan cache
+        ([0], [0]),
+        ([2, 4], [1, 3]),
+        ([4], [3]),
+        ([0, 1, 2], [0, 1]),
+        ([1, 3], [2]),  # back to the hot query
+        ([7], [0]),  # empty answer (no r.f == 7)
+    ]
+
+    def test_fixed_stream(self):
+        pair = Pair()
+        for fs, gs in self.STREAM:
+            col, row = pair.run(eqt_binder(fs, gs))
+            assert_same_answer(col, row)
+            assert col.complete and row.complete
+            got = sorted(values(col.all_rows()))
+            assert got == oracle(pair.col_db, set(fs), lambda g: g in set(gs))
+
+    def test_randomized_stream(self):
+        rng = random.Random(42)
+        pair = Pair(F=2, entries=5)  # small view: evictions on both sides
+        skewed_f = [0, 0, 0, 1, 1, 2, 3, 4]  # zipf-ish: hot values repeat
+        skewed_g = [0, 0, 1, 1, 2, 3]
+        for _ in range(80):
+            fs = sorted({rng.choice(skewed_f) for _ in range(rng.randint(1, 3))})
+            gs = sorted({rng.choice(skewed_g) for _ in range(rng.randint(1, 2))})
+            col, row = pair.run(eqt_binder(fs, gs))
+            assert_same_answer(col, row)
+            got = sorted(values(col.all_rows()))
+            assert got == oracle(pair.col_db, set(fs), lambda g: g in set(gs))
+
+    def test_distinct_equivalence(self):
+        # Duplicate s rows make the join emit duplicate Ls' tuples, so
+        # distinct delivery actually has something to suppress.
+        dup_s = DEFAULT_S + DEFAULT_S[:8]
+        pair = Pair(s_rows=dup_s)
+        for fs, gs in [([1, 3], [2]), ([1, 3], [2]), ([0, 2], [0, 1])]:
+            col, row = pair.run(eqt_binder(fs, gs), distinct=True)
+            assert_same_answer(col, row)
+            got = sorted(values(col.all_rows()))
+            assert got == sorted(set(got)), "distinct answer has duplicates"
+            full = oracle(pair.col_db, set(fs), lambda g: g in set(gs))
+            assert got == sorted(set(full))
+
+    def test_duplicate_world_multiset(self):
+        # Same duplicate world, distinct=False: the columnar ledger must
+        # take its exact DuplicateSuppressor fallback and still deliver
+        # the exact multiset, once per tuple.
+        dup_s = DEFAULT_S + DEFAULT_S[:8]
+        pair = Pair(s_rows=dup_s)
+        for fs, gs in [([1, 3], [2]), ([1, 3], [2]), ([0, 2], [0, 1]), ([4], [3])]:
+            col, row = pair.run(eqt_binder(fs, gs))
+            assert_same_answer(col, row)
+            got = sorted(values(col.all_rows()))
+            assert got == oracle(pair.col_db, set(fs), lambda g: g in set(gs))
+
+
+class CountdownDeadline:
+    """Duck-typed deadline: unexpired for the first ``checks`` polls.
+
+    Both pipelines poll ``expired()`` at the same protocol points (the
+    O3-skip checkpoint, then once per batch checkpoint), so a countdown
+    pins the degradation point without depending on wall-clock speed.
+    """
+
+    def __init__(self, checks):
+        self.checks = checks
+
+    def expired(self):
+        self.checks -= 1
+        return self.checks < 0
+
+
+class TestDegradedAnswers:
+    def test_deadline_skip_equivalence(self):
+        pair = Pair()
+        # Warm both views so the degraded answer is non-trivial.
+        pair.run(eqt_binder([1, 3], [2]))
+        col, row = pair.run(
+            eqt_binder([1, 3], [2]), deadline=CountdownDeadline(0)
+        )
+        # An exhausted budget at the O3 checkpoint: identical partial
+        # answers, nothing from full execution, explicitly incomplete.
+        assert_same_answer(col, row)
+        assert not col.complete and not row.complete
+        assert col.degraded_reason == row.degraded_reason == "deadline-skip"
+        assert col.remaining_rows == [] and row.remaining_rows == []
+        assert values(col.partial_rows), "warm view delivered nothing"
+        full = oracle(pair.col_db, {1, 3}, lambda g: g == 2)
+        assert set(values(col.partial_rows)) <= set(full)
+
+    def test_deadline_abandon_contract(self):
+        pair = Pair()
+        pair.run(eqt_binder([0, 1, 2], [0, 1]))
+        binder = eqt_binder([0, 1, 2], [0, 1])
+        col = pair.col_ex.execute(binder(pair.col_t), deadline=CountdownDeadline(1))
+        row = pair.row_ex.execute(binder(pair.row_t), deadline=CountdownDeadline(1))
+        full = oracle(pair.col_db, {0, 1, 2}, lambda g: g in {0, 1})
+        for result in (col, row):
+            assert not result.complete
+            assert result.degraded_reason == "deadline-abandon"
+            # Every delivered tuple is a true result, delivered once:
+            # the degraded answer is a sub-multiset of the full answer.
+            got = sorted(values(result.all_rows()))
+            remaining = list(full)
+            for t in got:
+                assert t in remaining, f"{t!r} duplicated or fabricated"
+                remaining.remove(t)
+        # The immediate (O2) portion is pipeline-independent.
+        assert values(col.partial_rows) == values(row.partial_rows)
+
+    def test_abandoned_chunks_still_counted(self):
+        # Degraded answers still record honest metrics on both paths.
+        pair = Pair()
+        pair.run(eqt_binder([1, 3], [2]))
+        col, row = pair.run(
+            eqt_binder([1, 3], [2]), deadline=CountdownDeadline(1)
+        )
+        assert col.metrics.partial_tuples == row.metrics.partial_tuples
+        assert col.metrics.partial_tuples == len(col.partial_rows)
+
+
+class TestIntervalSlots:
+    """Sub-interval queries create non-basic parts: the columnar O2
+    filter runs through ``PMVExecutor._part_matcher`` compiled tests."""
+
+    GRIDS = {"s.g": BasicIntervals([2, 4])}
+
+    def pair(self):
+        return Pair(template_factory=ivt_template, grids=dict(self.GRIDS))
+
+    @staticmethod
+    def binder(fs, intervals):
+        return lambda t: t.bind(
+            [
+                EqualityDisjunction("r.f", list(fs)),
+                IntervalDisjunction("s.g", list(intervals)),
+            ]
+        )
+
+    CASES = [
+        # (fs, intervals, g-membership test)
+        ([1, 3], [Interval(0, 3)], lambda g: 0 < g < 3),
+        ([1, 3], [Interval(1, 3, low_inclusive=True, high_inclusive=True)],
+         lambda g: 1 <= g <= 3),
+        ([0, 2], [Interval(2, 4, low_inclusive=True)], lambda g: 2 <= g < 4),
+        ([0, 1, 2],
+         [Interval(0, 1, high_inclusive=True), Interval(2, 3, high_inclusive=True)],
+         lambda g: 0 < g <= 1 or 2 < g <= 3),
+    ]
+
+    def test_sub_interval_queries_match_row_pipeline(self):
+        pair = self.pair()
+        for fs, intervals, g_test in self.CASES:
+            # Twice: the second run probes *resident* entries, so the
+            # non-basic groups filter live PMV values via the matcher.
+            for _ in range(2):
+                col, row = pair.run(self.binder(fs, intervals))
+                assert_same_answer(col, row)
+                got = sorted(values(col.all_rows()))
+                assert got == oracle(pair.col_db, set(fs), g_test)
+        # White-box: the non-basic groups actually reached the compiled
+        # matcher memo (sub-intervals are never basic).
+        assert pair.col_ex._part_matchers
+
+    def test_exactly_basic_interval_takes_fast_path(self):
+        # [2, 4) IS a basic interval: has_basic groups skip the matcher.
+        pair = self.pair()
+        binder = self.binder([1], [Interval(2, 4, low_inclusive=True)])
+        for _ in range(2):
+            col, row = pair.run(binder)
+            assert_same_answer(col, row)
+        assert not pair.col_ex._part_matchers
+
+    def test_interval_distinct_equivalence(self):
+        dup_s = DEFAULT_S + DEFAULT_S[:8]
+        pair = Pair(
+            template_factory=ivt_template, grids=dict(self.GRIDS), s_rows=dup_s
+        )
+        binder = self.binder([0, 1], [Interval(0, 3)])
+        for _ in range(2):
+            col, row = pair.run(binder, distinct=True)
+            assert_same_answer(col, row)
+            got = values(col.all_rows())
+            assert len(got) == len(set(got))

@@ -205,10 +205,42 @@ class TestBulkDuplicateSuppression:
         assert [tuple(r.values) for r in fresh] == [(2, "y"), (1, "x")]
         assert len(ds) == 0
 
-    def test_consume_many_on_empty_ds_returns_input(self, schema):
+    def test_consume_many_on_empty_ds_returns_copy(self, schema):
+        # Regression: the empty-DS fast path used to return the
+        # caller's list object itself; downstream mutation of the
+        # "fresh rows" then corrupted the operator's batch.
         ds = DuplicateSuppressor()
         rows = [self._row(schema, i, "x") for i in range(3)]
-        assert ds.consume_many(rows) is rows
+        fresh = ds.consume_many(rows)
+        assert fresh == rows
+        assert fresh is not rows
+        fresh.append(self._row(schema, 99, "z"))
+        assert len(rows) == 3
+
+    def test_consume_batch_on_empty_ds_returns_copy(self, schema):
+        ds = DuplicateSuppressor()
+        values = [(i, "x") for i in range(3)]
+        fresh = ds.consume_batch(values)
+        assert fresh == values
+        assert fresh is not values
+
+    def test_add_batch_consume_batch_multiset_semantics(self, schema):
+        # Tuple-level twins of add_many/consume_many: same counting
+        # multiset behaviour, no Row objects.
+        ds = DuplicateSuppressor()
+        ds.add_batch([(1, "x"), (1, "x"), (2, "y")])
+        assert len(ds) == 3
+        stream = [(1, "x"), (3, "z"), (1, "x"), (1, "x"), (2, "y")]
+        fresh = ds.consume_batch(stream)
+        assert fresh == [(3, "z"), (1, "x")]
+        assert len(ds) == 0
+        ds.assert_empty()
+
+    def test_add_batch_accepts_iterator(self, schema):
+        ds = DuplicateSuppressor()
+        ds.add_batch(iter([(1, "x"), (2, "y")]))
+        assert len(ds) == 2
+        assert ds.consume_batch([(1, "x"), (2, "y")]) == []
 
     def test_schema_insensitive_like_row_equality(self, schema):
         other = Schema([Column("c", INTEGER), Column("d", TEXT)], relation_name="u")
@@ -226,6 +258,13 @@ class TestKnobEquivalence:
         dict(use_plan_cache=False),
         dict(batched=False),
         dict(o1_cache_size=0, use_plan_cache=False, batched=False),
+        dict(columnar=False),
+        dict(columnar=False, o1_cache_size=0),
+        dict(columnar=False, use_plan_cache=False),
+        dict(columnar=False, batched=False),
+        dict(
+            columnar=False, o1_cache_size=0, use_plan_cache=False, batched=False
+        ),
     ]
 
     def _queries(self, eqt):

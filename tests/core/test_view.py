@@ -252,7 +252,7 @@ class TestInvariantChecker:
         view = make_view(eqt, F=1)
         view.reference((1, 2))
         view.add_tuple((1, 2), result_row(schema, "a", "e", 1, 2))
-        view._entries[(1, 2)].append(result_row(schema, "b", "e", 1, 2))
+        view._entries[(1, 2)].values.append(result_row(schema, "b", "e", 1, 2).values)
         with pytest.raises(ViewCapacityError):
             view.check_invariants()
 
@@ -260,6 +260,8 @@ class TestInvariantChecker:
         _, eqt, schema = setup
         view = make_view(eqt)
         view.reference((1, 2))
-        view._entries[(1, 2)].append(result_row(schema, "a", "e", 9, 9))
+        misfiled = result_row(schema, "a", "e", 9, 9)
+        view._capture_schema(schema)
+        view._entries[(1, 2)].values.append(misfiled.values)
         with pytest.raises(ViewDefinitionError):
             view.check_invariants()

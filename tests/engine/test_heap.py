@@ -187,6 +187,80 @@ class TestInsertManyFastPath:
         assert heap.row_count == 50
 
 
+class TestPayloadAccess:
+    def test_fetch_payload_roundtrip(self, heap):
+        row_id = heap.insert((1, "alpha"))
+        assert heap.fetch_payload(row_id) == (1, "alpha")
+
+    def test_fetch_payload_deleted_raises(self, heap):
+        row_id = heap.insert((1, "a"))
+        heap.delete(row_id)
+        with pytest.raises(StorageError):
+            heap.fetch_payload(row_id)
+
+    def test_fetch_payloads_in_input_order(self, heap):
+        ids = heap.insert_many([(i, f"n{i}") for i in range(6)])
+        wanted = [ids[4], ids[1], ids[3]]
+        assert heap.fetch_payloads(wanted) == [(4, "n4"), (1, "n1"), (3, "n3")]
+
+    def test_fetch_payloads_one_pin_per_page_run(self, heap):
+        ids = heap.insert_many([(i, "x" * 200) for i in range(100)])
+        assert heap.page_count > 1
+        stats = heap._pool.stats
+        fetches_before = stats.hits + stats.misses
+        heap.fetch_payloads(ids)  # physical order: one run per page
+        assert (stats.hits + stats.misses) - fetches_before == heap.page_count
+
+    def test_fetch_payloads_foreign_rowid_rejected(self, heap):
+        heap.insert((1, "a"))
+        with pytest.raises(StorageError):
+            heap.fetch_payloads([RowId(999, 0)])
+
+    def test_scan_payload_chunks_matches_scan(self, heap):
+        heap.insert_many([(i, f"n{i}") for i in range(50)])
+        flat = [t for chunk in heap.scan_payload_chunks() for t in chunk]
+        assert flat == [row.values for row in heap.scan_rows()]
+
+    def test_scan_payload_chunks_skips_empty_pages(self, heap):
+        ids = heap.insert_many([(i, "x" * 200) for i in range(60)])
+        # Empty one whole page.
+        first_page = ids[0].page_no
+        for row_id in ids:
+            if row_id.page_no == first_page:
+                heap.delete(row_id)
+        chunks = list(heap.scan_payload_chunks())
+        assert all(chunks)
+        assert len(chunks) < heap.page_count
+
+
+class TestPageSetCache:
+    def test_equal_length_page_swap_invalidates_cache(self, heap):
+        """Regression: the ownership cache used to key on list length
+        only, so replacing ``_page_nos`` with a *different* list of the
+        same length kept validating row ids against the stale set."""
+        row_id = heap.insert((1, "a"))
+        heap.fetch(row_id)  # populate the page-set cache
+        heap._page_nos = [page_no + 1000 for page_no in heap._page_nos]
+        with pytest.raises(StorageError):
+            heap.fetch(row_id)
+
+    def test_swapped_in_pages_become_visible(self, heap):
+        row_id = heap.insert((1, "a"))
+        heap.fetch(row_id)
+        original = heap._page_nos
+        heap._page_nos = [page_no + 1000 for page_no in original]
+        assert (row_id.page_no + 1000) in heap._page_set
+        heap._page_nos = original
+        assert heap.fetch(row_id).values == (1, "a")
+
+    def test_in_place_append_still_invalidates(self, heap):
+        row_id = heap.insert((1, "a"))
+        heap.fetch(row_id)
+        # Simulate a snapshot restore appending to the same list object.
+        heap._page_nos.append(4242)
+        assert 4242 in heap._page_set
+
+
 class TestIO:
     def test_scan_beyond_pool_generates_reads(self):
         disk = DiskManager()

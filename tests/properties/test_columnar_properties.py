@@ -1,0 +1,215 @@
+"""Property: the columnar pipeline is observationally identical to the
+row pipeline under adversarial workloads.
+
+Two identical worlds — same data, same template, same view shape, one
+executor per pipeline — are driven through random interleavings of
+queries and base-table churn (applied to both worlds in lockstep).
+After every query the two pipelines must agree on the partial rows
+(exactly, in delivery order), the full answer (as a multiset, equal to
+the brute-force join), and the completeness flags; both views must keep
+their structural invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Discretization,
+    MaintenanceStrategy,
+    PartialMaterializedView,
+    PMVExecutor,
+    PMVMaintainer,
+)
+from repro.core.discretize import BasicIntervals
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    Interval,
+    IntervalDisjunction,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+
+F_VALUES = st.sampled_from([1, 2, 3])
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, 4), min_size=1, max_size=3, unique=True),
+            st.lists(st.integers(0, 3), min_size=1, max_size=2, unique=True),
+        ),
+        st.tuples(st.just("insert"), st.integers(0, 7), st.integers(0, 4)),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.integers(0, 0)),
+        st.tuples(st.just("update"), st.integers(0, 30), st.integers(0, 4)),
+    ),
+    min_size=3,
+    max_size=20,
+)
+
+interval_operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, 4), min_size=1, max_size=2, unique=True),
+            st.tuples(st.integers(0, 3), st.integers(1, 3)),  # (low, span)
+        ),
+        st.tuples(st.just("insert"), st.integers(0, 7), st.integers(0, 4)),
+    ),
+    min_size=3,
+    max_size=15,
+)
+
+
+def make_template(interval_slot):
+    return QueryTemplate(
+        "Ivt" if interval_slot else "Eqt",
+        ("r", "s"),
+        ("r.a", "s.e"),
+        (JoinEquality("r", "c", "s", "d"),),
+        (
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot(
+                "s", "s.g", SlotForm.INTERVAL if interval_slot else SlotForm.EQUALITY
+            ),
+        ),
+    )
+
+
+def build_world(columnar, F, interval_slot=False):
+    db = Database()
+    db.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+        ],
+    )
+    db.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    db.create_index("r_f", "r", ["f"])
+    db.create_index("r_c", "r", ["c"])
+    db.create_index("s_d", "s", ["d"])
+    db.create_index("s_g", "s", ["g"])
+    for i in range(32):
+        db.insert("r", (i, i % 8, i % 5, f"a{i}"))
+    for j in range(20):
+        db.insert("s", (j % 8, j % 4, f"e{j}"))
+    template = make_template(interval_slot)
+    db.register_template(template)
+    grids = {"s.g": BasicIntervals([2, 4])} if interval_slot else None
+    view = PartialMaterializedView(
+        template,
+        Discretization(template, grids),
+        tuples_per_entry=F,
+        max_entries=6,
+        aux_index_columns=("r.a", "s.e"),
+    )
+    executor = PMVExecutor(db, view, columnar=columnar)
+    PMVMaintainer(db, view, strategy=MaintenanceStrategy.DELTA_JOIN).attach()
+    return db, template, view, executor
+
+
+def brute_force(db, fs, g_test):
+    r_rows = list(db.catalog.relation("r").scan_rows())
+    s_rows = list(db.catalog.relation("s").scan_rows())
+    return sorted(
+        (r["a"], s["e"], r["f"], s["g"])
+        for r in r_rows
+        for s in s_rows
+        if r["c"] == s["d"] and r["f"] in fs and g_test(s["g"])
+    )
+
+
+def apply_churn(db, op, x, y, next_id):
+    if op == "insert":
+        db.insert("r", (next_id, x, y, f"new{next_id}"))
+    elif op == "delete":
+        live = list(db.catalog.relation("r").scan())
+        if live:
+            row_id, _ = live[x % len(live)]
+            db.delete("r", row_id)
+    elif op == "update":
+        live = list(db.catalog.relation("r").scan())
+        if live:
+            row_id, _ = live[x % len(live)]
+            db.update("r", row_id, f=y)
+
+
+def assert_pipelines_agree(col, row, full):
+    got_col = sorted(tuple(r.values) for r in col.all_rows())
+    got_row = sorted(tuple(r.values) for r in row.all_rows())
+    assert got_col == full
+    assert got_row == full
+    assert [tuple(r.values) for r in col.partial_rows] == [
+        tuple(r.values) for r in row.partial_rows
+    ]
+    assert col.complete and row.complete
+
+
+@given(F_VALUES, operations)
+@settings(max_examples=25, deadline=None)
+def test_columnar_matches_row_pipeline_under_churn(F, trace):
+    col_db, col_t, col_view, col_ex = build_world(True, F)
+    row_db, row_t, row_view, row_ex = build_world(False, F)
+    next_id = 1000
+    for op, x, y in trace:
+        if op == "query":
+            fs, gs = x, y
+            binds = [EqualityDisjunction("r.f", fs), EqualityDisjunction("s.g", gs)]
+            col = col_ex.execute(col_t.bind(list(binds)))
+            row = row_ex.execute(row_t.bind(list(binds)))
+            assert_pipelines_agree(
+                col, row, brute_force(col_db, set(fs), lambda g: g in set(gs))
+            )
+            col_view.check_invariants()
+            row_view.check_invariants()
+        else:
+            apply_churn(col_db, op, x, y, next_id)
+            apply_churn(row_db, op, x, y, next_id)
+            next_id += 1
+    col_view.check_invariants()
+    row_view.check_invariants()
+
+
+@given(F_VALUES, interval_operations)
+@settings(max_examples=25, deadline=None)
+def test_columnar_matches_row_pipeline_on_interval_slots(F, trace):
+    """Interval-form s.g: random sub-intervals produce non-basic parts,
+    so resident probes run the compiled tuple-position matchers."""
+    col_db, col_t, col_view, col_ex = build_world(True, F, interval_slot=True)
+    row_db, row_t, row_view, row_ex = build_world(False, F, interval_slot=True)
+    next_id = 2000
+    for op, x, y in trace:
+        if op == "query":
+            fs, (low, span) = x, y
+            interval = Interval(low, low + span, low_inclusive=True)
+            binds = [
+                EqualityDisjunction("r.f", fs),
+                IntervalDisjunction("s.g", [interval]),
+            ]
+            col = col_ex.execute(col_t.bind(list(binds)))
+            row = row_ex.execute(row_t.bind(list(binds)))
+            assert_pipelines_agree(
+                col,
+                row,
+                brute_force(col_db, set(fs), lambda g: low <= g < low + span),
+            )
+            col_view.check_invariants()
+            row_view.check_invariants()
+        else:
+            apply_churn(col_db, op, x, y, next_id)
+            apply_churn(row_db, op, x, y, next_id)
+            next_id += 1
