@@ -24,6 +24,7 @@ import time
 from dataclasses import asdict
 
 from repro.bench import figures
+from repro.bench.cdc import run_cdc
 from repro.bench.failover import sweep as run_failover_sweep
 from repro.bench.overload import run_overload
 from repro.bench.reporting import Series
@@ -37,6 +38,13 @@ def _run_failover(verbose: bool = True):
     return asdict(run_failover_sweep([0, 1], verbose=verbose))
 
 
+def _run_cdc(verbose: bool = True):
+    report = run_cdc(verbose=verbose)
+    payload = asdict(report)
+    payload["ok"] = report.ok
+    return payload
+
+
 EXPERIMENTS = {
     "table1": figures.run_table1,
     "fig6": figures.run_fig6,
@@ -48,6 +56,7 @@ EXPERIMENTS = {
     "fig12": figures.run_fig12,
     "overload": _run_overload,
     "failover": _run_failover,
+    "cdc": _run_cdc,
 }
 
 

@@ -1,0 +1,504 @@
+"""CDC bench: async maintenance write throughput + honest staleness.
+
+Two identical worlds run the same deterministic Zipf-skewed,
+write-heavy DML stream against a warmed PMV:
+
+- the **eager** world maintains the view inside every writing
+  statement (X lock, delta join, aux updates — the seed behaviour);
+- the **async** world routes every relevant change through the
+  transactional outbox and applies nothing on the write path.
+
+The headline number is the write-phase speedup ``async_wps /
+eager_wps``; the drain that converges the async view runs *after* the
+timed phase and is reported separately (that deferral is the whole
+point of CDC maintenance).  The bench FAILS unless the speedup clears
+``MIN_SPEEDUP`` and the post-drain answers of both worlds agree
+exactly.
+
+Two honesty phases follow the throughput measurement:
+
+- **stamp replay** — an interleaved write/drain/query phase on the
+  async world records a base-table snapshot per LSN, then re-derives
+  every answer: the current truth must be contained in it, and every
+  tuple served must have been true at some LSN within the stamped
+  staleness window (the stamp is a *true* upper bound, checked by
+  replay, not trusted);
+- **crash sweep** — a bounded torture sweep over the ``outbox.*``
+  fault sites (crash before/after the feed append, error and crash
+  mid-drain) reusing the CDC torture harness.
+
+Run it::
+
+    python -m repro.bench.cdc --report BENCH_cdc.json
+    python -m repro.bench cdc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.bench.torture import sweep as torture_sweep
+from repro.core import Discretization, MaintenanceStrategy, PMVManager
+from repro.engine import (
+    Column,
+    Database,
+    EqualityDisjunction,
+    INTEGER,
+    JoinEquality,
+    QueryTemplate,
+    SelectionSlot,
+    SlotForm,
+    TEXT,
+)
+from repro.workload import ZipfianDistribution
+
+__all__ = ["CdcBenchConfig", "CdcReport", "run_cdc", "main"]
+
+MIN_SPEEDUP = 2.0
+"""Acceptance floor: async writes must be at least this much faster."""
+
+N_F = 6
+N_G = 4
+N_C = 8
+
+
+@dataclass(frozen=True)
+class CdcBenchConfig:
+    seed: int = 7
+    rows_r: int = 320
+    rows_s: int = 240
+    """High join fanout (``rows_s / N_C`` s-matches per r row) makes
+    eager delta maintenance expensive; the async write path never
+    touches it."""
+    writes: int = 500
+    """Timed write ops per world."""
+    alpha: float = 1.07
+    """Zipf skew over the r.f key space (the paper's hot setting)."""
+    replay_ops: int = 90
+    """Ops in the stamp-replay honesty phase."""
+    sweep_ops: int = 60
+    sweep_max_points: int = 24
+
+
+@dataclass
+class CdcReport:
+    """Serialized as BENCH_cdc.json — the CI acceptance artifact."""
+
+    seed: int = 0
+    eager_wps: float = 0.0
+    async_wps: float = 0.0
+    speedup: float = 0.0
+    eager_seconds: float = 0.0
+    async_seconds: float = 0.0
+    drain_seconds: float = 0.0
+    deltas_applied: int = 0
+    eager_skips: int = 0
+    converged_answers_equal: bool = False
+    stamps_verified: int = 0
+    stamp_failures: list[str] = field(default_factory=list)
+    max_staleness_seen: int = 0
+    bypassed_stale: int = 0
+    sweep_points: int = 0
+    sweep_ok: bool = False
+    sweep_divergences: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.speedup >= MIN_SPEEDUP
+            and self.converged_answers_equal
+            and not self.stamp_failures
+            and self.sweep_ok
+        )
+
+
+# ---------------------------------------------------------------------------
+# World construction
+# ---------------------------------------------------------------------------
+
+
+def _make_template() -> QueryTemplate:
+    return QueryTemplate(
+        name="cq",
+        relations=("r", "s"),
+        select_list=("r.a", "s.e"),
+        joins=(JoinEquality("r", "c", "s", "d"),),
+        slots=(
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+
+
+def _build_world(config: CdcBenchConfig, async_mode: bool):
+    db = Database()
+    db.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+        ],
+    )
+    db.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    db.create_index("r_f", "r", ["f"])
+    db.create_index("r_c", "r", ["c"])
+    db.create_index("s_d", "s", ["d"])
+    db.create_index("s_g", "s", ["g"])
+    for i in range(config.rows_r):
+        db.insert("r", (i, i % N_C, i % N_F, f"a{i}"))
+    for j in range(config.rows_s):
+        db.insert("s", (j % N_C, j % N_G, f"e{j}"))
+    template = _make_template()
+    manager = PMVManager(db, maintenance_strategy=MaintenanceStrategy.DELTA_JOIN)
+    manager.create_view(
+        template,
+        Discretization(template),
+        tuples_per_entry=4,
+        max_entries=N_F * N_G,
+        aux_index_columns=("r.a", "s.e"),
+        upper_bound_bytes=1 << 16,
+    )
+    executor = manager.executor(template.name)
+    # Warm every (f, g) cell so the timed writes all hit resident
+    # entries — the worst case for eager maintenance, the intended
+    # case for async.
+    for f in range(N_F):
+        for g in range(N_G):
+            executor.execute(
+                template.bind(
+                    [
+                        EqualityDisjunction("r.f", [f]),
+                        EqualityDisjunction("s.g", [g]),
+                    ]
+                )
+            )
+    maintainer = None
+    if async_mode:
+        maintainer = manager.enable_async_maintenance()
+    return db, manager, template, executor, maintainer
+
+
+def _make_ops(config: CdcBenchConfig, count: int, base_id: int):
+    """A deterministic (kind, x, y) op list, Zipf-skewed over r.f.
+
+    ``x`` picks the victim row by rank among live ids (delete/update)
+    or the join key (insert); ``y`` is the new Zipf-drawn f value.
+    Both worlds replay the list through :func:`_apply_op`, which
+    resolves victims by sorted id, so their heaps evolve identically.
+    """
+    zipf = ZipfianDistribution(N_F, config.alpha, seed=config.seed)
+    fs = zipf.sample(count)
+    rng = random.Random(config.seed)
+    ops = []
+    next_id = base_id
+    for k in range(count):
+        roll = rng.random()
+        if roll < 0.2:
+            ops.append(("insert", next_id, int(fs[k])))
+            next_id += 1
+        elif roll < 0.6:
+            ops.append(("update", rng.randrange(1 << 20), int(fs[k])))
+        else:
+            ops.append(("delete", rng.randrange(1 << 20), 0))
+    return ops
+
+
+class _WriteDriver:
+    """Applies the op list while tracking live row ids itself.
+
+    Victim lookup through the heap would cost a scan per op — identical
+    in both worlds, and large enough to drown the maintenance cost the
+    bench is measuring.  The driver keeps an id-ordered list instead
+    (inserts use strictly increasing ids, so append preserves order)
+    and both worlds replay it identically.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        live = sorted(db.catalog.relation("r").scan(), key=lambda p: p[1]["id"])
+        self.ids = [row["id"] for _rid, row in live]
+        self.row_ids = {row["id"]: rid for rid, row in live}
+
+    def apply(self, op, x, y):
+        if op == "insert":
+            self.row_ids[x] = self.db.insert("r", (x, x % N_C, y, f"w{x}"))
+            self.ids.append(x)
+            return
+        if not self.ids:
+            return
+        idx = x % len(self.ids)
+        if op == "delete":
+            victim = self.ids.pop(idx)
+            self.db.delete("r", self.row_ids.pop(victim))
+        else:
+            self.db.update("r", self.row_ids[self.ids[idx]], f=y)
+
+
+def _apply_op(db, op, x, y):
+    """One-off form of :class:`_WriteDriver` for the untimed phases."""
+    if op == "insert":
+        db.insert("r", (x, x % N_C, y, f"w{x}"))
+        return
+    live = sorted(db.catalog.relation("r").scan(), key=lambda pair: pair[1]["id"])
+    if not live:
+        return
+    row_id, _ = live[x % len(live)]
+    if op == "delete":
+        db.delete("r", row_id)
+    else:
+        db.update("r", row_id, f=y)
+
+
+def _answer(executor, template, fs, gs):
+    result = executor.execute(
+        template.bind(
+            [
+                EqualityDisjunction("r.f", sorted(fs)),
+                EqualityDisjunction("s.g", sorted(gs)),
+            ]
+        )
+    )
+    counts: dict[tuple, int] = {}
+    for row in result.all_rows():
+        item = tuple(row.values)
+        counts[item] = counts.get(item, 0) + 1
+    return result, counts
+
+
+# ---------------------------------------------------------------------------
+# Phase 1+2: throughput
+# ---------------------------------------------------------------------------
+
+
+def _timed_writes(db, ops) -> float:
+    driver = _WriteDriver(db)
+    started = time.perf_counter()
+    for op, x, y in ops:
+        driver.apply(op, x, y)
+    return time.perf_counter() - started
+
+
+def _measure_throughput(config: CdcBenchConfig, report: CdcReport, verbose: bool):
+    ops = _make_ops(config, config.writes, base_id=1_000_000)
+
+    e_db, e_manager, e_template, e_executor, _ = _build_world(config, async_mode=False)
+    report.eager_seconds = _timed_writes(e_db, ops)
+    report.eager_wps = config.writes / report.eager_seconds
+
+    a_db, a_manager, a_template, a_executor, maintainer = _build_world(
+        config, async_mode=True
+    )
+    report.async_seconds = _timed_writes(a_db, ops)
+    report.async_wps = config.writes / report.async_seconds
+    report.speedup = report.async_wps / report.eager_wps
+
+    drain_started = time.perf_counter()
+    maintainer.drain_to_convergence()
+    report.drain_seconds = time.perf_counter() - drain_started
+    stats = maintainer.stats()
+    report.deltas_applied = stats["deltas_applied"]
+    report.eager_skips = stats["eager_skips"]
+
+    # Post-drain the worlds must agree exactly, cell by cell.
+    equal = True
+    for f in range(N_F):
+        for g in range(N_G):
+            a_result, a_counts = _answer(a_executor, a_template, {f}, {g})
+            _, e_counts = _answer(e_executor, e_template, {f}, {g})
+            if a_counts != e_counts or a_result.staleness != 0:
+                equal = False
+    report.converged_answers_equal = equal
+    a_manager.verify_consistency()
+    e_manager.verify_consistency()
+
+    if verbose:
+        print(
+            f"  eager:  {report.eager_wps:8.0f} writes/s "
+            f"({report.eager_seconds * 1e3:.0f} ms)"
+        )
+        print(
+            f"  async:  {report.async_wps:8.0f} writes/s "
+            f"({report.async_seconds * 1e3:.0f} ms) "
+            f"+ {report.drain_seconds * 1e3:.0f} ms drain "
+            f"({report.deltas_applied} deltas)"
+        )
+        print(
+            f"  speedup: {report.speedup:.2f}x (floor {MIN_SPEEDUP}x)  "
+            f"converged-equal: {report.converged_answers_equal}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: stamp replay
+# ---------------------------------------------------------------------------
+
+
+def _snapshot(db):
+    return (
+        tuple(tuple(r.values) for r in db.catalog.relation("r").scan_rows()),
+        tuple(tuple(r.values) for r in db.catalog.relation("s").scan_rows()),
+    )
+
+
+def _truth_of(snap, fs, gs):
+    r_rows, s_rows = snap
+    counts: dict[tuple, int] = {}
+    for _rid, c, f, a in r_rows:
+        if f not in fs:
+            continue
+        for d, g, e in s_rows:
+            if c == d and g in gs:
+                item = (a, e, f, g)
+                counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+def _stamp_replay(config: CdcBenchConfig, report: CdcReport, verbose: bool):
+    """Interleave writes, partial drains, and queries; verify every
+    stamp by replaying the recorded history."""
+    db, manager, template, executor, maintainer = _build_world(config, async_mode=True)
+    executor.freshness_bound = 25
+    rng = random.Random(config.seed + 1)
+    zipf = ZipfianDistribution(N_F, config.alpha, seed=config.seed + 1)
+    history = [_snapshot(db)]  # history[lsn] = state as of that LSN
+    next_id = 2_000_000
+    for _ in range(config.replay_ops):
+        roll = rng.random()
+        if roll < 0.55:
+            kind = rng.choice(("insert", "update", "delete"))
+            if kind == "insert":
+                _apply_op(db, "insert", next_id, zipf.sample_one())
+                next_id += 1
+            else:
+                _apply_op(db, kind, rng.randrange(1 << 20), zipf.sample_one())
+            history.append(_snapshot(db))
+        elif roll < 0.75:
+            maintainer.drain(max_records=rng.randrange(1, 6))
+        else:
+            fs = {zipf.sample_one()}
+            gs = {rng.randrange(N_G)}
+            result, got = _answer(executor, template, fs, gs)
+            now = db.current_lsn()
+            stamp = result.staleness
+            if result.metrics.bypassed_stale:
+                report.bypassed_stale += 1
+            if stamp != now - result.applied_lsn:
+                report.stamp_failures.append(
+                    f"stamp {stamp} != lsn delta {now - result.applied_lsn}"
+                )
+                continue
+            report.max_staleness_seen = max(report.max_staleness_seen, stamp)
+            current = _truth_of(history[-1], fs, gs)
+            for item, count in current.items():
+                if got.get(item, 0) < count:
+                    report.stamp_failures.append(
+                        f"lost current tuple {item!r} at lsn {now}"
+                    )
+            window: dict[tuple, int] = {}
+            for lsn in range(result.applied_lsn, now + 1):
+                for item, count in _truth_of(history[lsn], fs, gs).items():
+                    window[item] = max(window.get(item, 0), count)
+            for item, count in got.items():
+                if count > window.get(item, 0):
+                    report.stamp_failures.append(
+                        f"served {item!r} x{count} outside the stamped "
+                        f"window (stamp {stamp}, lsn {now})"
+                    )
+            report.stamps_verified += 1
+    maintainer.drain_to_convergence()
+    manager.verify_consistency()
+    if verbose:
+        print(
+            f"  stamps: {report.stamps_verified} verified by replay, "
+            f"{len(report.stamp_failures)} failures, "
+            f"max staleness {report.max_staleness_seen}, "
+            f"{report.bypassed_stale} bypassed"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: crash sweep
+# ---------------------------------------------------------------------------
+
+
+def _crash_sweep(config: CdcBenchConfig, report: CdcReport, verbose: bool):
+    sweep_report = torture_sweep(
+        [config.seed],
+        ops=config.sweep_ops,
+        max_points=config.sweep_max_points,
+        cdc=True,
+        sites=["outbox."],
+        verbose=False,
+    )
+    report.sweep_points = sweep_report.points_run
+    report.sweep_ok = sweep_report.ok
+    report.sweep_divergences = sweep_report.divergences
+    if verbose:
+        print(
+            f"  sweep:  {sweep_report.points_run} outbox.* crash points, "
+            f"{'ALL HELD' if sweep_report.ok else 'DIVERGENCE'}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_cdc(
+    config: CdcBenchConfig | None = None, verbose: bool = True
+) -> CdcReport:
+    config = config or CdcBenchConfig()
+    report = CdcReport(seed=config.seed)
+    if verbose:
+        print(
+            f"[cdc] {config.writes} Zipf(α={config.alpha}) writes, "
+            f"{config.rows_r}x{config.rows_s} rows, seed {config.seed}"
+        )
+    _measure_throughput(config, report, verbose)
+    _stamp_replay(config, report, verbose)
+    _crash_sweep(config, report, verbose)
+    if verbose:
+        print(f"[cdc] {'PASS' if report.ok else 'FAIL'}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.cdc",
+        description="Async-maintenance throughput + staleness honesty bench.",
+    )
+    parser.add_argument("--seed", type=int, default=CdcBenchConfig.seed)
+    parser.add_argument("--writes", type=int, default=CdcBenchConfig.writes)
+    parser.add_argument(
+        "--report", metavar="PATH", default=None, help="write a JSON report here"
+    )
+    args = parser.parse_args(argv)
+    config = CdcBenchConfig(seed=args.seed, writes=args.writes)
+    report = run_cdc(config)
+    if args.report:
+        payload = asdict(report)
+        payload["ok"] = report.ok
+        payload["min_speedup"] = MIN_SPEEDUP
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,6 +110,13 @@ class TortureConfig:
     ops: int = DEFAULT_OPS
     page_size: int = DEFAULT_PAGE_SIZE
     buffer_pool_pages: int = DEFAULT_POOL_PAGES
+    cdc: bool = False
+    """Run the PMV under CDC-driven async maintenance: DML feeds the
+    transactional outbox (with its two crash windows armed), a
+    heavy-light splitter keeps part of the key space eager, and the
+    workload interleaves background drains — including crashes mid-
+    drain.  Query answers are checked under bounded-stale semantics
+    and the run must end convergent (DESIGN.md §13)."""
 
 
 @dataclass
@@ -218,7 +225,20 @@ def _setup(config: TortureConfig, injector: FaultInjector, wal_path: str):
         aux_index_columns=("r.a", "s.e"),
         upper_bound_bytes=4096,
     )
-    return database, manager, template
+    maintainer = None
+    if config.cdc:
+        from repro.cdc import ChangeOutbox, HeavyLightSplitter
+
+        # The feed starts empty here — seed inserts above predate it,
+        # matching a view registered against a running database.  The
+        # splitter keeps part of the r.f key space eager so the sweep
+        # crosses both the hot (write-path) and cold (drain) routes.
+        maintainer = manager.enable_async_maintenance(
+            outbox=ChangeOutbox(fault_check=injector.check),
+            splitter=HeavyLightSplitter({"r.f": {0, 1}}),
+        )
+        manager.executor(template.name).freshness_bound = 6
+    return database, manager, template, maintainer
 
 
 def _shadow_contents(shadow: dict[str, dict[tuple, int]]) -> dict[str, list[tuple]]:
@@ -242,6 +262,27 @@ def _apply_effect(shadow, effect) -> None:
                 del counts[values]
 
 
+def _check_bounded_stale(result, got, want) -> None:
+    """The async-mode query oracle (truth ⊆ answer, stamp honest)."""
+    want_counts: dict[tuple, int] = {}
+    for item in want:
+        want_counts[item] = want_counts.get(item, 0) + 1
+    got_counts: dict[tuple, int] = {}
+    for item in got:
+        got_counts[item] = got_counts.get(item, 0) + 1
+    for item, count in want_counts.items():
+        if got_counts.get(item, 0) < count:
+            raise InvariantViolation(
+                f"async answer lost a current tuple: {item!r} x{count} in "
+                f"truth, x{got_counts.get(item, 0)} served"
+            )
+    if result.staleness == 0 and got != want:
+        raise InvariantViolation(
+            "answer stamped staleness=0 but differs from full execution "
+            "— the freshness stamp lies"
+        )
+
+
 def _pick_row(rng: random.Random, database: Database, relation: str):
     rows = list(database.catalog.relation(relation).scan())
     if not rows:
@@ -259,17 +300,24 @@ class _Crash(Exception):
         self.expected_plus = expected_plus
 
 
-def _run_workload(config, database, manager, template, shadow, snapshots):
+def _run_workload(config, database, manager, template, shadow, snapshots,
+                  maintainer=None):
     """Execute the seeded op mix; raise :class:`_Crash` on simulated
     death, return the acked-op count on completion."""
     rng = random.Random(config.seed * 7919 + 17)
     next_r_id = 1000
     acked = 0
-    for _ in range(config.ops):
+    for op_no in range(config.ops):
         roll = rng.random()
         effect: list = []
         lsn_before = database.wal.last_lsn
         try:
+            if maintainer is not None and op_no % 3 == 2:
+                # Interleaved background drain: applies pending feed
+                # deltas (hitting the ``outbox.drain`` fault site), no
+                # base-data effect — a mid-drain crash must recover to
+                # the same acked state as any other.
+                maintainer.drain(max_records=8)
             if roll < 0.28:  # insert
                 if rng.random() < 0.7:
                     values = (next_r_id, rng.randrange(6), rng.randrange(4), f"a{next_r_id}")
@@ -324,11 +372,19 @@ def _run_workload(config, database, manager, template, shadow, snapshots):
                 want = sorted(
                     (tuple(r.values) for r in database.run(query)), key=repr
                 )
-                if got != want:
-                    raise InvariantViolation(
-                        f"query through PMV returned {len(got)} tuples, "
-                        f"full execution {len(want)} — stale partial results"
-                    )
+                if maintainer is None:
+                    if got != want:
+                        raise InvariantViolation(
+                            f"query through PMV returned {len(got)} tuples, "
+                            f"full execution {len(want)} — stale partial results"
+                        )
+                else:
+                    # Bounded-stale semantics: the answer is the current
+                    # truth plus possibly extras that were true at some
+                    # LSN >= the view's watermark.  Losing a *current*
+                    # tuple is never allowed, and a zero staleness
+                    # stamp must mean an exact answer.
+                    _check_bounded_stale(result, got, want)
             else:  # checkpoint: WAL marker + snapshot
                 database.wal.checkpoint()
                 snapshots.append(snapshot_to_json(take_snapshot(database)))
@@ -401,7 +457,14 @@ def _check_recovery(config, wal_path, expected, expected_plus, snapshots) -> Non
 
 def _check_pmv_restart(config: TortureConfig, recovered: Database) -> None:
     """A PMV restarted empty on the recovered database must warm up
-    and serve exactly what full execution serves."""
+    and serve exactly what full execution serves.
+
+    In CDC mode the restarted view runs async again: the pre-crash
+    feed died with the process (views restart empty, so there is
+    nothing to replay) and a *fresh* feed starts at zero staleness.
+    New writes must then flow outbox → drain → convergence, after
+    which the strict consistency check still holds.
+    """
     template = _make_template()
     manager = PMVManager(recovered)
     manager.create_view(
@@ -411,6 +474,11 @@ def _check_pmv_restart(config: TortureConfig, recovered: Database) -> None:
         max_entries=8,
         aux_index_columns=("r.a", "s.e"),
     )
+    maintainer = None
+    if config.cdc:
+        from repro.cdc import ChangeOutbox
+
+        maintainer = manager.enable_async_maintenance(outbox=ChangeOutbox())
     rng = random.Random(config.seed + 1)
     for _ in range(3):
         query = template.bind(
@@ -427,12 +495,47 @@ def _check_pmv_restart(config: TortureConfig, recovered: Database) -> None:
                 "restarted PMV disagrees with full execution on the "
                 "recovered database"
             )
+    if maintainer is not None:
+        rows = list(recovered.catalog.relation("r").scan())
+        if rows:
+            row_id, _ = rows[0]
+            recovered.delete("r", row_id)
+        maintainer.drain_to_convergence()
+        query = template.bind(
+            [
+                EqualityDisjunction("r.f", [rng.randrange(4)]),
+                EqualityDisjunction("s.g", [rng.randrange(3)]),
+            ]
+        )
+        result = manager.execute(query)
+        got = sorted((tuple(r.values) for r in result.all_rows()), key=repr)
+        want = sorted((tuple(r.values) for r in recovered.run(query)), key=repr)
+        if got != want or (result.staleness or 0) != 0:
+            raise InvariantViolation(
+                "restarted async PMV did not converge after the post-"
+                "recovery write was drained"
+            )
     manager.verify_consistency()
 
 
-def _check_completed(config, database, manager, wal_path, shadow) -> None:
+def _check_completed(config, database, manager, wal_path, shadow,
+                     maintainer=None) -> None:
     """Invariants after a run that finished (fault-free, or with only
     recoverable injected errors along the way)."""
+    if maintainer is not None:
+        # Drain the feed dry, then demand full convergence: watermarks
+        # at the current LSN and the strict (phantom-sensitive)
+        # consistency check — a lost or double-applied delta surfaces
+        # here as a phantom tuple or a MaintenanceError.
+        maintainer.drain_to_convergence()
+        if len(database.outbox) != 0:
+            raise InvariantViolation("feed not empty after convergence drain")
+        view = manager.view("tq")
+        if view.applied_lsn < database.current_lsn():
+            raise InvariantViolation(
+                f"watermark {view.applied_lsn} trails LSN "
+                f"{database.current_lsn()} after a convergence drain"
+            )
     live = contents_of(database, _RELATIONS)
     if live != _shadow_contents(shadow):
         raise InvariantViolation("live contents diverged from the op-level shadow")
@@ -460,7 +563,7 @@ def _run(config: TortureConfig, plan: FaultPlan | None) -> PointResult:
     with tempfile.TemporaryDirectory(prefix="torture-") as workdir:
         wal_path = os.path.join(workdir, "wal.jsonl")
         injector = FaultInjector(FaultPlan.none())
-        database, manager, template = _setup(config, injector, wal_path)
+        database, manager, template, maintainer = _setup(config, injector, wal_path)
         # Arm the plan only now: occurrences count workload arrivals.
         injector.plan = plan if plan is not None else FaultPlan.none()
         injector.counts.clear()
@@ -473,10 +576,12 @@ def _run(config: TortureConfig, plan: FaultPlan | None) -> PointResult:
         stage = "workload"
         try:
             acked = _run_workload(
-                config, database, manager, template, shadow, snapshots
+                config, database, manager, template, shadow, snapshots,
+                maintainer=maintainer,
             )
             stage = "final-checks"
-            _check_completed(config, database, manager, wal_path, shadow)
+            _check_completed(config, database, manager, wal_path, shadow,
+                             maintainer=maintainer)
             return PointResult(
                 config.seed, spec_text, True, "completed", "done", acked,
             )
@@ -508,29 +613,33 @@ def run_point(
     seed: int,
     spec: FaultSpec | None,
     ops: int = DEFAULT_OPS,
+    cdc: bool = False,
 ) -> PointResult:
     """Run one seeded workload with (at most) one scheduled fault."""
-    config = TortureConfig(seed=seed, ops=ops)
+    config = TortureConfig(seed=seed, ops=ops, cdc=cdc)
     plan = FaultPlan([spec]) if spec is not None else FaultPlan.none()
     return _run(config, plan)
 
 
-def enumerate_points(seed: int, ops: int = DEFAULT_OPS) -> list[FaultSpec]:
+def enumerate_points(
+    seed: int, ops: int = DEFAULT_OPS, cdc: bool = False
+) -> list[FaultSpec]:
     """All fault points one seeded workload reaches: run it fault-free,
     count arrivals per site, expand (site, occurrence) by the modes
     meaningful at each site."""
-    config = TortureConfig(seed=seed, ops=ops)
+    config = TortureConfig(seed=seed, ops=ops, cdc=cdc)
     injector = FaultInjector(FaultPlan.none())
     with tempfile.TemporaryDirectory(prefix="torture-enum-") as workdir:
         wal_path = os.path.join(workdir, "wal.jsonl")
-        database, manager, template = _setup(config, injector, wal_path)
+        database, manager, template, maintainer = _setup(config, injector, wal_path)
         injector.counts.clear()
         shadow = {name: {} for name in _RELATIONS}
         for name in _RELATIONS:
             for row in database.catalog.relation(name).scan_rows():
                 values = tuple(row.values)
                 shadow[name][values] = shadow[name].get(values, 0) + 1
-        _run_workload(config, database, manager, template, shadow, [])
+        _run_workload(config, database, manager, template, shadow, [],
+                      maintainer=maintainer)
         database.wal.close()
     points = []
     for site in sorted(injector.counts):
@@ -546,12 +655,24 @@ def sweep(
     max_points: int | None = None,
     stop_on_first: bool = False,
     verbose: bool = False,
+    cdc: bool = False,
+    sites: list[str] | None = None,
 ) -> SweepReport:
-    """Crash at every enumerated fault point of every seed."""
+    """Crash at every enumerated fault point of every seed.
+
+    ``sites`` optionally restricts the sweep to fault sites matching
+    any of the given prefixes (e.g. ``["outbox."]`` for the bench's
+    bounded CDC sweep).
+    """
     report = SweepReport(seeds=list(seeds))
     started = time.perf_counter()
     for seed in seeds:
-        points = enumerate_points(seed, ops=ops)
+        points = enumerate_points(seed, ops=ops, cdc=cdc)
+        if sites:
+            points = [
+                p for p in points
+                if any(p.site.startswith(prefix) for prefix in sites)
+            ]
         budget = max_points - report.points_run if max_points else None
         if budget is not None and budget <= 0:
             break
@@ -560,7 +681,7 @@ def sweep(
             stride = len(points) / budget
             points = [points[int(i * stride)] for i in range(budget)]
         for spec in points:
-            result = run_point(seed, spec, ops=ops)
+            result = run_point(seed, spec, ops=ops, cdc=cdc)
             report.points_run += 1
             report.crashes += result.status == "crashed"
             report.condemned += result.status == "condemned"
@@ -605,6 +726,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="re-run one printed divergence point and exit",
     )
+    parser.add_argument(
+        "--cdc",
+        action="store_true",
+        help="run the PMV under CDC-driven async maintenance (adds the "
+        "outbox.append/outbox.drain fault sites and bounded-stale "
+        "query checking)",
+    )
+    parser.add_argument(
+        "--sites",
+        metavar="PREFIX[,PREFIX...]",
+        default=None,
+        help="restrict the sweep to fault sites with these prefixes",
+    )
     parser.add_argument("--stop-on-first", action="store_true")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -612,7 +746,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.replay is not None:
         seed_text, _, spec_text = args.replay.partition("/")
         spec = None if spec_text in ("", "none") else FaultSpec.parse(spec_text)
-        result = run_point(int(seed_text), spec, ops=args.ops)
+        result = run_point(int(seed_text), spec, ops=args.ops, cdc=args.cdc)
         print(json.dumps(asdict(result), indent=2))
         return 0 if result.ok else 1
 
@@ -623,6 +757,8 @@ def main(argv: list[str] | None = None) -> int:
         max_points=args.max_points,
         stop_on_first=args.stop_on_first,
         verbose=args.verbose,
+        cdc=args.cdc,
+        sites=args.sites.split(",") if args.sites else None,
     )
     summary = asdict(report)
     summary["ok"] = report.ok
@@ -635,8 +771,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     for divergence in report.divergences:
         print(
-            f"  replay: python -m repro.bench.torture --replay "
-            f"{divergence['seed']}/{divergence['spec']}"
+            f"  replay: python -m repro.bench.torture "
+            + ("--cdc " if args.cdc else "")
+            + f"--replay {divergence['seed']}/{divergence['spec']}"
         )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:

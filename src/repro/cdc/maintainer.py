@@ -1,0 +1,261 @@
+"""The background drain: LSN-ordered async application of the feed.
+
+An :class:`AsyncMaintainer` owns one :class:`~repro.cdc.outbox.ChangeOutbox`
+and a set of registered views.  Registration flips the view's
+maintainer into *async mode*: relevant changes stop taking the X lock
+on the write path (unless the heavy-light splitter routes them eager)
+and are instead applied here, one feed record at a time, oldest first.
+
+Lock discipline mirrors a writing statement, in the mandatory order:
+the drain takes the view's X lock **first** (through the maintainer's
+breaker-gated :meth:`~repro.core.maintenance.PMVMaintainer._acquire_x`,
+so an open circuit breaker collapses it to a single no-wait attempt),
+and only then enters the statement latch to mutate the view.  A lock
+denial requeues the record at the feed head and yields — the next
+drain retries it, and ``applied_views`` guarantees the retry never
+applies a delta twice.
+
+Watermark rules (DESIGN.md §13):
+
+- ``view.applied_lsn`` advances to a record's LSN once the record is
+  applied to (or provably irrelevant for) that view — records are
+  drained oldest-first, so the watermark is monotone;
+- a fail-safe clear (organic apply failure) empties the view, and the
+  empty subset is correct *as of now*: the watermark jumps to the
+  current LSN;
+- after a crash, views restart empty and a fresh feed starts at the
+  recovered WAL end — nothing to replay, staleness zero by
+  construction.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cdc.outbox import ChangeOutbox, OutboxRecord
+from repro.cdc.split import HeavyLightSplitter
+from repro.core.maintenance import PMVMaintainer
+from repro.engine.database import Database
+from repro.errors import LockError, MaintenanceError
+
+__all__ = ["AsyncMaintainer"]
+
+
+class AsyncMaintainer:
+    """Drains the change feed and applies deltas to registered views."""
+
+    def __init__(
+        self,
+        database: Database,
+        outbox: ChangeOutbox | None = None,
+        splitter: HeavyLightSplitter | None = None,
+    ) -> None:
+        self.database = database
+        if outbox is None:
+            outbox = database.outbox if database.outbox is not None else ChangeOutbox()
+        self.outbox = outbox
+        # The database's DML appends to this feed from now on.
+        database.outbox = outbox
+        self.splitter = splitter
+        self._registered: dict[str, PMVMaintainer] = {}
+        # One drain at a time: LSN order is only meaningful single-file.
+        self._drain_mutex = threading.Lock()
+        self._last_drained_lsn = 0
+        self.records_drained = 0
+        self.deltas_applied = 0
+        self.eager_skips = 0
+        self.lock_yields = 0
+        self.failsafe_clears = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        maintainer: PMVMaintainer,
+        splitter: HeavyLightSplitter | None = None,
+    ) -> None:
+        """Switch one view to async maintenance.
+
+        Accepts a :class:`PMVMaintainer` or anything carrying one as
+        ``.maintainer`` (a ``ManagedView``).  The view's watermark
+        starts at the current LSN: everything already applied eagerly
+        up to this point is, by definition, fresh.
+        """
+        if not isinstance(maintainer, PMVMaintainer):
+            maintainer = maintainer.maintainer
+        view = maintainer.view
+        maintainer.async_mode = True
+        maintainer.splitter = splitter if splitter is not None else self.splitter
+        maintainer.outbox = self.outbox
+        view.async_maintenance = True
+        view.applied_lsn = self.database.current_lsn()
+        self._registered[view.name] = maintainer
+
+    def unregister(self, view_name: str) -> None:
+        """Return one view to eager maintenance (it must first be
+        drained or cleared by the caller to be immediately fresh)."""
+        maintainer = self._registered.pop(view_name, None)
+        if maintainer is not None:
+            maintainer.async_mode = False
+            maintainer.splitter = None
+            maintainer.outbox = None
+            maintainer.view.async_maintenance = False
+
+    def lag(self, view) -> int:
+        """Feed positions the view trails the current LSN by."""
+        return max(0, self.database.current_lsn() - view.applied_lsn)
+
+    # -- draining --------------------------------------------------------------
+
+    def drain(self, max_records: int | None = None) -> int:
+        """Apply up to ``max_records`` feed records in LSN order.
+
+        Returns the number of records fully processed.  Stops early
+        when a view's X lock is denied (the record is requeued and
+        ``lock_yields`` bumped).  A second concurrent drain returns 0
+        immediately rather than interleaving.
+        """
+        if not self._drain_mutex.acquire(blocking=False):
+            return 0
+        try:
+            drained = 0
+            while max_records is None or drained < max_records:
+                record = self.outbox.take()
+                if record is None:
+                    break
+                if record.lsn <= self._last_drained_lsn:
+                    raise MaintenanceError(
+                        f"outbox feed out of order: record LSN {record.lsn} "
+                        f"after {self._last_drained_lsn} — a delta would be "
+                        f"double-applied"
+                    )
+                try:
+                    self._apply_record(record)
+                except LockError:
+                    self.outbox.requeue(record)
+                    self.lock_yields += 1
+                    break
+                except BaseException:
+                    # Crash/control unwind: keep the record at the head
+                    # so an in-process retry (ERROR-mode injections)
+                    # resumes exactly where it stopped.
+                    self.outbox.requeue(record)
+                    raise
+                self._last_drained_lsn = record.lsn
+                self.records_drained += 1
+                drained += 1
+            self._advance_to_feed_end()
+            return drained
+        finally:
+            self._drain_mutex.release()
+
+    def _advance_to_feed_end(self) -> None:
+        """With the feed empty, catch watermarks up to the current LSN.
+
+        WAL-only records (checkpoint markers) advance the LSN without a
+        feed record; without this step a fully-drained view would
+        report phantom staleness forever.  The LSN is read *before* the
+        emptiness check: a statement committing in between makes the
+        feed non-empty and skips the bump, so the watermark never
+        claims an unapplied change.
+        """
+        high = self.database.current_lsn()
+        if len(self.outbox) != 0:
+            return
+        for maintainer in self._registered.values():
+            if maintainer.view.applied_lsn < high:
+                maintainer.view.applied_lsn = high
+
+    def drain_to_convergence(self, max_rounds: int = 1000) -> int:
+        """Drain until the feed is empty; returns records processed.
+
+        Bounded by ``max_rounds`` lock yields so a reader that never
+        releases its S lock cannot hang the caller.
+        """
+        total = 0
+        for _ in range(max_rounds):
+            total += self.drain()
+            if len(self.outbox) == 0:
+                return total
+        raise MaintenanceError(
+            f"feed did not converge after {max_rounds} drain rounds "
+            f"({len(self.outbox)} records pending)"
+        )
+
+    def _apply_record(self, record: OutboxRecord) -> None:
+        change = record.change
+        for name, maintainer in self._registered.items():
+            view = maintainer.view
+            if name in record.applied_views:
+                # Already applied — eagerly at write time (hot part) or
+                # by an interrupted earlier pass over this record.
+                self.eager_skips += 1
+            elif maintainer._needs_maintenance(change):
+                self._apply_delta(maintainer, change)
+                record.applied_views.add(name)
+            else:
+                record.applied_views.add(name)
+            if record.lsn > view.applied_lsn:
+                view.applied_lsn = record.lsn
+
+    def _apply_delta(self, maintainer: PMVMaintainer, change) -> None:
+        txn = self.database.begin()
+        try:
+            maintainer._acquire_x(txn)
+        except BaseException:
+            txn.abort()
+            raise
+        try:
+            with self.database.statement_latch:
+                if not maintainer.apply_async(change):
+                    self.failsafe_clears += 1
+                else:
+                    self.deltas_applied += 1
+        finally:
+            txn.commit()
+
+    # -- optional background pump ----------------------------------------------
+
+    def start(self, interval: float = 0.01) -> None:
+        """Run the drain on a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def pump() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self.drain()
+                except Exception:
+                    # The pump must survive organic failures (they are
+                    # already accounted by the fail-safe counters); it
+                    # dies only with the process.
+                    continue
+
+        self._thread = threading.Thread(target=pump, name="pmv-async-drain", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "records_drained": self.records_drained,
+            "deltas_applied": self.deltas_applied,
+            "eager_skips": self.eager_skips,
+            "lock_yields": self.lock_yields,
+            "failsafe_clears": self.failsafe_clears,
+            "pending": len(self.outbox),
+            "high_watermark": self.outbox.last_lsn,
+            "views": {
+                name: m.view.applied_lsn for name, m in self._registered.items()
+            },
+        }

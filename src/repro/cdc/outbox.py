@@ -1,0 +1,164 @@
+"""The transactional outbox: DML's change feed for async maintenance.
+
+Every insert/delete/update appends one :class:`OutboxRecord` *inside*
+the statement latch, immediately after the WAL append, stamped with
+that append's LSN.  Feed order therefore equals serialization order —
+the property the drain relies on to apply deltas in LSN order and keep
+per-view watermarks meaningful.
+
+The feed is in-memory only, and deliberately so: after a crash every
+PMV restarts empty (the always-correct fail-safe subset), so there is
+nothing for a durable feed to repair — the watermark simply restarts
+at the recovered WAL end.  What *must* hold is atomicity with the
+statement: an aborted statement never reaches the append (the prepare
+phase and the heap mutation both precede it), and a crash in either
+append window (before or after the record is stored) is a process
+death, never a silent gap — DELETE/UPDATE WAL payloads carry no old
+row values, so a dropped record could not be reconstructed after the
+fact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.engine.transactions import Change
+
+__all__ = ["ChangeOutbox", "OutboxRecord"]
+
+
+class OutboxRecord:
+    """One feed element: a base-relation change at a known LSN.
+
+    ``applied_views`` names the views this record has already been
+    applied to — by the eager hot path at write time, or by a partial
+    drain that was interrupted — so a retried drain never applies the
+    same delta twice.
+    """
+
+    __slots__ = ("lsn", "change", "applied_views")
+
+    def __init__(self, lsn: int, change: Change) -> None:
+        self.lsn = lsn
+        self.change = change
+        self.applied_views: set[str] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OutboxRecord(lsn={self.lsn}, {self.change.kind.name} "
+            f"{self.change.relation!r}, applied={sorted(self.applied_views)})"
+        )
+
+
+class ChangeOutbox:
+    """FIFO change feed appended to by DML, drained by AsyncMaintainer.
+
+    ``fault_check`` is an injector-style callable (``site -> FaultSpec
+    | None``, see :class:`repro.faults.inject.FaultInjector.check`)
+    giving the torture harness the two crash windows of one append:
+    ``CRASH_BEFORE`` (the WAL record is durable but the feed never saw
+    the change) and ``CRASH_AFTER`` (both are durable, the statement
+    was never acknowledged).  There is no ERROR mode: a failed append
+    cannot be handled by aborting the statement, because the heap and
+    WAL mutations already happened — it is a crash, exactly like a
+    failed ``wal.append``.
+    """
+
+    def __init__(self, fault_check: Callable[[str], object] | None = None) -> None:
+        self._records: deque[OutboxRecord] = deque()
+        self._mutex = threading.Lock()
+        self._last_lsn = 0
+        self.appended = 0
+        self.fault_check = fault_check
+
+    # -- producer side (inside the DML statement latch) -----------------------
+
+    def append(self, change: Change, lsn: int | None = None) -> OutboxRecord:
+        """Append one change record; called with the statement latch held.
+
+        ``lsn`` is the WAL LSN of the statement's log record.  On a
+        WAL-less database the outbox assigns its own monotonic sequence
+        numbers, which serve the same role (feed position == statement
+        serialization order).
+        """
+        spec = self.fault_check("outbox.append") if self.fault_check else None
+        if spec is not None and spec.mode.name == "CRASH_BEFORE":
+            from repro.faults.inject import SimulatedCrash
+
+            raise SimulatedCrash(spec)
+        with self._mutex:
+            if lsn is None:
+                lsn = self._last_lsn + 1
+            record = OutboxRecord(lsn, change)
+            self._records.append(record)
+            self._last_lsn = max(self._last_lsn, lsn)
+            self.appended += 1
+        if spec is not None:
+            # CRASH_AFTER: the record made the feed, then the process
+            # died before the statement was acknowledged.
+            from repro.faults.inject import SimulatedCrash
+
+            raise SimulatedCrash(spec)
+        return record
+
+    def mark_applied(self, lsn: int, view_name: str) -> bool:
+        """Mark the record at ``lsn`` as already applied to ``view_name``
+        (the eager hot path calls this at write time, from the tail)."""
+        with self._mutex:
+            for record in reversed(self._records):
+                if record.lsn == lsn:
+                    record.applied_views.add(view_name)
+                    return True
+                if record.lsn < lsn:
+                    break
+        return False
+
+    def applied_up_to(self, lsn: int, view_name: str) -> bool:
+        """True when no pending record at or below ``lsn`` still awaits
+        ``view_name`` — i.e. the view's watermark may advance to ``lsn``
+        (everything earlier was either drained away or eagerly applied)."""
+        with self._mutex:
+            for record in self._records:
+                if record.lsn > lsn:
+                    break
+                if view_name not in record.applied_views:
+                    return False
+        return True
+
+    # -- consumer side (the drain) --------------------------------------------
+
+    def take(self) -> OutboxRecord | None:
+        """Pop the oldest record, or None when the feed is empty."""
+        with self._mutex:
+            if not self._records:
+                return None
+            return self._records.popleft()
+
+    def requeue(self, record: OutboxRecord) -> None:
+        """Put a record back at the head after a blocked/interrupted
+        apply.  Safe because producers only ever append at the tail;
+        ``applied_views`` keeps the retry from double-applying."""
+        with self._mutex:
+            self._records.appendleft(record)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """High-watermark: the LSN of the newest appended record."""
+        return self._last_lsn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def peek_lsn(self) -> int | None:
+        """LSN of the oldest pending record, or None when drained."""
+        with self._mutex:
+            return self._records[0].lsn if self._records else None
+
+    def pending(self) -> list[OutboxRecord]:
+        """Snapshot of the pending records, oldest first (for tests)."""
+        with self._mutex:
+            return list(self._records)

@@ -79,6 +79,17 @@ class PMVQueryResult:
     """Rough fraction of the full answer delivered, derived from the
     view's historical tuples-per-query — a quality signal for the
     client, not a guarantee.  ``None`` when no basis exists yet."""
+    staleness: int | None = None
+    """Freshness stamp for async-maintained views: an upper bound on
+    how many LSNs the cached contribution may trail the current state
+    (``current LSN − applied LSN`` at seal time — the replica-lag
+    honesty model applied to CDC maintenance, DESIGN.md §13).  ``0``
+    means provably fresh (converged watermark, or the answer came
+    entirely from full execution); ``None`` on eagerly-maintained
+    views, which are always fresh by construction."""
+    applied_lsn: int | None = None
+    """The view's applied-LSN watermark the answer was served at
+    (``None`` on eagerly-maintained views)."""
 
     def all_rows(self) -> list[Row]:
         """Every result tuple, partial results first."""
@@ -168,6 +179,7 @@ class PMVExecutor:
         columnar: bool = True,
         lock_wait: bool = True,
         lock_timeout: float = DEFAULT_LOCK_GRACE,
+        freshness_bound: int | None = None,
     ) -> None:
         self.database = database
         self.view = view
@@ -193,6 +205,13 @@ class PMVExecutor:
         # try-once policy (still bypassing, never raising).
         self.lock_wait = lock_wait
         self.lock_timeout = lock_timeout
+        # Freshness policy for async-maintained views (DESIGN.md §13):
+        # when the view's applied-LSN lag exceeds this many positions,
+        # execute() bypasses the PMV and serves a fresh complete answer
+        # from full execution (``pmv_bypassed_stale``).  None (the
+        # default) serves at any lag — every answer still carries its
+        # staleness stamp.  Ignored for eagerly-maintained views.
+        self.freshness_bound = freshness_bound
 
     # -- public API --------------------------------------------------------------
 
@@ -327,6 +346,36 @@ class PMVExecutor:
             return False
         return True
 
+    def _beyond_freshness_bound(self) -> bool:
+        """Whether the view's applied-LSN lag exceeds the bound."""
+        bound = self.freshness_bound
+        if bound is None or not self.view.async_maintenance:
+            return False
+        return self.database.current_lsn() - self.view.applied_lsn > bound
+
+    def _stamp_freshness(self, result: PMVQueryResult) -> None:
+        """Stamp an answer with its applied-LSN age (async views only).
+
+        The stamp is a true upper bound: the current LSN is read at (or
+        after) the answer's serialization point, so any cached tuple
+        delivered was applied at watermark ``applied_lsn`` and can
+        trail truth by at most ``staleness`` positions.  An answer that
+        bypassed the PMV (stale or lock bypass) came entirely from full
+        execution under the latch — fresh as of its serialization
+        point, staleness 0.
+        """
+        view = self.view
+        if not view.async_maintenance:
+            return
+        metrics = result.metrics
+        if metrics.bypassed_stale or metrics.bypassed_lock:
+            result.applied_lsn = self.database.current_lsn()
+            result.staleness = 0
+            return
+        applied = view.applied_lsn
+        result.applied_lsn = applied
+        result.staleness = max(0, self.database.current_lsn() - applied)
+
     def _preview_locked(self, query: Query, txn: Transaction) -> PMVQueryResult:
         clock = self._clock
         view = self.view
@@ -341,6 +390,7 @@ class PMVExecutor:
             elapsed = clock() - start
             result.metrics.partial_latency_seconds = elapsed
             result.metrics.overhead_seconds = elapsed
+            self._stamp_freshness(result)
             view.metrics.record_query(result.metrics)
             return result
         # One group per containing bcp: the bcp is referenced once and
@@ -369,6 +419,9 @@ class PMVExecutor:
         elapsed = clock() - start
         result.metrics.partial_latency_seconds = elapsed
         result.metrics.overhead_seconds = elapsed
+        # A preview never claims completeness, so no bound enforcement:
+        # the stamp alone tells the client how stale the snapshot may be.
+        self._stamp_freshness(result)
         view.metrics.record_query(result.metrics)
         return result
 
@@ -429,6 +482,7 @@ class PMVExecutor:
                 )
         metrics.remaining_tuples = len(rows)
         metrics.execution_seconds = clock() - execution_start
+        self._stamp_freshness(result)
         self.view.metrics.record_query(metrics)
         return result
 
@@ -461,6 +515,7 @@ class PMVExecutor:
             with self.database.statement_latch:
                 if on_o3 is not None:
                     on_o3(result.query)
+        self._stamp_freshness(result)
         self.view.metrics.record_query(metrics)
         return result
 
@@ -514,6 +569,14 @@ class PMVExecutor:
         sched = self.database.scheduler
         if sched is not None:
             sched.switch("executor.o2")
+        if self._beyond_freshness_bound():
+            # The view trails the feed beyond the operator's tolerance:
+            # serve a fresh complete answer from full execution instead
+            # of bounded-stale cached tuples (DESIGN.md §13).
+            metrics.bypassed_stale = True
+            return self._execute_bypassed(
+                query, result, distinct, on_partial, on_o3, overhead_start, deadline
+            )
         if not self._lock_view_or_bypass(txn, metrics):
             return self._execute_bypassed(
                 query, result, distinct, on_partial, on_o3, overhead_start, deadline
@@ -636,6 +699,7 @@ class PMVExecutor:
                 on_o3(query)
         finally:
             self.database.statement_latch.release()
+        self._stamp_freshness(result)
         view.metrics.record_query(metrics)
         return result
 
@@ -744,7 +808,14 @@ class PMVExecutor:
             # transaction ends, and insertions only add O3 rows.)  An
             # abandoned run legitimately leaves undelivered O2 occurrences
             # in the suppressor — the scan never reached them.
-            ds.assert_empty()
+            if view.async_maintenance:
+                # Async-maintained views legitimately serve bounded-stale
+                # extras: a cold delete not yet drained leaves its derived
+                # tuples cached.  Each leftover was a true result at some
+                # LSN ≥ the view's watermark; count it, don't raise.
+                metrics.stale_partial_tuples = len(ds)
+            else:
+                ds.assert_empty()
 
         metrics.remaining_tuples = len(result.remaining_rows)
         metrics.overhead_seconds = overhead
@@ -832,6 +903,13 @@ class PMVExecutor:
         sched = self.database.scheduler
         if sched is not None:
             sched.switch("executor.o2")
+        if self._beyond_freshness_bound():
+            # See _execute_locked: beyond the freshness bound the PMV
+            # is skipped for a fresh complete answer.
+            metrics.bypassed_stale = True
+            return self._execute_bypassed(
+                query, result, distinct, on_partial, on_o3, overhead_start, deadline
+            )
         if not self._lock_view_or_bypass(txn, metrics):
             return self._execute_bypassed(
                 query, result, distinct, on_partial, on_o3, overhead_start, deadline
@@ -944,6 +1022,7 @@ class PMVExecutor:
                 on_o3(query)
         finally:
             self.database.statement_latch.release()
+        self._stamp_freshness(result)
         view.metrics.record_query(metrics)
         return result
 
@@ -1070,12 +1149,19 @@ class PMVExecutor:
                 # sides are duplicate-free: the invariant check is
                 # count arithmetic, no second difference pass.
                 if completed and partial_count - o3_count + n_need:
-                    leftover = partial_set - o3_set
-                    raise PMVError(
-                        f"DS not empty after O3: {len(leftover)} tuple(s) "
-                        f"left, e.g. {next(iter(leftover))!r}; the PMV "
-                        "delivered results full execution did not produce"
-                    )
+                    if view.async_maintenance:
+                        # Bounded-stale extras of an async view (see
+                        # _run_o3): accounted, not an invariant breach.
+                        metrics.stale_partial_tuples = (
+                            partial_count - o3_count + n_need
+                        )
+                    else:
+                        leftover = partial_set - o3_set
+                        raise PMVError(
+                            f"DS not empty after O3: {len(leftover)} tuple(s) "
+                            f"left, e.g. {next(iter(leftover))!r}; the PMV "
+                            "delivered results full execution did not produce"
+                        )
             else:
                 # Duplicates present somewhere: exact multiset replay.
                 ds = DuplicateSuppressor()
@@ -1086,7 +1172,10 @@ class PMVExecutor:
                 for chunk in o3_chunks:
                     fresh.extend(consume_batch(chunk))
                 if completed:
-                    ds.assert_empty()
+                    if view.async_maintenance:
+                        metrics.stale_partial_tuples = len(ds)
+                    else:
+                        ds.assert_empty()
 
         # ---- Refresh the PMV "for free" (after the ledger is read) -------
         if fresh:

@@ -177,6 +177,15 @@ class PMVMaintainer:
         # attempt so writer statements stop parking on a lock queue that
         # keeps timing out (DESIGN.md §10).
         self.breaker = None
+        # Async (CDC) mode, configured by repro.cdc.AsyncMaintainer:
+        # relevant changes are routed at prepare time — hot condition
+        # parts (per the splitter) keep the eager X-lock path below,
+        # cold ones skip the write-path lock entirely and ride the
+        # outbox feed to the background drain (DESIGN.md §13).
+        self.async_mode = False
+        self.splitter = None
+        self.outbox = None
+        self._pending_routes: dict[int, list[bool]] = {}
         # X-lock transactions opened in the prepare phase for
         # statements outside a caller transaction, committed when the
         # corresponding change (or abort) arrives.  One statement is in
@@ -249,6 +258,17 @@ class PMVMaintainer:
         """
         if not self._needs_maintenance(change):
             return
+        if self.async_mode:
+            hot = (
+                self.splitter.is_hot(change, self.view)
+                if self.splitter is not None
+                else False
+            )
+            self._push_route(hot)
+            if not hot:
+                # Cold condition part: no write-path X lock — the
+                # outbox feed carries the delta to the drain.
+                return
         self._fire_fault("maintenance.prepare")
         if txn is not None:
             self._acquire_x(txn)
@@ -306,6 +326,22 @@ class PMVMaintainer:
                 self.view.metrics.maintenance_lock_retries += 1
                 time.sleep(self.x_lock_backoff * attempt)
 
+    def _push_route(self, hot: bool) -> None:
+        ident = threading.get_ident()
+        with self._pending_mutex:
+            self._pending_routes.setdefault(ident, []).append(hot)
+
+    def _pop_route(self) -> bool | None:
+        ident = threading.get_ident()
+        with self._pending_mutex:
+            stack = self._pending_routes.get(ident)
+            if not stack:
+                return None
+            hot = stack.pop()
+            if not stack:
+                del self._pending_routes[ident]
+            return hot
+
     def _push_pending(self, pending: Transaction) -> None:
         ident = threading.get_ident()
         with self._pending_mutex:
@@ -326,6 +362,9 @@ class PMVMaintainer:
         """The prepared statement failed: release any pending X lock."""
         if not self._needs_maintenance(change):
             return
+        if self.async_mode and self._pop_route() is False:
+            # Cold route: prepare took no lock, nothing to release.
+            return
         if txn is None:
             pending = self._pop_pending()
             if pending is not None:
@@ -345,11 +384,51 @@ class PMVMaintainer:
             if not self._update_is_relevant(change):
                 metrics.maintenance_updates_skipped += 1
                 return
+            if self.async_mode and not self._consume_route(change):
+                return
             self._remove_derived(change.relation, change.old_row, txn)
+            self._mark_eager_applied()
             return
         assert change.old_row is not None
+        if self.async_mode and not self._consume_route(change):
+            return
         metrics.maintenance_deletes += 1
         self._remove_derived(change.relation, change.old_row, txn)
+        self._mark_eager_applied()
+
+    def _consume_route(self, change: Change) -> bool:
+        """Async mode: consume the prepare-time routing decision.
+
+        True means hot — apply eagerly now (the X lock was taken in
+        prepare) and mark the feed record so the drain skips it.
+        False means cold — the delta is deferred to the drain.
+        """
+        hot = self._pop_route()
+        if hot is None:
+            # Change arrived without a prepare (maintainer attached
+            # mid-statement): re-derive the route, defaulting cold.
+            hot = (
+                self.splitter.is_hot(change, self.view)
+                if self.splitter is not None
+                else False
+            )
+        if not hot:
+            self.view.metrics.maintenance_deferred += 1
+            return False
+        return True
+
+    def _mark_eager_applied(self) -> None:
+        """Hot-path bookkeeping: the statement's feed record (the
+        newest one — we are still inside its latched section) is
+        already reflected in this view; the drain must not re-apply.
+        When no earlier pending record still awaits this view, the
+        freshness watermark advances immediately — an all-hot view
+        reports zero staleness without waiting for a drain pass."""
+        if self.async_mode and self.outbox is not None:
+            lsn = self.outbox.last_lsn
+            self.outbox.mark_applied(lsn, self.view.name)
+            if self.outbox.applied_up_to(lsn, self.view.name):
+                self.view.applied_lsn = max(self.view.applied_lsn, lsn)
 
     def _update_is_relevant(self, change: Change) -> bool:
         relevant = self._relevant_attrs[change.relation]
@@ -402,12 +481,58 @@ class PMVMaintainer:
                 # error; account for the eaten secondary exception.
                 self.view.metrics.swallowed_errors += 1
             self.view.metrics.maintenance_failsafe_clears += 1
+            if self.async_mode:
+                # The cleared (empty) view is a correct subset as of
+                # *now*: the freshness watermark jumps to the current
+                # LSN (DESIGN.md §13 watermark rules).
+                self.view.applied_lsn = self.database.current_lsn()
             if self.breaker is not None:
                 self.breaker.record_failure()
             raise
         finally:
             if pending is not None:
                 pending.commit()
+
+    def apply_async(self, change: Change) -> bool:
+        """Apply one outbox delta — the async drain path.
+
+        The caller (:class:`repro.cdc.AsyncMaintainer`) already holds
+        the view's X lock and the statement latch.  Returns True when
+        the delta was applied, False when an organic failure triggered
+        the fail-safe clear — after which the (empty) view is fully
+        fresh, so the caller advances the watermark either way.
+        Control exceptions (simulated crashes) propagate untouched.
+        """
+        metrics = self.view.metrics
+        old_row = change.old_row
+        assert old_row is not None
+        try:
+            self._fire_fault("outbox.drain")
+            if change.kind is ChangeKind.DELETE:
+                metrics.maintenance_deletes += 1
+            if self.strategy is MaintenanceStrategy.AUX_INDEX:
+                self._remove_via_aux_index(change.relation, old_row)
+            else:
+                self._remove_via_delta_join(change.relation, old_row)
+        except Exception as exc:
+            if is_control_exception(exc):
+                raise
+            # Same fail-safe as the eager path: a half-done removal may
+            # leave stale tuples, the empty subset never can.  Unlike a
+            # writing statement there is nothing to abort here, so the
+            # failure is absorbed (counted, never silent) and the drain
+            # moves on.
+            try:
+                self.view.clear()
+            except Exception:
+                metrics.swallowed_errors += 1
+            metrics.maintenance_failsafe_clears += 1
+            self.view.applied_lsn = self.database.current_lsn()
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return False
+        metrics.maintenance_async_applied += 1
+        return True
 
     def _remove_via_delta_join(self, relation: str, old_row: Row) -> None:
         """Main-text algorithm: join ΔRi against the other relations and

@@ -242,15 +242,60 @@ class PMVManager:
         return sum(managed.view.clear() for managed in self._views.values())
 
     def verify_consistency(self) -> None:
-        """Assert that no managed PMV could serve a stale tuple.
+        """Assert that no managed PMV could serve a tuple it shouldn't.
 
         Runs the fault-harness checker — every cached tuple of every
         view must be a current true result of its template (and the
         structural/bound invariants must hold).  Raises
         :class:`~repro.faults.check.InvariantViolation` on divergence.
         Used by tests and the crash-recovery torture harness.
+
+        Async-maintained views are checked against the outbox
+        high-watermark: while a view's applied LSN trails the current
+        LSN it is *intentionally* stale (undrained feed records may
+        leave bounded-stale extras cached), so only its structural
+        invariants are enforced.  A view that claims convergence
+        (watermark caught up) gets the full strict check — a lost or
+        double-applied delta still surfaces as a phantom there.
         """
         from repro.faults.check import check_view_against_database
 
+        high = self.database.current_lsn()
         for managed in self._views.values():
-            check_view_against_database(self.database, managed.view)
+            view = managed.view
+            allow_stale = view.async_maintenance and view.applied_lsn < high
+            check_view_against_database(
+                self.database, view, allow_stale=allow_stale
+            )
+
+    # -- async (CDC) maintenance -----------------------------------------------
+
+    def enable_async_maintenance(
+        self,
+        template_names: Sequence[str] | None = None,
+        outbox=None,
+        splitter=None,
+    ):
+        """Switch managed views to CDC-driven async maintenance.
+
+        Creates (or adopts) a change outbox on the database, registers
+        the named views (all of them by default) with a fresh
+        :class:`~repro.cdc.AsyncMaintainer`, and returns it — the
+        caller owns the drain cadence (call ``drain()`` /
+        ``drain_to_convergence()``, or ``start()`` for a background
+        pump).  ``splitter`` routes hot condition parts back to the
+        eager path (DESIGN.md §13).
+        """
+        from repro.cdc import AsyncMaintainer
+
+        async_maintainer = AsyncMaintainer(
+            self.database, outbox=outbox, splitter=splitter
+        )
+        names = (
+            list(template_names) if template_names is not None else list(self._views)
+        )
+        for name in names:
+            if name not in self._views:
+                raise PMVError(f"no PMV for template {name!r}")
+            async_maintainer.register(self._views[name].maintainer)
+        return async_maintainer

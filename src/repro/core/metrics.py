@@ -36,6 +36,15 @@ class QueryMetrics:
     finished: Operation O3 was skipped (or abandoned at a batch
     checkpoint) and the answer was returned incomplete, with the
     ``complete=False`` marker."""
+    bypassed_stale: bool = False
+    """The view's applied-LSN lag exceeded the executor's
+    ``freshness_bound``, so the query skipped the PMV and ran as a
+    plain blocking execution — a fresh, complete answer."""
+    stale_partial_tuples: int = 0
+    """Cached tuples delivered in O2 that full execution did not
+    re-derive: bounded-stale extras an async-maintained view may serve
+    (each was a true result at some LSN ≥ the view's watermark).  An
+    eagerly-maintained view raises instead of counting."""
 
     @property
     def hit(self) -> bool:
@@ -80,6 +89,18 @@ class PMVMetrics:
     """Deadline-degraded answers this view served: the PMV's partial
     results were returned as the whole (explicitly incomplete) answer
     because the query's deadline budget ran out before O3 finished."""
+    maintenance_deferred: int = 0
+    """Relevant changes routed cold by the heavy-light splitter: no
+    write-path X lock, the delta rides the outbox feed to the
+    background drain (async mode only)."""
+    maintenance_async_applied: int = 0
+    """Deltas the background drain applied to this view."""
+    pmv_bypassed_stale: int = 0
+    """Queries that found the view's applied-LSN lag beyond the
+    freshness bound and degraded to a plain blocking execution."""
+    stale_partial_tuples: int = 0
+    """Total bounded-stale extras delivered by O2 across queries (see
+    :attr:`QueryMetrics.stale_partial_tuples`)."""
     swallowed_errors: int = 0
     """Secondary exceptions a fail-safe path consumed (e.g. the
     maintenance fail-safe clear itself failing while handling the
@@ -109,6 +130,9 @@ class PMVMetrics:
                 self.o1_cache_misses += 1
             if metrics.bypassed_lock:
                 self.pmv_bypassed_lock += 1
+            if metrics.bypassed_stale:
+                self.pmv_bypassed_stale += 1
+            self.stale_partial_tuples += metrics.stale_partial_tuples
             if metrics.deadline_degraded:
                 self.qos_partial_answers += 1
             if self.keep_per_query:
@@ -135,6 +159,10 @@ class PMVMetrics:
                 "maintenance_failsafe_clears": self.maintenance_failsafe_clears,
                 "pmv_bypassed_lock": self.pmv_bypassed_lock,
                 "maintenance_lock_retries": self.maintenance_lock_retries,
+                "maintenance_deferred": self.maintenance_deferred,
+                "maintenance_async_applied": self.maintenance_async_applied,
+                "pmv_bypassed_stale": self.pmv_bypassed_stale,
+                "stale_partial_tuples": self.stale_partial_tuples,
                 "qos_partial_answers": self.qos_partial_answers,
                 "swallowed_errors": self.swallowed_errors,
             }
@@ -178,6 +206,10 @@ class PMVMetrics:
         self.maintenance_failsafe_clears = 0
         self.pmv_bypassed_lock = 0
         self.maintenance_lock_retries = 0
+        self.maintenance_deferred = 0
+        self.maintenance_async_applied = 0
+        self.pmv_bypassed_stale = 0
+        self.stale_partial_tuples = 0
         self.qos_partial_answers = 0
         self.swallowed_errors = 0
         self.per_query.clear()

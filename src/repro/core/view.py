@@ -167,6 +167,12 @@ class PartialMaterializedView:
         # failover promotion must restore *this* value before serving.
         self.configured_upper_bound_bytes = upper_bound_bytes
         self.name = f"pmv_{template.name}"
+        # Async (CDC) maintenance state — repro.cdc flips the flag and
+        # owns the watermark.  ``applied_lsn`` is the newest feed LSN
+        # whose delta is reflected here; an eagerly-maintained view is
+        # always fresh and keeps the flag False (DESIGN.md §13).
+        self.async_maintenance = False
+        self.applied_lsn = 0
         self.metrics = PMVMetrics()
         # Structural latch: replacement-policy state and the entry dict
         # are not thread-safe on their own, and O2 probes run outside

@@ -178,6 +178,12 @@ class Database:
         # maintenance layer at its prepare/apply sites.  None (and
         # zero-cost) in production.
         self.fault_hook: Callable[[str], None] | None = None
+        # Transactional outbox (repro.cdc): when attached, every DML
+        # statement appends its change record here inside the same
+        # latched critical section as the WAL append, stamped with the
+        # WAL LSN — so the feed order is the serialization order.
+        # None (and zero-cost) when async maintenance is off.
+        self.outbox = None
         self._listeners: list[ChangeListener] = []
         self._prepare_listeners: list[ChangeListener] = []
         self._abort_listeners: list[ChangeListener] = []
@@ -226,6 +232,16 @@ class Database:
         return Transaction(
             self.lock_manager, read_only=read_only, fault_hook=self.fault_hook
         )
+
+    def current_lsn(self) -> int:
+        """The newest serialization position: the WAL's last LSN when
+        logging, else the outbox's own sequence (0 with neither).
+        Freshness accounting measures PMV staleness against this."""
+        if self.wal is not None:
+            return self.wal.last_lsn
+        if self.outbox is not None:
+            return self.outbox.last_lsn
+        return 0
 
     def install_scheduler(self, sched) -> None:
         """Install (or with ``None`` remove) a deterministic
@@ -345,7 +361,12 @@ class Database:
                     LogKind.INSERT,
                     {"relation": relation_name, "values": list(row.values)},
                 )
-            self._notify(Change(ChangeKind.INSERT, relation_name, new_row=row), txn)
+            applied = Change(ChangeKind.INSERT, relation_name, new_row=row)
+            if self.outbox is not None:
+                self.outbox.append(
+                    applied, self.wal.last_lsn if self.wal is not None else None
+                )
+            self._notify(applied, txn)
         return row_id
 
     def insert_many(
@@ -391,6 +412,10 @@ class Database:
                         "page_no": row_id.page_no,
                         "slot_no": row_id.slot_no,
                     },
+                )
+            if self.outbox is not None:
+                self.outbox.append(
+                    change, self.wal.last_lsn if self.wal is not None else None
                 )
             self._notify(change, txn)
         return row
@@ -456,15 +481,14 @@ class Database:
                         "changes": dict(changes),
                     },
                 )
-            self._notify(
-                Change(
-                    ChangeKind.UPDATE,
-                    relation_name,
-                    old_row=old_row,
-                    new_row=new_row,
-                ),
-                txn,
+            applied = Change(
+                ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=new_row
             )
+            if self.outbox is not None:
+                self.outbox.append(
+                    applied, self.wal.last_lsn if self.wal is not None else None
+                )
+            self._notify(applied, txn)
         return old_row, new_row, new_id
 
     # -- statistics ------------------------------------------------------------------------

@@ -21,6 +21,9 @@ Pressure is computed from three signals, sampled at every
 Entering DEGRADED engages the governor's pressure-relief actions, all
 reversed when the machine returns to NORMAL:
 
+- async-maintained views' freshness bounds are widened by
+  ``freshness_widen_factor`` *first* — trading staleness before memory,
+  so answers stay on the PMV path (DESIGN.md §13);
 - every managed PMV's UB byte budget is shrunk by ``ub_shrink_factor``
   (``PartialMaterializedView.set_upper_bound`` sheds entries via the
   replacement policy; below one entry the view degrades to
@@ -77,6 +80,11 @@ class GovernorConfig:
     state (the hysteresis)."""
     ub_shrink_factor: float = 0.5
     """DEGRADED shrinks every managed PMV's UB to this fraction."""
+    freshness_widen_factor: float = 4.0
+    """DEGRADED multiplies every async-maintained executor's
+    ``freshness_bound`` by this, *before* any UB is shrunk: tolerating
+    more staleness keeps answers on the cheap PMV path and relieves
+    pressure without giving up cache residency (DESIGN.md §13)."""
     deadline_factor: float = 0.5
     """DEGRADED multiplies each query's deadline budget by this."""
     latency_window: int = 256
@@ -111,6 +119,7 @@ class DegradationGovernor:
         self._last_lock_timeouts: int | None = None
         self._last_tick = clock()
         self._saved_upper_bounds: dict[str, int | None] = {}
+        self._saved_freshness_bounds: dict[str, int] = {}
         self.transitions: list[tuple[str, str]] = []
 
     # -- observations ---------------------------------------------------------
@@ -237,6 +246,7 @@ class DegradationGovernor:
         with self._mutex:
             state = self._state
             self._saved_upper_bounds.clear()
+            self._saved_freshness_bounds.clear()
             self._last_lock_timeouts = None
         self.manager = manager
         bounds = configured_bounds or {}
@@ -260,7 +270,22 @@ class DegradationGovernor:
             self.metrics.record_transition(new_state)
 
     def _enter_degraded(self) -> None:
-        """Engage the memory/maintenance governor."""
+        """Engage the memory/maintenance governor.
+
+        Freshness is widened before a single byte of UB is given up:
+        an async-maintained view serving slightly-staler answers stays
+        on the cheap PMV path, which is often all the relief needed —
+        cache residency (the expensive thing to rebuild) is sacrificed
+        only second.
+        """
+        for managed in self.manager.managed():
+            view, executor = managed.view, managed.executor
+            if view.async_maintenance and executor.freshness_bound is not None:
+                self._saved_freshness_bounds[view.name] = executor.freshness_bound
+                executor.freshness_bound = max(
+                    executor.freshness_bound,
+                    int(executor.freshness_bound * self.config.freshness_widen_factor),
+                )
         for managed in self.manager.managed():
             view = managed.view
             self._saved_upper_bounds[view.name] = view.upper_bound_bytes
@@ -277,6 +302,10 @@ class DegradationGovernor:
             view = managed.view
             if view.name in self._saved_upper_bounds:
                 view.set_upper_bound(self._saved_upper_bounds.pop(view.name))
+            if view.name in self._saved_freshness_bounds:
+                managed.executor.freshness_bound = (
+                    self._saved_freshness_bounds.pop(view.name)
+                )
             managed.maintainer.breaker = None
         self.breaker.reset()
         self._transition(QoSState.NORMAL)
