@@ -26,6 +26,7 @@ from dataclasses import asdict
 from repro.bench import figures
 from repro.bench.cdc import run_cdc
 from repro.bench.failover import sweep as run_failover_sweep
+from repro.bench.netload import run_netload
 from repro.bench.overload import run_overload
 from repro.bench.reporting import Series
 
@@ -36,6 +37,13 @@ def _run_overload(verbose: bool = True):
 
 def _run_failover(verbose: bool = True):
     return asdict(run_failover_sweep([0, 1], verbose=verbose))
+
+
+def _run_netload(verbose: bool = True):
+    report = run_netload(verbose=verbose)
+    payload = asdict(report)
+    payload["ok"] = report.ok
+    return payload
 
 
 def _run_cdc(verbose: bool = True):
@@ -57,6 +65,7 @@ EXPERIMENTS = {
     "overload": _run_overload,
     "failover": _run_failover,
     "cdc": _run_cdc,
+    "netload": _run_netload,
 }
 
 

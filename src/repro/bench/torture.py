@@ -40,6 +40,7 @@ import os
 import random
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -238,7 +239,77 @@ def _setup(config: TortureConfig, injector: FaultInjector, wal_path: str):
             splitter=HeavyLightSplitter({"r.f": {0, 1}}),
         )
         manager.executor(template.name).freshness_bound = 6
+        # Hook the drain-vs-commit interleaving site: every few commits
+        # a probe thread runs the feed-end catch-up while the writer is
+        # parked between WAL append and outbox append.
+        database.scheduler = _DrainCommitProbe(database, maintainer)
     return database, manager, template, maintainer
+
+
+class _DrainCommitProbe:
+    """Exercises the drain-vs-commit window at the ``dml.outbox-append``
+    seam (DESIGN.md §13).
+
+    Installed as ``database.scheduler`` so the DML path calls
+    :meth:`switch` inside the statement latch, after the WAL append but
+    before the outbox append — the WAL LSN is ahead of the feed.  A
+    probe thread then runs the drain's feed-end catch-up
+    (``drain(max_records=0)`` skips the apply loop, which would block
+    on the held latch) and the probe asserts no registered view's
+    watermark reached the in-flight LSN: claiming it would be phantom
+    freshness, the exact race the non-blocking-latch fix closes.
+    Non-seam sites are ignored, so lock traffic is unaffected.
+    """
+
+    def __init__(self, database, maintainer, every: int = 5) -> None:
+        self.database = database
+        self.maintainer = maintainer
+        self.every = every
+        self.calls = 0
+        self.probes = 0
+
+    def switch(self, site: str) -> None:
+        if site != "dml.outbox-append":
+            return
+        self.calls += 1
+        if self.calls % self.every:
+            return
+        self.probes += 1
+        in_flight = self.database.wal.last_lsn
+        watermarks: dict[str, int] = {}
+
+        def attempt() -> None:
+            self.maintainer.drain(max_records=0)
+            for name, m in self.maintainer._registered.items():
+                watermarks[name] = m.view.applied_lsn
+
+        probe = threading.Thread(target=attempt, daemon=True)
+        probe.start()
+        probe.join(timeout=10.0)
+        if probe.is_alive():
+            raise InvariantViolation(
+                "drain-vs-commit probe wedged: the feed-end catch-up "
+                "blocked on the statement latch held by the committing "
+                "writer"
+            )
+        for name, applied in watermarks.items():
+            if applied >= in_flight:
+                raise InvariantViolation(
+                    f"phantom freshness: view {name!r} watermark {applied} "
+                    f"reached in-flight LSN {in_flight} before its feed "
+                    f"record was appended"
+                )
+
+    # Scheduler protocol stubs — the DML seam only calls switch(), but
+    # keep the interface total in case other seams are ever routed here.
+    def block(self, site: str) -> None:  # pragma: no cover
+        pass
+
+    def resume(self) -> None:  # pragma: no cover
+        pass
+
+    def unblock(self, ident: int) -> None:  # pragma: no cover
+        pass
 
 
 def _shadow_contents(shadow: dict[str, dict[tuple, int]]) -> dict[str, list[tuple]]:

@@ -66,6 +66,7 @@ class AsyncMaintainer:
         self.eager_skips = 0
         self.lock_yields = 0
         self.failsafe_clears = 0
+        self.advance_skips = 0
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
 
@@ -81,7 +82,14 @@ class AsyncMaintainer:
         Accepts a :class:`PMVMaintainer` or anything carrying one as
         ``.maintainer`` (a ``ManagedView``).  The view's watermark
         starts at the current LSN: everything already applied eagerly
-        up to this point is, by definition, fresh.
+        up to this point is, by definition, fresh.  The feed may still
+        hold records at or below that LSN (the outbox records every
+        change once it is attached, even while views are eager), so
+        those records are stamped as applied for the new view — the
+        eager path already absorbed them, and a drain that applied them
+        again would double-apply the deltas.  LSN read and backlog
+        stamp happen under the statement latch so no statement can
+        commit between them.
         """
         if not isinstance(maintainer, PMVMaintainer):
             maintainer = maintainer.maintainer
@@ -90,8 +98,11 @@ class AsyncMaintainer:
         maintainer.splitter = splitter if splitter is not None else self.splitter
         maintainer.outbox = self.outbox
         view.async_maintenance = True
-        view.applied_lsn = self.database.current_lsn()
-        self._registered[view.name] = maintainer
+        with self.database.statement_latch:
+            lsn = self.database.current_lsn()
+            self.outbox.mark_applied_up_to(lsn, view.name)
+            view.applied_lsn = lsn
+            self._registered[view.name] = maintainer
 
     def unregister(self, view_name: str) -> None:
         """Return one view to eager maintenance (it must first be
@@ -156,17 +167,31 @@ class AsyncMaintainer:
 
         WAL-only records (checkpoint markers) advance the LSN without a
         feed record; without this step a fully-drained view would
-        report phantom staleness forever.  The LSN is read *before* the
-        emptiness check: a statement committing in between makes the
-        feed non-empty and skips the bump, so the watermark never
-        claims an unapplied change.
+        report phantom staleness forever.  LSN read and emptiness check
+        must be atomic against committing statements: a writer bumps
+        the WAL LSN and appends the feed record as two steps inside the
+        statement latch, so a drain that reads the LSN after the WAL
+        append but checks emptiness before the outbox append would see
+        an empty feed and jump the watermark past an unapplied change
+        (phantom freshness).  Both steps therefore run under the
+        statement latch, acquired non-blocking: if a statement is
+        mid-commit the bump is simply skipped (``advance_skips``) and
+        the next drain catches up — blocking here could deadlock
+        against a writer parked by the interleaving scheduler.
         """
-        high = self.database.current_lsn()
-        if len(self.outbox) != 0:
+        latch = self.database.statement_latch
+        if not latch.acquire(blocking=False):
+            self.advance_skips += 1
             return
-        for maintainer in self._registered.values():
-            if maintainer.view.applied_lsn < high:
-                maintainer.view.applied_lsn = high
+        try:
+            high = self.database.current_lsn()
+            if len(self.outbox) != 0:
+                return
+            for maintainer in self._registered.values():
+                if maintainer.view.applied_lsn < high:
+                    maintainer.view.applied_lsn = high
+        finally:
+            latch.release()
 
     def drain_to_convergence(self, max_rounds: int = 1000) -> int:
         """Drain until the feed is empty; returns records processed.
@@ -253,6 +278,7 @@ class AsyncMaintainer:
             "eager_skips": self.eager_skips,
             "lock_yields": self.lock_yields,
             "failsafe_clears": self.failsafe_clears,
+            "advance_skips": self.advance_skips,
             "pending": len(self.outbox),
             "high_watermark": self.outbox.last_lsn,
             "views": {

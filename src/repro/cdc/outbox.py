@@ -115,6 +115,25 @@ class ChangeOutbox:
                     break
         return False
 
+    def mark_applied_up_to(self, lsn: int, view_name: str) -> int:
+        """Stamp every pending record at or below ``lsn`` as applied to
+        ``view_name``; returns how many records were stamped.
+
+        Registration calls this: a view that was eagerly maintained
+        until now has already absorbed every change the feed still
+        holds up to its registration LSN, so those records must not be
+        applied to it again by the drain.
+        """
+        stamped = 0
+        with self._mutex:
+            for record in self._records:
+                if record.lsn > lsn:
+                    break
+                if view_name not in record.applied_views:
+                    record.applied_views.add(view_name)
+                    stamped += 1
+        return stamped
+
     def applied_up_to(self, lsn: int, view_name: str) -> bool:
         """True when no pending record at or below ``lsn`` still awaits
         ``view_name`` — i.e. the view's watermark may advance to ``lsn``

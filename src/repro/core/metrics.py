@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["QueryMetrics", "PMVMetrics", "QoSMetrics"]
+__all__ = ["QueryMetrics", "PMVMetrics", "QoSMetrics", "NetMetrics"]
 
 
 @dataclass
@@ -291,4 +291,86 @@ class QoSMetrics:
                 "breaker_state": self.breaker_state,
                 "breaker_opens": self.breaker_opens,
                 "swallowed_errors": self.swallowed_errors,
+            }
+
+
+@dataclass
+class NetMetrics:
+    """Network serving tier counters (one per :class:`repro.net.NetServer`).
+
+    Request counters split by op so the stats endpoint shows the remote
+    workload mix; the dedup counters are the observable face of the
+    at-most-once write contract (a retried write that was already
+    applied shows up as a ``dedup_hit``, never as a second row).
+    """
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests: int = 0
+    requests_by_op: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    retryable_errors: int = 0
+    shed: int = 0
+    dedup_hits: int = 0
+    dedup_rebuilds: int = 0
+    replica_reads: int = 0
+    replica_fallbacks: int = 0
+    writes_applied: int = 0
+    _record_mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_connection(self, opened: bool) -> None:
+        with self._record_mutex:
+            if opened:
+                self.connections_opened += 1
+            else:
+                self.connections_closed += 1
+
+    def record_request(self, op: str) -> None:
+        with self._record_mutex:
+            self.requests += 1
+            self.requests_by_op[op] = self.requests_by_op.get(op, 0) + 1
+
+    def record_error(self, retryable: bool = False, shed: bool = False) -> None:
+        with self._record_mutex:
+            self.errors += 1
+            if retryable:
+                self.retryable_errors += 1
+            if shed:
+                self.shed += 1
+
+    def record_dedup_hit(self) -> None:
+        with self._record_mutex:
+            self.dedup_hits += 1
+
+    def record_dedup_rebuild(self) -> None:
+        with self._record_mutex:
+            self.dedup_rebuilds += 1
+
+    def record_replica_read(self, fallback: bool = False) -> None:
+        with self._record_mutex:
+            self.replica_reads += 1
+            if fallback:
+                self.replica_fallbacks += 1
+
+    def record_write_applied(self) -> None:
+        with self._record_mutex:
+            self.writes_applied += 1
+
+    def snapshot(self) -> dict:
+        with self._record_mutex:
+            return {
+                "net_connections_opened": self.connections_opened,
+                "net_connections_closed": self.connections_closed,
+                "net_requests": self.requests,
+                "net_requests_by_op": dict(self.requests_by_op),
+                "net_errors": self.errors,
+                "net_retryable_errors": self.retryable_errors,
+                "net_shed": self.shed,
+                "net_dedup_hits": self.dedup_hits,
+                "net_dedup_rebuilds": self.dedup_rebuilds,
+                "net_replica_reads": self.replica_reads,
+                "net_replica_fallbacks": self.replica_fallbacks,
+                "net_writes_applied": self.writes_applied,
             }

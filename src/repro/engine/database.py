@@ -329,6 +329,7 @@ class Database:
         relation_name: str,
         values: Sequence[Any],
         txn: Transaction | None = None,
+        idem: str | None = None,
     ) -> RowId:
         """Insert a row, maintain indexes, and broadcast the change.
 
@@ -336,6 +337,11 @@ class Database:
         runs with the statement latch released; the heap/index/WAL
         mutation and the change broadcast are one latched critical
         section, so listeners observe changes in serialization order.
+
+        ``idem`` is an optional idempotency key carried verbatim in the
+        statement's WAL payload (and through replica replay), letting
+        the network tier rebuild its at-most-once dedup table from the
+        log after a crash or failover.
         """
         self._check_fence()
         relation = self.catalog.relation(relation_name)
@@ -357,12 +363,17 @@ class Database:
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:
-                self.wal.append(
-                    LogKind.INSERT,
-                    {"relation": relation_name, "values": list(row.values)},
-                )
+                payload = {"relation": relation_name, "values": list(row.values)}
+                if idem is not None:
+                    payload["idem"] = idem
+                self.wal.append(LogKind.INSERT, payload)
             applied = Change(ChangeKind.INSERT, relation_name, new_row=row)
             if self.outbox is not None:
+                if self.scheduler is not None:
+                    # Interleaving seam: the window between the WAL
+                    # append (LSN bumped) and the outbox append (feed
+                    # record visible) — the phantom-freshness race site.
+                    self.scheduler.switch("dml.outbox-append")
                 self.outbox.append(
                     applied, self.wal.last_lsn if self.wal is not None else None
                 )
@@ -382,6 +393,7 @@ class Database:
         relation_name: str,
         row_id: RowId,
         txn: Transaction | None = None,
+        idem: str | None = None,
     ) -> Row:
         """Delete the row at ``row_id``; returns the deleted row.
 
@@ -405,15 +417,18 @@ class Database:
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:
-                self.wal.append(
-                    LogKind.DELETE,
-                    {
-                        "relation": relation_name,
-                        "page_no": row_id.page_no,
-                        "slot_no": row_id.slot_no,
-                    },
-                )
+                payload = {
+                    "relation": relation_name,
+                    "page_no": row_id.page_no,
+                    "slot_no": row_id.slot_no,
+                }
+                if idem is not None:
+                    payload["idem"] = idem
+                self.wal.append(LogKind.DELETE, payload)
             if self.outbox is not None:
+                if self.scheduler is not None:
+                    # Interleaving seam: see insert().
+                    self.scheduler.switch("dml.outbox-append")
                 self.outbox.append(
                     change, self.wal.last_lsn if self.wal is not None else None
                 )
@@ -425,6 +440,7 @@ class Database:
         relation_name: str,
         predicate: Callable[[Row], bool],
         txn: Transaction | None = None,
+        idem: str | None = None,
     ) -> list[Row]:
         """Delete every row matching ``predicate``; returns them."""
         relation = self.catalog.relation(relation_name)
@@ -434,7 +450,7 @@ class Database:
             ]
         deleted = []
         for row_id, _ in victims:
-            deleted.append(self.delete(relation_name, row_id, txn=txn))
+            deleted.append(self.delete(relation_name, row_id, txn=txn, idem=idem))
         return deleted
 
     def update(
@@ -442,6 +458,7 @@ class Database:
         relation_name: str,
         row_id: RowId,
         txn: Transaction | None = None,
+        idem: str | None = None,
         **changes: Any,
     ) -> tuple[Row, Row, RowId]:
         """Update named columns of one row; returns (old, new, new_id).
@@ -472,19 +489,22 @@ class Database:
                 self._notify_abort(change, txn)
                 raise
             if self.wal is not None:
-                self.wal.append(
-                    LogKind.UPDATE,
-                    {
-                        "relation": relation_name,
-                        "page_no": row_id.page_no,
-                        "slot_no": row_id.slot_no,
-                        "changes": dict(changes),
-                    },
-                )
+                payload = {
+                    "relation": relation_name,
+                    "page_no": row_id.page_no,
+                    "slot_no": row_id.slot_no,
+                    "changes": dict(changes),
+                }
+                if idem is not None:
+                    payload["idem"] = idem
+                self.wal.append(LogKind.UPDATE, payload)
             applied = Change(
                 ChangeKind.UPDATE, relation_name, old_row=old_row, new_row=new_row
             )
             if self.outbox is not None:
+                if self.scheduler is not None:
+                    # Interleaving seam: see insert().
+                    self.scheduler.switch("dml.outbox-append")
                 self.outbox.append(
                     applied, self.wal.last_lsn if self.wal is not None else None
                 )

@@ -365,15 +365,23 @@ def replay_record(database, record: LogRecord) -> None:
             ordered=payload["ordered"],
         )
     elif record.kind is LogKind.INSERT:
-        database.insert(payload["relation"], payload["values"])
+        # Idempotency keys ride along so replica/recovered WALs carry
+        # them too — the net tier's dedup table is rebuilt by scanning
+        # whichever log survives a failover.
+        database.insert(
+            payload["relation"], payload["values"], idem=payload.get("idem")
+        )
     elif record.kind is LogKind.DELETE:
         database.delete(
-            payload["relation"], RowId(payload["page_no"], payload["slot_no"])
+            payload["relation"],
+            RowId(payload["page_no"], payload["slot_no"]),
+            idem=payload.get("idem"),
         )
     elif record.kind is LogKind.UPDATE:
         database.update(
             payload["relation"],
             RowId(payload["page_no"], payload["slot_no"]),
+            idem=payload.get("idem"),
             **payload["changes"],
         )
     elif record.kind is LogKind.CHECKPOINT:

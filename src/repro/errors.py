@@ -192,6 +192,38 @@ class ReplicaLagError(ReplicationError):
 
 
 # ---------------------------------------------------------------------------
+# Network serving tier errors
+# ---------------------------------------------------------------------------
+
+
+class NetError(ReproError):
+    """Base class for errors raised by the network serving tier."""
+
+
+class NetProtocolError(NetError):
+    """A wire frame was malformed, oversized, from an unsupported
+    protocol version, or cut off mid-frame."""
+
+
+class RetryExhaustedError(NetError):
+    """The client driver gave up after its retry budget.
+
+    Carries ``attempts`` and the final ``cause`` so callers can tell a
+    dead server from a persistently-overloaded one."""
+
+    def __init__(self, message: str, attempts: int = 0, cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.cause = cause
+
+
+class WriteUnacknowledgedError(NetError):
+    """A write was applied locally but could not reach the semi-sync
+    acknowledgement watermark (no replica confirmed it).  Retryable:
+    the idempotency key guarantees the retry acks without re-applying."""
+
+
+# ---------------------------------------------------------------------------
 # Control-exception discipline
 # ---------------------------------------------------------------------------
 

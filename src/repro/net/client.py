@@ -1,0 +1,300 @@
+"""The client driver: pooled connections, retries, idempotency keys.
+
+:class:`PMVClient` is the remote counterpart of calling the serving
+gate directly.  Its retry discipline follows the classic split:
+
+- **queries / stats / ping** are idempotent by nature — retried
+  automatically on connection failure with exponential backoff;
+- **DML** is *made* idempotent by stamping each statement with
+  ``client_id:seq`` before the first send.  The server dedups on the
+  key (and rebuilds its table from the WAL across failovers), so a
+  retry after a dropped connection — including the poisonous
+  applied-but-unacknowledged case — is applied at most once.  The
+  driver therefore retries DML exactly as freely as reads.
+- **retryable server errors** (fenced deposed primary, replication
+  hiccups, unacknowledged semi-sync writes) retry the same way; sheds
+  (``shed: true``) surface as :class:`~repro.errors.OverloadError` by
+  default — backpressure is the caller's policy decision, not the
+  driver's.
+
+Connections are pooled per client; a connection that errors is closed
+and replaced rather than returned to the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import (
+    NetError,
+    NetProtocolError,
+    OverloadError,
+    RetryExhaustedError,
+)
+from repro.net import protocol
+
+__all__ = ["PMVClient", "RetryPolicy", "RemoteAnswer"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with a bounded attempt budget."""
+
+    attempts: int = 5
+    base_delay: float = 0.02
+    factor: float = 2.0
+    max_delay: float = 0.5
+
+    def delay(self, attempt: int) -> float:
+        return min(self.max_delay, self.base_delay * (self.factor ** attempt))
+
+
+@dataclass
+class RemoteAnswer:
+    """A query answer as the wire delivered it.
+
+    The full honesty surface survives the network hop: ``complete``,
+    ``degraded_reason``, the CDC ``staleness`` stamp, the serving
+    node's identity and replica lag for routed reads.
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    complete: bool
+    degraded_reason: str | None = None
+    completeness_estimate: float | None = None
+    staleness: int | None = None
+    applied_lsn: int | None = None
+    served_by: str | None = None
+    replica_lag: int | None = None
+
+
+@dataclass
+class _WriteAck:
+    """A DML acknowledgement."""
+
+    lsn: int
+    duplicate: bool
+    deleted: int | None = None
+
+
+class _Connection:
+    """One framed socket with a per-connection request-id counter."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = itertools.count(1)
+        self.hello_sent = False
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        request_id = next(self._next_id)
+        message = dict(message, id=request_id)
+        protocol.send_frame(self.sock, message)
+        response = protocol.recv_frame(self.sock)
+        if response is None:
+            raise NetProtocolError("connection closed before the response")
+        if response.get("id") != request_id:
+            raise NetProtocolError(
+                f"response id {response.get('id')} != request id {request_id}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class PMVClient:
+    """A pooled, retrying client for one server endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str,
+        pool_size: int = 2,
+        retry: RetryPolicy | None = None,
+        connect_timeout: float = 5.0,
+        socket_timeout: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not client_id or ":" in client_id:
+            raise NetError("client_id must be non-empty and contain no ':'")
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.pool_size = pool_size
+        self.retry = retry or RetryPolicy()
+        self.connect_timeout = connect_timeout
+        self.socket_timeout = socket_timeout
+        self._sleep = sleep
+        self._pool: list[_Connection] = []
+        self._pool_mutex = threading.Lock()
+        self._seq_mutex = threading.Lock()
+        self._next_seq = 0
+        self.retries = 0
+        self.reconnects = 0
+
+    # -- pool ------------------------------------------------------------------
+
+    def _checkout(self) -> _Connection:
+        with self._pool_mutex:
+            if self._pool:
+                return self._pool.pop()
+        conn = _Connection(self.host, self.port, self.connect_timeout)
+        conn.sock.settimeout(self.socket_timeout)
+        self.reconnects += 1
+        return conn
+
+    def _checkin(self, conn: _Connection) -> None:
+        with self._pool_mutex:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._pool_mutex:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    # -- the request core ------------------------------------------------------
+
+    def _next_idem_seq(self) -> int:
+        with self._seq_mutex:
+            self._next_seq += 1
+            return self._next_seq
+
+    def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one request with retry-with-backoff.
+
+        Queries are idempotent; DML messages carry a ``seq`` assigned
+        *before* the first attempt, so every retry presents the same
+        idempotency key — the server's dedup makes the retry safe.
+        Connection-level failures and retryable server errors back off
+        and retry; sheds raise :class:`~repro.errors.OverloadError`;
+        non-retryable server errors raise :class:`~repro.errors.NetError`.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                self.retries += 1
+                self._sleep(self.retry.delay(attempt - 1))
+            try:
+                conn = self._checkout()
+                try:
+                    if not conn.hello_sent:
+                        hello = conn.request(
+                            {"op": "hello", "client_id": self.client_id}
+                        )
+                        if not hello.get("ok"):
+                            raise NetError(f"hello rejected: {hello.get('error')}")
+                        conn.hello_sent = True
+                    response = conn.request(message)
+                except BaseException:
+                    conn.close()
+                    raise
+                self._checkin(conn)
+            except (OSError, NetProtocolError) as exc:
+                last = exc
+                continue
+            if response.get("ok"):
+                return response
+            if response.get("shed"):
+                raise OverloadError(
+                    str(response.get("error")), reason=str(response.get("reason", ""))
+                )
+            if response.get("retryable"):
+                last = NetError(
+                    f"{response.get('error_type')}: {response.get('error')}"
+                )
+                continue
+            raise NetError(f"{response.get('error_type')}: {response.get('error')}")
+        raise RetryExhaustedError(
+            f"gave up after {self.retry.attempts} attempts: {last}",
+            attempts=self.retry.attempts,
+            cause=last,
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self._request({"op": "stats"})["stats"]
+
+    def query(
+        self,
+        query,
+        budget: float | None = None,
+        staleness_bound: int | None = None,
+        prefer_replica: bool = False,
+    ) -> RemoteAnswer:
+        """Run a bound query remotely; ``query`` is a
+        :class:`~repro.engine.template.Query` (serialized through the
+        shared protocol module) or an already-encoded payload dict."""
+        payload = query if isinstance(query, dict) else protocol.encode_query(query)
+        message: dict[str, Any] = {"op": "query", "query": payload}
+        if budget is not None:
+            message["budget"] = budget
+        if staleness_bound is not None:
+            message["staleness_bound"] = staleness_bound
+        if prefer_replica:
+            message["prefer_replica"] = True
+        response = self._request(message)
+        return RemoteAnswer(
+            columns=list(response.get("columns", ())),
+            rows=[tuple(row) for row in response.get("rows", ())],
+            complete=bool(response.get("complete", True)),
+            degraded_reason=response.get("degraded_reason"),
+            completeness_estimate=response.get("completeness_estimate"),
+            staleness=response.get("staleness"),
+            applied_lsn=response.get("applied_lsn"),
+            served_by=response.get("served_by"),
+            replica_lag=response.get("replica_lag"),
+        )
+
+    def insert(
+        self, relation: str, values: list, budget: float | None = None
+    ) -> _WriteAck:
+        message: dict[str, Any] = {
+            "op": "insert",
+            "relation": relation,
+            "values": list(values),
+            "seq": self._next_idem_seq(),
+        }
+        if budget is not None:
+            message["budget"] = budget
+        response = self._request(message)
+        return _WriteAck(
+            lsn=int(response["lsn"]), duplicate=bool(response.get("duplicate"))
+        )
+
+    def delete_eq(
+        self, relation: str, column: str, value, budget: float | None = None
+    ) -> _WriteAck:
+        message: dict[str, Any] = {
+            "op": "delete_eq",
+            "relation": relation,
+            "column": column,
+            "value": value,
+            "seq": self._next_idem_seq(),
+        }
+        if budget is not None:
+            message["budget"] = budget
+        response = self._request(message)
+        return _WriteAck(
+            lsn=int(response["lsn"]),
+            duplicate=bool(response.get("duplicate")),
+            deleted=response.get("deleted"),
+        )

@@ -100,6 +100,21 @@ class ServingGate:
         )
         return result
 
+    def admit_write(self, deadline: Deadline | float | None = None):
+        """Admit one DML statement through the same admission controller
+        as queries; returns the slot (caller releases after the write).
+
+        The network tier routes remote writes through here so they
+        cannot bypass overload protection the way in-process callers
+        can't bypass it for reads.  ``deadline`` bounds the queue wait
+        exactly as for queries; sheds raise
+        :class:`~repro.errors.OverloadError`.
+        """
+        deadline = self._resolve_deadline(deadline)
+        return self.admission.admit(
+            timeout=None if deadline is None else deadline.remaining()
+        )
+
     def _resolve_deadline(self, deadline: Deadline | float | None) -> Deadline | None:
         if deadline is None:
             if self.default_deadline is None:

@@ -60,6 +60,13 @@ class FailoverCoordinator:
         self._last_heartbeat = clock()
         self.failovers = 0
         self.epoch_history: list[int] = [primary.epoch]
+        self._failover_listeners: list[Callable[[PrimaryNode], None]] = []
+
+    def add_failover_listener(self, listener: Callable[[PrimaryNode], None]) -> None:
+        """Subscribe to promotions: called with the new primary after
+        the gate is rebound (the network front-end rebuilds its dedup
+        table from the promoted WAL here)."""
+        self._failover_listeners.append(listener)
 
     # -- failure detection ----------------------------------------------------
 
@@ -100,6 +107,8 @@ class FailoverCoordinator:
         self.failovers += 1
         self.epoch_history.append(new_epoch)
         self.notify_heartbeat()  # the new primary starts with a fresh budget
+        for listener in self._failover_listeners:
+            listener(new_primary)
         return new_primary
 
     def stats(self) -> dict:

@@ -105,6 +105,25 @@ class PrimaryNode:
         """Tell the failover coordinator this primary is alive."""
         coordinator.notify_heartbeat()
 
+    def idempotency_keys(self) -> dict[str, int]:
+        """Every idempotency key in this node's WAL, mapped to the LSN
+        of its (last) statement.
+
+        DML payloads carry the client's key verbatim
+        (:meth:`~repro.engine.database.Database.insert` ``idem=``), and
+        :func:`~repro.engine.wal.replay_record` re-logs it on replicas
+        — so after a failover the promoted node's log is the ground
+        truth the network tier rebuilds its dedup table from.  By the
+        semi-sync acknowledgement rule, every *acknowledged* write's
+        key is necessarily here.
+        """
+        keys: dict[str, int] = {}
+        for record in self.database.wal.records():
+            idem = record.payload.get("idem") if record.payload else None
+            if idem is not None:
+                keys[idem] = record.lsn
+        return keys
+
     def lag_report(self) -> dict[str, int]:
         """Records-behind per attached replica (watermark lag)."""
         last = self.database.wal.last_lsn

@@ -459,3 +459,194 @@ class TestManagerWiring:
             row["r.a"] != victim for row in (view.lookup((1, 2)) or [])
         )
         assert view.stored_tuple_count < before
+
+
+# ---------------------------------------------------------------------------
+# Watermark regressions (ISSUE 8): drain-vs-commit race, register-mid-backlog
+# ---------------------------------------------------------------------------
+
+
+def _wal_world():
+    """The conftest Eqt world rebuilt per call with a WAL attached.
+
+    The phantom-freshness window only exists with a WAL: the writer
+    bumps ``current_lsn()`` at ``wal.append`` and only later (still
+    inside the statement latch) appends the feed record, so a drain
+    interleaved between the two sees a *newer* LSN over an *empty*
+    feed.  On a WAL-less database the LSN source is the outbox itself
+    and the two steps collapse into one.
+    """
+    from repro.engine import (
+        Column,
+        Database,
+        INTEGER,
+        JoinEquality,
+        QueryTemplate,
+        SelectionSlot,
+        SlotForm,
+        TEXT,
+        WriteAheadLog,
+    )
+
+    database = Database(wal=WriteAheadLog())
+    database.create_relation(
+        "r",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("c", INTEGER, nullable=False),
+            Column("f", INTEGER, nullable=False),
+            Column("a", TEXT),
+        ],
+    )
+    database.create_relation(
+        "s",
+        [
+            Column("d", INTEGER, nullable=False),
+            Column("g", INTEGER, nullable=False),
+            Column("e", TEXT),
+        ],
+    )
+    database.create_index("r_f", "r", ["f"])
+    database.create_index("r_c", "r", ["c"])
+    database.create_index("s_d", "s", ["d"])
+    database.create_index("s_g", "s", ["g"])
+    for i in range(48):
+        database.insert("r", (i, i % 12, i % 6, f"a{i}"))
+    for j in range(24):
+        database.insert("s", (j % 12, j % 5, f"e{j}"))
+    template = QueryTemplate(
+        name="Eqt",
+        relations=("r", "s"),
+        select_list=("r.a", "s.e"),
+        joins=(JoinEquality("r", "c", "s", "d"),),
+        slots=(
+            SelectionSlot("r", "r.f", SlotForm.EQUALITY),
+            SelectionSlot("s", "s.g", SlotForm.EQUALITY),
+        ),
+    )
+    database.register_template(template)
+    manager = PMVManager(database)
+    view = manager.create_view(
+        template,
+        tuples_per_entry=2,
+        max_entries=16,
+        aux_index_columns=("r.a", "s.e"),
+    )
+    executor = manager.executor("Eqt")
+    executor.execute(eqt_query(template, [1], [2]))
+    assert view.stored_tuple_count > 0
+    return database, template, manager, view, executor
+
+
+class TestWatermarkRace:
+    """Regression for the `_advance_to_feed_end` phantom-freshness race.
+
+    A writer's commit is two steps inside the statement latch: WAL
+    append (LSN bumps) then outbox append (feed record visible).  A
+    drain whose feed-end catch-up runs between them used to read the
+    new LSN over a still-empty feed and jump every watermark past the
+    unapplied change.  The fix takes the statement latch (non-blocking)
+    around the LSN read + emptiness check, so the catch-up either sees
+    both steps or neither.
+    """
+
+    def test_drain_interleaved_inside_commit_keeps_watermark_honest(self):
+        from repro.faults import InterleavingScheduler
+
+        windows_hit = 0
+        for seed in range(8):
+            db, eqt, manager, view, executor = _wal_world()
+            am = go_async(manager)  # registers the view, attaches the feed
+            sched = InterleavingScheduler(seed)
+            db.install_scheduler(sched)
+            # Cold-routed relevant delete: row id 1 has f == 1, the
+            # view's warm entry — its feed record *must* hold the
+            # watermark back until drained.
+            writer = sched.spawn(
+                "writer", db.delete_where, "r", lambda row: row["id"] == 1
+            )
+            drainer = sched.spawn("drainer", am.drain)
+            writer.start()
+            drainer.start()
+            sched.launch()
+            writer.join(timeout=10.0)
+            drainer.join(timeout=10.0)
+            assert not writer.is_alive() and not drainer.is_alive(), (
+                f"seed {seed}: schedule wedged (deadlock in the "
+                f"watermark catch-up path)"
+            )
+            db.install_scheduler(None)
+            for record in db.outbox.pending():
+                if view.name not in record.applied_views:
+                    assert view.applied_lsn < record.lsn, (
+                        f"seed {seed}: watermark {view.applied_lsn} claims "
+                        f"unapplied feed record at LSN {record.lsn} "
+                        f"(phantom freshness)"
+                    )
+            windows_hit += am.advance_skips
+            am.drain_to_convergence()
+            assert am.lag(view) == 0
+            manager.verify_consistency()
+        # At least one seed must actually interleave the drain into the
+        # commit window, or the sweep proved nothing.
+        assert windows_hit >= 1
+
+    def test_advance_skip_is_recoverable(self):
+        """A skipped catch-up is caught up by the very next drain."""
+        db, eqt, manager, view, executor = _wal_world()
+        am = go_async(manager)
+        db.wal.checkpoint()
+        am.drain()
+        assert am.lag(view) == 0
+
+
+class TestRegisterMidBacklog:
+    """Regression for double-apply of pre-registration feed records.
+
+    Once an outbox is attached, *every* DML feeds it — including writes
+    against views still maintained eagerly.  Registering such a view
+    used to set its watermark to the current LSN while leaving the
+    already-pending records unstamped, so the next drain re-applied
+    deltas the eager path had already absorbed.
+    """
+
+    def test_pending_records_not_double_applied(self, world):
+        db, eqt, manager, view, executor = world
+        am = AsyncMaintainer(db)  # feed attached; view still eager
+        victim = view.lookup((1, 2))[0]["r.a"]
+        db.delete_where("r", lambda row: row["a"] == victim)
+        # Eagerly maintained at write time, yet recorded in the feed.
+        assert all(
+            row["r.a"] != victim for row in (view.lookup((1, 2)) or [])
+        )
+        assert len(db.outbox) == 1
+        pending_lsn = db.outbox.peek_lsn()
+        before = view.stored_tuple_count
+        am.register(manager.managed()[0])
+        assert view.applied_lsn >= pending_lsn  # fresh as of registration
+        assert am.drain() == 1
+        stats = am.stats()
+        assert stats["deltas_applied"] == 0, (
+            "drain re-applied a delta the eager path already absorbed"
+        )
+        assert stats["eager_skips"] == 1
+        assert view.stored_tuple_count == before
+        assert am.lag(view) == 0
+        manager.verify_consistency()
+
+    def test_records_past_registration_lsn_still_apply(self, world):
+        db, eqt, manager, view, executor = world
+        am = AsyncMaintainer(db)
+        victim1, victim2 = [row["r.a"] for row in view.lookup((1, 2))[:2]]
+        db.delete_where("r", lambda row: row["a"] == victim1)  # pre-register
+        am.register(manager.managed()[0])
+        db.delete_where("r", lambda row: row["a"] == victim2)  # post-register
+        assert am.drain() == 2
+        stats = am.stats()
+        assert stats["eager_skips"] == 1  # the pre-registration record
+        assert stats["deltas_applied"] == 1  # the post-registration one
+        assert all(
+            row["r.a"] not in (victim1, victim2)
+            for row in (view.lookup((1, 2)) or [])
+        )
+        manager.verify_consistency()
