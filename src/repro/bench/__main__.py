@@ -25,6 +25,7 @@ from dataclasses import asdict
 
 from repro.bench import figures
 from repro.bench.cdc import run_cdc
+from repro.bench.endurance import run_endurance
 from repro.bench.failover import sweep as run_failover_sweep
 from repro.bench.netload import run_netload
 from repro.bench.overload import run_overload
@@ -53,6 +54,13 @@ def _run_cdc(verbose: bool = True):
     return payload
 
 
+def _run_endurance(verbose: bool = True):
+    report = run_endurance(verbose=verbose)
+    payload = asdict(report)
+    payload["ok"] = report.ok
+    return payload
+
+
 EXPERIMENTS = {
     "table1": figures.run_table1,
     "fig6": figures.run_fig6,
@@ -66,6 +74,7 @@ EXPERIMENTS = {
     "failover": _run_failover,
     "cdc": _run_cdc,
     "netload": _run_netload,
+    "endurance": _run_endurance,
 }
 
 

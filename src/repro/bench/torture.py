@@ -68,7 +68,7 @@ from repro.engine.snapshot import (
     snapshot_to_json,
     take_snapshot,
 )
-from repro.errors import FaultInjectionError, ReproError
+from repro.errors import DiskFullError, FaultInjectionError, ReproError
 from repro.faults import (
     FaultInjector,
     FaultPlan,
@@ -467,6 +467,36 @@ def _run_workload(config, database, manager, template, shadow, snapshots,
                 _apply_effect(shadow_plus, effect)
                 plus = _shadow_contents(shadow_plus)
             raise _Crash(crash.spec.describe(), expected, plus) from None
+        except DiskFullError:
+            # Typed ENOSPC refusal (disk.full / wal.enospc): the
+            # statement was refused *before* any heap or WAL mutation,
+            # so it must have had zero durable effect, and the
+            # instance degrades to read-only — queries keep serving.
+            if database.wal.last_lsn != lsn_before:
+                raise InvariantViolation(
+                    "disk-full refusal left a durable effect: WAL "
+                    f"advanced {lsn_before} -> {database.wal.last_lsn}"
+                )
+            probe = template.bind(
+                [
+                    EqualityDisjunction("r.f", [rng.randrange(4)]),
+                    EqualityDisjunction("s.g", [rng.randrange(3)]),
+                ]
+            )
+            result = manager.execute(probe)
+            got = sorted((tuple(r.values) for r in result.all_rows()), key=repr)
+            want = sorted(
+                (tuple(r.values) for r in database.run(probe)), key=repr
+            )
+            if maintainer is None:
+                if got != want:
+                    raise InvariantViolation(
+                        "read-only degradation broke reads: PMV answer "
+                        "diverged from full execution during disk-full"
+                    )
+            else:
+                _check_bounded_stale(result, got, want)
+            continue
         except FaultInjectionError as exc:
             durable = database.wal.last_lsn > lsn_before
             if durable and effect:

@@ -49,6 +49,7 @@ class AsyncMaintainer:
         database: Database,
         outbox: ChangeOutbox | None = None,
         splitter: HeavyLightSplitter | None = None,
+        drain_batch: int = 1,
     ) -> None:
         self.database = database
         if outbox is None:
@@ -56,12 +57,23 @@ class AsyncMaintainer:
         self.outbox = outbox
         # The database's DML appends to this feed from now on.
         database.outbox = outbox
+        # A spilling outbox rehydrates rows through the catalog.
+        if outbox.schema_resolver is None:
+            outbox.schema_resolver = (
+                lambda name: database.catalog.relation(name).schema
+            )
         self.splitter = splitter
+        # Records applied per X-lock acquisition: the drain takes each
+        # view's X lock once per batch instead of once per record.
+        if drain_batch < 1:
+            raise MaintenanceError("drain_batch must be >= 1")
+        self.drain_batch = drain_batch
         self._registered: dict[str, PMVMaintainer] = {}
         # One drain at a time: LSN order is only meaningful single-file.
         self._drain_mutex = threading.Lock()
         self._last_drained_lsn = 0
         self.records_drained = 0
+        self.drain_batches = 0
         self.deltas_applied = 0
         self.eager_skips = 0
         self.lock_yields = 0
@@ -103,6 +115,7 @@ class AsyncMaintainer:
             self.outbox.mark_applied_up_to(lsn, view.name)
             view.applied_lsn = lsn
             self._registered[view.name] = maintainer
+        self._update_retention()
 
     def unregister(self, view_name: str) -> None:
         """Return one view to eager maintenance (it must first be
@@ -113,6 +126,7 @@ class AsyncMaintainer:
             maintainer.splitter = None
             maintainer.outbox = None
             maintainer.view.async_maintenance = False
+        self._update_retention()
 
     def lag(self, view) -> int:
         """Feed positions the view trails the current LSN by."""
@@ -123,44 +137,93 @@ class AsyncMaintainer:
     def drain(self, max_records: int | None = None) -> int:
         """Apply up to ``max_records`` feed records in LSN order.
 
-        Returns the number of records fully processed.  Stops early
-        when a view's X lock is denied (the record is requeued and
-        ``lock_yields`` bumped).  A second concurrent drain returns 0
-        immediately rather than interleaving.
+        Records are processed in batches of up to ``drain_batch``: one
+        X-lock acquisition per view per batch instead of per record,
+        which is what makes a deep backlog drain cheap (ROADMAP item 4
+        follow-on).  Returns the number of records fully processed.
+        Stops early when a view's X lock is denied (the whole batch is
+        requeued in order and ``lock_yields`` bumped — ``applied_views``
+        stamps keep the retry from double-applying).  A second
+        concurrent drain returns 0 immediately rather than
+        interleaving.
         """
         if not self._drain_mutex.acquire(blocking=False):
             return 0
         try:
             drained = 0
             while max_records is None or drained < max_records:
-                record = self.outbox.take()
-                if record is None:
+                limit = self.drain_batch
+                if max_records is not None:
+                    limit = min(limit, max_records - drained)
+                batch = self._take_batch(limit)
+                if not batch:
                     break
-                if record.lsn <= self._last_drained_lsn:
-                    raise MaintenanceError(
-                        f"outbox feed out of order: record LSN {record.lsn} "
-                        f"after {self._last_drained_lsn} — a delta would be "
-                        f"double-applied"
-                    )
                 try:
-                    self._apply_record(record)
+                    self._apply_batch(batch)
                 except LockError:
-                    self.outbox.requeue(record)
+                    self._requeue_batch(batch)
                     self.lock_yields += 1
                     break
                 except BaseException:
-                    # Crash/control unwind: keep the record at the head
+                    # Crash/control unwind: keep the records at the head
                     # so an in-process retry (ERROR-mode injections)
                     # resumes exactly where it stopped.
-                    self.outbox.requeue(record)
+                    self._requeue_batch(batch)
                     raise
-                self._last_drained_lsn = record.lsn
-                self.records_drained += 1
-                drained += 1
+                self._last_drained_lsn = batch[-1].lsn
+                self.records_drained += len(batch)
+                self.drain_batches += 1
+                drained += len(batch)
             self._advance_to_feed_end()
+            self._update_retention()
             return drained
         finally:
             self._drain_mutex.release()
+
+    def _take_batch(self, limit: int) -> list[OutboxRecord]:
+        """Pop up to ``limit`` records off the feed head, verifying the
+        LSN-order invariant as they come."""
+        batch: list[OutboxRecord] = []
+        while len(batch) < limit:
+            record = self.outbox.take()
+            if record is None:
+                break
+            if record.lsn <= self._last_drained_lsn:
+                self.outbox.requeue(record)
+                self._requeue_batch(batch)
+                raise MaintenanceError(
+                    f"outbox feed out of order: record LSN {record.lsn} "
+                    f"after {self._last_drained_lsn} — a delta would be "
+                    f"double-applied"
+                )
+            batch.append(record)
+        return batch
+
+    def _requeue_batch(self, batch: list[OutboxRecord]) -> None:
+        """Put a batch back at the feed head, oldest first afterwards."""
+        for record in reversed(batch):
+            self.outbox.requeue(record)
+
+    def _update_retention(self) -> None:
+        """Publish the CDC low-watermark to the WAL retention registry.
+
+        Segment reclamation must not retire records the feed still
+        needs for idempotent reasoning or that a registered view has
+        not absorbed: the published position is the minimum of every
+        view's applied LSN and the LSN just below the oldest pending
+        feed record.
+        """
+        wal = self.database.wal
+        if wal is None or not hasattr(wal, "retention"):
+            return
+        if not self._registered:
+            wal.retention.release("cdc")
+            return
+        floor = min(m.view.applied_lsn for m in self._registered.values())
+        head = self.outbox.peek_lsn()
+        if head is not None:
+            floor = min(floor, head - 1)
+        wal.retention.update("cdc", floor)
 
     def _advance_to_feed_end(self) -> None:
         """With the feed empty, catch watermarks up to the current LSN.
@@ -209,23 +272,45 @@ class AsyncMaintainer:
             f"({len(self.outbox)} records pending)"
         )
 
-    def _apply_record(self, record: OutboxRecord) -> None:
-        change = record.change
-        for name, maintainer in self._registered.items():
-            view = maintainer.view
-            if name in record.applied_views:
-                # Already applied — eagerly at write time (hot part) or
-                # by an interrupted earlier pass over this record.
-                self.eager_skips += 1
-            elif maintainer._needs_maintenance(change):
-                self._apply_delta(maintainer, change)
-                record.applied_views.add(name)
-            else:
-                record.applied_views.add(name)
-            if record.lsn > view.applied_lsn:
-                view.applied_lsn = record.lsn
+    def _apply_batch(self, batch: list[OutboxRecord]) -> None:
+        """Apply a batch of feed records to every registered view.
 
-    def _apply_delta(self, maintainer: PMVMaintainer, change) -> None:
+        Per view: partition the batch into already-applied (stamped by
+        the eager hot path or an interrupted earlier pass), irrelevant
+        (stamped immediately), and relevant records — then apply all
+        relevant deltas under ONE X-lock acquisition.  Watermarks
+        advance only after the whole batch succeeded for every view, so
+        a mid-batch failure leaves them honest (lagging, never lying).
+        """
+        for name, maintainer in self._registered.items():
+            relevant: list[OutboxRecord] = []
+            for record in batch:
+                if name in record.applied_views:
+                    self.eager_skips += 1
+                elif maintainer._needs_maintenance(record.change):
+                    relevant.append(record)
+                else:
+                    record.applied_views.add(name)
+            if relevant:
+                self._apply_deltas(maintainer, relevant)
+        for maintainer in self._registered.values():
+            view = maintainer.view
+            if batch[-1].lsn > view.applied_lsn:
+                view.applied_lsn = batch[-1].lsn
+
+    def _apply_deltas(
+        self, maintainer: PMVMaintainer, records: list[OutboxRecord]
+    ) -> None:
+        """Apply ``records`` to one view under a single X lock.
+
+        The statement latch is still taken per record (the latch guards
+        physical structures and must stay short); only the *logical*
+        lock acquisition — the expensive, possibly-waiting step — is
+        amortized across the batch.  Each record is stamped as applied
+        the moment its delta lands, so an organic failure partway
+        through (the batch is requeued by the caller) never
+        double-applies on retry.
+        """
         txn = self.database.begin()
         try:
             maintainer._acquire_x(txn)
@@ -233,11 +318,13 @@ class AsyncMaintainer:
             txn.abort()
             raise
         try:
-            with self.database.statement_latch:
-                if not maintainer.apply_async(change):
-                    self.failsafe_clears += 1
-                else:
-                    self.deltas_applied += 1
+            for record in records:
+                with self.database.statement_latch:
+                    if not maintainer.apply_async(record.change):
+                        self.failsafe_clears += 1
+                    else:
+                        self.deltas_applied += 1
+                record.applied_views.add(maintainer.view.name)
         finally:
             txn.commit()
 
@@ -274,6 +361,8 @@ class AsyncMaintainer:
     def stats(self) -> dict:
         return {
             "records_drained": self.records_drained,
+            "cdc_drain_batches": self.drain_batches,
+            "drain_batch": self.drain_batch,
             "deltas_applied": self.deltas_applied,
             "eager_skips": self.eager_skips,
             "lock_yields": self.lock_yields,

@@ -275,6 +275,7 @@ class PMVManager:
         template_names: Sequence[str] | None = None,
         outbox=None,
         splitter=None,
+        drain_batch: int = 1,
     ):
         """Switch managed views to CDC-driven async maintenance.
 
@@ -284,12 +285,13 @@ class PMVManager:
         caller owns the drain cadence (call ``drain()`` /
         ``drain_to_convergence()``, or ``start()`` for a background
         pump).  ``splitter`` routes hot condition parts back to the
-        eager path (DESIGN.md §13).
+        eager path (DESIGN.md §13); ``drain_batch`` sets how many feed
+        records one drain round applies per X-lock acquisition.
         """
         from repro.cdc import AsyncMaintainer
 
         async_maintainer = AsyncMaintainer(
-            self.database, outbox=outbox, splitter=splitter
+            self.database, outbox=outbox, splitter=splitter, drain_batch=drain_batch
         )
         names = (
             list(template_names) if template_names is not None else list(self._views)

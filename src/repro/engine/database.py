@@ -48,7 +48,7 @@ from repro.engine.wal import (
     log_create_index,
     log_create_relation,
 )
-from repro.errors import WALFencedError, is_control_exception
+from repro.errors import DiskFullError, WALFencedError, is_control_exception
 
 __all__ = ["Database", "PlanCache"]
 
@@ -191,6 +191,13 @@ class Database:
         # notification): each one bumps this counter so "silently
         # swallowed" is at least never silent (DESIGN.md §10).
         self.swallowed_errors = 0
+        # Disk-full degradation (DESIGN.md §15): while the space probes
+        # fail, the instance is read-only — queries keep serving, DML
+        # is refused with a typed DiskFullError, and the first
+        # successful probe clears the condition automatically.
+        self.disk_full = False
+        self.disk_full_refusals = 0
+        self.disk_full_recoveries = 0
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -324,6 +331,31 @@ class Database:
                 f"elsewhere); writes are refused"
             )
 
+    def _check_writable(self) -> None:
+        """Every pre-mutation admission check for a DML statement.
+
+        Fencing first, then the disk-space probes (WAL reserve +
+        deferred segment rotation, page-write reserve).  A probe
+        failure is the read-only degradation entry point: the statement
+        is refused with a typed :class:`~repro.errors.DiskFullError`
+        while nothing has mutated, so queries — including PMV-backed
+        partial answers — keep serving from the intact in-memory state.
+        The next statement whose probes succeed flips the instance back
+        to writable (auto-recovery; no operator reset needed).
+        """
+        self._check_fence()
+        try:
+            if self.wal is not None:
+                self.wal.reserve()
+            self.disk.ensure_space()
+        except DiskFullError:
+            self.disk_full = True
+            self.disk_full_refusals += 1
+            raise
+        if self.disk_full:
+            self.disk_full = False
+            self.disk_full_recoveries += 1
+
     def insert(
         self,
         relation_name: str,
@@ -343,7 +375,7 @@ class Database:
         the network tier rebuild its at-most-once dedup table from the
         log after a crash or failover.
         """
-        self._check_fence()
+        self._check_writable()
         relation = self.catalog.relation(relation_name)
         prospective = Row(relation.schema.validate_values(values), relation.schema)
         change = Change(ChangeKind.INSERT, relation_name, new_row=prospective)
@@ -400,7 +432,7 @@ class Database:
         The prepare phase runs before the heap or any index is touched,
         so a lock denial aborts the statement with no base change.
         """
-        self._check_fence()
+        self._check_writable()
         relation = self.catalog.relation(relation_name)
         with self.statement_latch:
             row = relation.fetch(row_id)
@@ -466,7 +498,7 @@ class Database:
         The prepare phase (with the prospective new row) runs before
         any mutation, so lock denials and type errors abort cleanly.
         """
-        self._check_fence()
+        self._check_writable()
         relation = self.catalog.relation(relation_name)
         with self.statement_latch:
             old_row = relation.fetch(row_id)

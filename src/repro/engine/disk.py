@@ -12,9 +12,10 @@ experiments that want a time axis independent of Python's speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.engine.page import PAGE_SIZE, Page
-from repro.errors import StorageError
+from repro.errors import DiskFullError, StorageError
 
 __all__ = ["IOStats", "DiskManager", "LatencyModel"]
 
@@ -85,6 +86,26 @@ class DiskManager:
     stats: IOStats = field(default_factory=IOStats)
     _pages: dict[int, Page] = field(default_factory=dict)
     _next_page_no: int = 0
+    # Optional fault-site hook (repro.faults), fired as "disk.full" by
+    # the pre-statement space probe.  None (and zero-cost) in production.
+    fault_check: Callable[[str], Any] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def ensure_space(self) -> None:
+        """Pre-statement space probe for page writes.
+
+        Pages live in a dict here, so the only way this simulated disk
+        fills up is through the ``disk.full`` fault site — but the
+        engine calls it before every DML statement exactly where a real
+        disk manager would reserve its pages, so the refusal path
+        (:class:`~repro.errors.DiskFullError` before anything mutates)
+        is the same one a real ENOSPC would take.
+        """
+        if self.fault_check is not None and self.fault_check("disk.full"):
+            raise DiskFullError(
+                "no space left on device (page write reserve)", site="disk.full"
+            )
 
     def allocate_page(self) -> Page:
         """Create a fresh empty page; charged as one write (formatting)."""

@@ -167,11 +167,20 @@ def restore_snapshot(
 
 
 def checkpoint(database: Database) -> dict[str, Any]:
-    """Append a WAL checkpoint marker and return the paired snapshot."""
+    """Append a WAL checkpoint marker and return the paired snapshot.
+
+    On a segmented WAL this is also the truncation driver: once the
+    snapshot is taken, every segment fully covered by the checkpoint
+    and by every registered consumer (replication links, the CDC
+    maintainer — see :class:`~repro.engine.wal.LsnRetentionRegistry`)
+    is reclaimed to the archive, bounding the live log.
+    """
     if database.wal is None:
         raise EngineError("checkpoint requires a database with a WAL")
     database.wal.checkpoint()
-    return take_snapshot(database)
+    snapshot = take_snapshot(database)
+    database.wal.reclaim()
+    return snapshot
 
 
 def recover_from_snapshot(

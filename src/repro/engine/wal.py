@@ -8,8 +8,10 @@ The engine's durability story, kept deliberately simple but honest:
   in-memory heap/indexes are a cache of it (statement-level
   commit-at-log semantics: a statement interrupted before its record
   is durable simply never happened);
-- the log lives in memory and, optionally, in a JSON-lines file so it
-  survives a process crash;
+- the log lives in memory and, optionally, on disk so it survives a
+  process crash — either as a single JSON-lines file, or (with
+  ``segment_bytes``) as a directory of rotating fixed-budget segments
+  whose reclaimed prefix moves to an archive tier (DESIGN.md §15);
 - every serialized record carries a CRC32 over its canonical body
   (``lsn``/``kind``/``payload``), verified whenever the record is read
   back — on crash-recovery replay and again on the replication ship
@@ -19,6 +21,16 @@ The engine's durability story, kept deliberately simple but honest:
   is deterministic — row ids are allocated in the same order as the
   original execution — so DELETE/UPDATE records can address rows by
   their original (page, slot) ids.
+
+Segmented logs bound the resources a run-forever instance consumes:
+:meth:`WriteAheadLog.reclaim` moves every segment fully covered by the
+last checkpoint *and* every registered consumer (replication links, the
+CDC maintainer — see :class:`LsnRetentionRegistry`) into the archive,
+and prunes the in-memory record list to match.  A lagging consumer
+reads the reclaimed prefix back transparently: :meth:`records` falls
+through to the archived segment files (CRC-verified on the way in), so
+a slow replica retransmits from archive instead of being forced into a
+snapshot bootstrap.
 
 PMVs deliberately do **not** participate in recovery: a PMV is a cache
 of re-derivable results, so after a crash it simply restarts empty and
@@ -30,23 +42,33 @@ a correct subset).
 from __future__ import annotations
 
 import enum
+import errno as _errno
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.datatypes import DataType, TypeKind
 from repro.engine.row import RowId
 from repro.engine.schema import Column
 from repro.errors import (
+    DiskFullError,
     EngineError,
     WALChecksumError,
     WALCorruptionError,
     WALFencedError,
 )
 
-__all__ = ["LogKind", "LogRecord", "WriteAheadLog", "recover", "replay_record"]
+__all__ = [
+    "LogKind",
+    "LogRecord",
+    "LsnRetentionRegistry",
+    "WriteAheadLog",
+    "recover",
+    "replay_record",
+]
 
 
 class LogKind(enum.Enum):
@@ -117,16 +139,109 @@ class LogRecord:
         return record
 
 
+class LsnRetentionRegistry:
+    """Named low-watermarks gating WAL segment reclamation.
+
+    Every consumer that may still need old records registers its
+    applied/acknowledged position here: the replication ship pump (one
+    entry per link), the CDC maintainer's feed watermark, anything
+    else that replays history.  :meth:`WriteAheadLog.reclaim` never
+    retires a segment past ``min(positions)`` — so a lagging replica or
+    a backed-up outbox holds segments live (or archived but readable)
+    instead of being silently cut off.
+    """
+
+    def __init__(self) -> None:
+        self._positions: dict[str, int] = {}
+        self._mutex = threading.Lock()
+
+    def update(self, name: str, lsn: int) -> None:
+        """Record that consumer ``name`` has durably consumed ``lsn``
+        (everything at or below it may be reclaimed from under it)."""
+        with self._mutex:
+            self._positions[name] = int(lsn)
+
+    def release(self, name: str) -> None:
+        """Forget a consumer (it bootstrapped from a snapshot, or was
+        decommissioned); it no longer pins retention."""
+        with self._mutex:
+            self._positions.pop(name, None)
+
+    def floor(self) -> int | None:
+        """The reclamation bound: the minimum registered position, or
+        ``None`` when no consumer is registered (nothing pins)."""
+        with self._mutex:
+            if not self._positions:
+                return None
+            return min(self._positions.values())
+
+    def positions(self) -> dict[str, int]:
+        with self._mutex:
+            return dict(self._positions)
+
+
+@dataclass
+class _Segment:
+    """One on-disk log segment (live or archived)."""
+
+    seq: int
+    path: str
+    first_lsn: int = 0  # 0 while the segment is still empty
+    last_lsn: int = 0
+    size: int = 0  # complete (newline-terminated) bytes
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.path)
+
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_name(seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_seq(name: str) -> int | None:
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    try:
+        return int(name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+    except ValueError:
+        return None
+
+
 class WriteAheadLog:
     """An append-only log, in memory and optionally on disk.
 
-    With a ``path``, every append is written and flushed immediately
+    With a ``path`` (and no ``segment_bytes``), the log is a single
+    JSON-lines file and every append is written and flushed immediately
     (force-at-append — simple, and sufficient for statement-level
     durability in a single-threaded engine).
+
+    With ``segment_bytes``, ``path`` names a *directory* of rotating
+    segments: the active segment rotates once it crosses the byte
+    budget (rotation is deferred to the next :meth:`reserve`, so it can
+    never fail mid-statement), and :meth:`reclaim` retires fully
+    checkpointed, fully consumed segments to ``archive_dir`` — keeping
+    both the live directory and the in-memory record list bounded no
+    matter how long the instance runs.  ``archive_max_bytes`` optionally
+    bounds the archive too; records pruned past it are gone, and a
+    consumer that still needs them must bootstrap from a snapshot.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(
+        self,
+        path: str | None = None,
+        segment_bytes: int | None = None,
+        archive_dir: str | None = None,
+        archive_max_bytes: int | None = None,
+    ) -> None:
         self.path = path
+        self.segment_bytes = segment_bytes
+        self.archive_dir = archive_dir
+        self.archive_max_bytes = archive_max_bytes
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._file = None
@@ -135,7 +250,41 @@ class WriteAheadLog:
         self.checksum_failures = 0
         self.fenced_by_epoch: int | None = None
         self._complete_bytes: int | None = None
-        if path is not None:
+        # Resource model (DESIGN.md §15) ---------------------------------
+        # Optional fault-site hook (repro.faults): fired at the
+        # reserve/rotate probes as site "wal.enospc".
+        self.fault_check: Callable[[str], Any] | None = None
+        self.retention = LsnRetentionRegistry()
+        self.last_checkpoint_lsn = 0
+        # Records at or below truncated_lsn live only in the archive;
+        # below pruned_lsn they are gone entirely.
+        self.truncated_lsn = 0
+        self.pruned_lsn = 0
+        self.segments_rotated = 0
+        self.segments_reclaimed = 0
+        self.segments_pruned = 0
+        self.archive_reads = 0
+        self.repairs = 0
+        self.last_repair: dict[str, Any] | None = None
+        self._segments: list[_Segment] = []  # live; last is the active one
+        self._archived: list[_Segment] = []
+        self._damage: dict[str, Any] | None = None  # set by _load_dir
+        if segment_bytes is not None:
+            if path is None:
+                raise EngineError("a segmented WAL needs a directory path")
+            if segment_bytes < 1:
+                raise EngineError("segment_bytes must be positive")
+            os.makedirs(path, exist_ok=True)
+            if self.archive_dir is None:
+                self.archive_dir = os.path.join(path, "archive")
+            os.makedirs(self.archive_dir, exist_ok=True)
+            seqs = [
+                seq
+                for name in os.listdir(path)
+                if (seq := _segment_seq(name)) is not None
+            ]
+            self._open_segment(max(seqs, default=0) + 1)
+        elif path is not None:
             self._file = open(path, "a", encoding="utf-8")
 
     # -- writing -------------------------------------------------------------
@@ -150,15 +299,137 @@ class WriteAheadLog:
         self._next_lsn += 1
         self._records.append(record)
         if self._file is not None:
-            self._file.write(record.to_json() + "\n")
+            line = record.to_json() + "\n"
+            self._file.write(line)
             self._file.flush()
             os.fsync(self._file.fileno())
+            if self._segments:
+                active = self._segments[-1]
+                if active.first_lsn == 0:
+                    active.first_lsn = record.lsn
+                active.last_lsn = record.lsn
+                active.size += len(line.encode("utf-8"))
         return record
+
+    def reserve(self) -> None:
+        """Pre-statement space probe: fail *before* anything mutates.
+
+        The engine calls this at the top of every DML statement
+        (:meth:`Database._check_writable`).  It fires the
+        ``wal.enospc`` fault site and performs any rotation the last
+        append made due — both places a real system hits ENOSPC — so a
+        full disk surfaces here as a clean, typed
+        :class:`~repro.errors.DiskFullError` refusal while the heap,
+        indexes, and log are still untouched.  The next successful
+        probe is the auto-recovery signal.
+        """
+        if self.fault_check is not None and self.fault_check("wal.enospc"):
+            raise DiskFullError(
+                "no space left on device (WAL append reserve)",
+                site="wal.enospc",
+            )
+        if self._rotation_due():
+            self._rotate()
+
+    def _rotation_due(self) -> bool:
+        return (
+            self.segment_bytes is not None
+            and bool(self._segments)
+            and self._segments[-1].first_lsn != 0
+            and self._segments[-1].size >= self.segment_bytes
+        )
+
+    def _rotate(self) -> None:
+        """Retire the active segment and open the next one.
+
+        Deferred to :meth:`reserve` on purpose: creating a file can hit
+        a full disk, and failing *between* a heap mutation and its WAL
+        append would leave the two disagreeing.  Failing here refuses
+        the statement before it starts; the rotation stays due and is
+        retried by the next probe.
+        """
+        if self.fault_check is not None and self.fault_check("wal.enospc"):
+            raise DiskFullError(
+                "no space left on device (WAL segment rotate)",
+                site="wal.enospc",
+            )
+        seq = self._segments[-1].seq + 1
+        seg_path = os.path.join(self.path, _segment_name(seq))
+        try:
+            handle = open(seg_path, "a", encoding="utf-8")
+        except OSError as exc:
+            if exc.errno == _errno.ENOSPC:
+                raise DiskFullError(
+                    "no space left on device (WAL segment rotate)",
+                    site="wal.enospc",
+                ) from exc
+            raise
+        self._file.close()
+        self._file = handle
+        self._segments.append(_Segment(seq=seq, path=seg_path))
+        self.segments_rotated += 1
+
+    def _open_segment(self, seq: int) -> _Segment:
+        seg_path = os.path.join(self.path, _segment_name(seq))
+        self._file = open(seg_path, "a", encoding="utf-8")
+        segment = _Segment(seq=seq, path=seg_path)
+        self._segments.append(segment)
+        return segment
 
     def checkpoint(self) -> LogRecord:
         """Append a checkpoint marker (replay may start after the last
         one when the caller also persists a data snapshot)."""
-        return self.append(LogKind.CHECKPOINT, {})
+        record = self.append(LogKind.CHECKPOINT, {})
+        self.last_checkpoint_lsn = record.lsn
+        return record
+
+    def reclaim(self) -> int:
+        """Move fully-covered segments to the archive; prune memory.
+
+        A segment is reclaimable when every record in it is at or below
+        the *retention floor*: the last checkpoint LSN (a snapshot
+        exists that already covers it) AND every consumer position in
+        :attr:`retention` (no replica or CDC drain still needs it
+        live).  Reclaimed segments stay readable through
+        :meth:`records` from the archive until ``archive_max_bytes``
+        prunes them.  Returns the number of segments reclaimed by this
+        call; a no-op (0) on single-file and in-memory logs.
+        """
+        if self.segment_bytes is None or not self._segments:
+            return 0
+        floor = self.last_checkpoint_lsn
+        consumer = self.retention.floor()
+        if consumer is not None:
+            floor = min(floor, consumer)
+        moved = 0
+        while len(self._segments) > 1:
+            segment = self._segments[0]
+            if segment.first_lsn == 0 or segment.last_lsn > floor:
+                break
+            dest = os.path.join(self.archive_dir, segment.name)
+            os.replace(segment.path, dest)
+            segment.path = dest
+            self._archived.append(segment)
+            self._segments.pop(0)
+            self.truncated_lsn = segment.last_lsn
+            self.segments_reclaimed += 1
+            moved += 1
+        if moved:
+            self._records = [r for r in self._records if r.lsn > self.truncated_lsn]
+            self._prune_archive()
+        return moved
+
+    def _prune_archive(self) -> None:
+        if self.archive_max_bytes is None:
+            return
+        while (
+            len(self._archived) > 1
+            and sum(seg.size for seg in self._archived) > self.archive_max_bytes
+        ):
+            oldest = self._archived.pop(0)
+            os.remove(oldest.path)
+            self.pruned_lsn = oldest.last_lsn
+            self.segments_pruned += 1
 
     def fence(self, epoch: int) -> None:
         """Refuse all further appends: a newer epoch has been promoted.
@@ -196,10 +467,39 @@ class WriteAheadLog:
         by write-ahead semantics the interrupted statement simply never
         happened; the raw fragment stays available in ``torn_tail`` and
         :meth:`repair` truncates it off the file.
+
+        On a segmented log, records already reclaimed from memory are
+        read back from the archived segment files (CRC-verified),
+        transparently: a lagging replica's retransmit and a from-scratch
+        replay both just iterate.  Asking for records the archive has
+        *pruned* raises :class:`~repro.errors.EngineError` — the caller
+        must bootstrap from a snapshot instead.
         """
+        if after_lsn < self.truncated_lsn:
+            if after_lsn < self.pruned_lsn:
+                raise EngineError(
+                    f"records after LSN {after_lsn} were pruned from the "
+                    f"archive (pruned through {self.pruned_lsn}); bootstrap "
+                    f"from a snapshot instead"
+                )
+            yield from self._archived_records(after_lsn)
         for record in self._records:
             if record.lsn > after_lsn:
                 yield record
+
+    def _archived_records(self, after_lsn: int) -> Iterator[LogRecord]:
+        for segment in self._archived:
+            if segment.last_lsn <= after_lsn:
+                continue
+            self.archive_reads += 1
+            with open(segment.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = LogRecord.from_json(line)  # CRC-verified
+                    if after_lsn < record.lsn <= self.truncated_lsn:
+                        yield record
 
     def __len__(self) -> int:
         return len(self._records)
@@ -219,25 +519,57 @@ class WriteAheadLog:
         — a torn final record or a checksum-mismatched record."""
         return self.torn_tail is not None or self.checksum_tail is not None
 
+    def resource_stats(self) -> dict[str, Any]:
+        """On-disk and in-memory footprint, for gates and benchmarks."""
+        if self.segment_bytes is not None:
+            live_bytes = sum(seg.size for seg in self._segments)
+        elif self.path is not None and os.path.exists(self.path):
+            live_bytes = os.path.getsize(self.path)
+        else:
+            live_bytes = 0
+        return {
+            "segmented": self.segment_bytes is not None,
+            "segment_bytes": self.segment_bytes,
+            "live_segments": max(len(self._segments), 1) if self.path else 0,
+            "live_bytes": live_bytes,
+            "archived_segments": len(self._archived),
+            "archived_bytes": sum(seg.size for seg in self._archived),
+            "segments_rotated": self.segments_rotated,
+            "segments_reclaimed": self.segments_reclaimed,
+            "segments_pruned": self.segments_pruned,
+            "archive_reads": self.archive_reads,
+            "resident_records": len(self._records),
+            "truncated_lsn": self.truncated_lsn,
+            "pruned_lsn": self.pruned_lsn,
+            "last_checkpoint_lsn": self.last_checkpoint_lsn,
+            "retention": self.retention.positions(),
+            "repairs": self.repairs,
+            "last_repair": self.last_repair,
+        }
+
     @staticmethod
     def load(path: str) -> "WriteAheadLog":
-        """Read a log file back (the crashed process's log).
+        """Read a log back (the crashed process's log).
 
-        A crash mid-append can leave a torn final line (the record was
-        cut short, or its newline never made it to disk).  That tail is
-        tolerated: it is reported via ``torn_tail`` / ``has_torn_tail``
-        and skipped, because an append that never completed is a
-        statement that never happened.
+        ``path`` is either a single log file or a segmented log
+        directory.  A crash mid-append can leave a torn final line (the
+        record was cut short, or its newline never made it to disk).
+        That tail is tolerated: it is reported via ``torn_tail`` /
+        ``has_torn_tail`` and skipped, because an append that never
+        completed is a statement that never happened.
 
         A record that parses but fails its CRC32 check is bit rot:
         reading stops at the first such record (everything from it on
         is untrusted — counted in ``checksum_failures`` and reported
-        via ``checksum_tail``), and :meth:`repair` truncates the file
-        there.  Structural damage anywhere *before* the final record —
-        an unparseable line followed by further complete records — is
+        via ``checksum_tail``), and :meth:`repair` truncates there —
+        on a segmented log that also drops every later live segment.
+        Structural damage anywhere *before* the final record — an
+        unparseable line followed by further complete records — is
         corruption beyond repair and raises
         :class:`~repro.errors.WALCorruptionError`.
         """
+        if os.path.isdir(path):
+            return WriteAheadLog._load_dir(path)
         log = WriteAheadLog()
         log.path = path
         complete_bytes = 0
@@ -278,30 +610,197 @@ class WriteAheadLog:
                 # fsync covering it cannot have completed.
                 log.torn_tail = line
                 break
+            if record.kind is LogKind.CHECKPOINT:
+                log.last_checkpoint_lsn = record.lsn
             log._records.append(record)
             log._next_lsn = record.lsn + 1
             complete_bytes = offset_after
         log._complete_bytes = complete_bytes
         return log
 
+    @staticmethod
+    def _load_dir(path: str) -> "WriteAheadLog":
+        """Read a segmented log directory back: archive first (immutable
+        — any damage there is corruption beyond repair), then live
+        segments in sequence order.  Torn tails are only legal at the
+        very end of the very last live segment; damage earlier in a
+        segment marks a repair point and drops every later segment."""
+        log = WriteAheadLog()
+        log.path = path
+        archive_dir = os.path.join(path, "archive")
+        log.archive_dir = archive_dir
+
+        def _listing(directory: str) -> list[tuple[int, str]]:
+            if not os.path.isdir(directory):
+                return []
+            entries = [
+                (seq, os.path.join(directory, name))
+                for name in os.listdir(directory)
+                if (seq := _segment_seq(name)) is not None
+            ]
+            return sorted(entries)
+
+        for seq, seg_path in _listing(archive_dir):
+            segment = _Segment(seq=seq, path=seg_path)
+            with open(seg_path, "rb") as handle:
+                raw = handle.read()
+            offset = 0
+            for line_bytes in raw.split(b"\n"):
+                offset += len(line_bytes) + 1
+                line = line_bytes.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                if offset > len(raw):
+                    raise WALCorruptionError(
+                        f"archived segment {seg_path!r} ends mid-record; "
+                        f"the archive is immutable, so this is corruption"
+                    )
+                record = LogRecord.from_json(line)  # CRC must hold
+                if segment.first_lsn == 0:
+                    segment.first_lsn = record.lsn
+                segment.last_lsn = record.lsn
+                segment.size = offset
+                if record.kind is LogKind.CHECKPOINT:
+                    log.last_checkpoint_lsn = record.lsn
+                log._next_lsn = record.lsn + 1
+            log._archived.append(segment)
+            log.truncated_lsn = max(log.truncated_lsn, segment.last_lsn)
+
+        live = _listing(path)
+        damaged = False
+        for position, (seq, seg_path) in enumerate(live):
+            final_segment = position == len(live) - 1
+            if damaged:
+                # Everything after the damage point is untrusted; list
+                # it for repair() to drop.
+                log._damage["dropped"].append(seg_path)
+                continue
+            segment = _Segment(seq=seq, path=seg_path)
+            with open(seg_path, "rb") as handle:
+                raw = handle.read()
+            complete_bytes = 0
+            for line_bytes in raw.split(b"\n"):
+                offset_after = complete_bytes + len(line_bytes) + 1
+                line = line_bytes.decode("utf-8", errors="replace").strip()
+                if not line:
+                    if offset_after <= len(raw):
+                        complete_bytes = offset_after
+                    continue
+                try:
+                    record = LogRecord.from_json(line)
+                except WALChecksumError:
+                    log.checksum_failures += 1
+                    if final_segment and offset_after > len(raw):
+                        log.torn_tail = line
+                    else:
+                        log.checksum_tail = line
+                    damaged = True
+                    break
+                except (ValueError, KeyError) as exc:
+                    if offset_after > len(raw):
+                        # Ends mid-record: a torn tail if this is the
+                        # active segment, a repair point otherwise.
+                        if final_segment:
+                            log.torn_tail = line
+                        else:
+                            log.checksum_tail = line
+                        damaged = True
+                        break
+                    raise WALCorruptionError(
+                        f"unparseable WAL record at byte {complete_bytes} "
+                        f"of segment {seg_path!r} (not the final line): "
+                        f"{line[:80]!r}"
+                    ) from exc
+                if offset_after > len(raw):
+                    # Parsed, but the newline never hit the disk.
+                    if final_segment:
+                        log.torn_tail = line
+                    else:
+                        log.checksum_tail = line
+                    damaged = True
+                    break
+                if segment.first_lsn == 0:
+                    segment.first_lsn = record.lsn
+                segment.last_lsn = record.lsn
+                if record.kind is LogKind.CHECKPOINT:
+                    log.last_checkpoint_lsn = record.lsn
+                log._records.append(record)
+                log._next_lsn = record.lsn + 1
+                complete_bytes = offset_after
+            segment.size = complete_bytes
+            log._segments.append(segment)
+            if damaged:
+                log._damage = {
+                    "segment_seq": seq,
+                    "segment_path": seg_path,
+                    "offset": complete_bytes,
+                    "dropped": [],
+                }
+        return log
+
     def repair(self, path: str | None = None) -> int:
         """Truncate the on-disk log to the last trustworthy record.
 
         Cuts off a torn final record and, when :meth:`load` found one,
-        everything from the first checksum-mismatched record onward.
-        Returns the number of bytes removed.  A no-op (returning 0)
-        when the tail is intact.  Only meaningful on a log produced by
-        :meth:`load`.
+        everything from the first checksum-mismatched record onward —
+        on a segmented log, including every live segment after the
+        damaged one.  Returns the number of bytes removed; a no-op
+        (returning 0) when the tail is intact.  Only meaningful on a
+        log produced by :meth:`load`.
+
+        What was cut is *reported*, never silent: ``last_repair``
+        records the segment, byte offset, bytes removed, dropped
+        segments, and reason, and ``repairs`` counts invocations — the
+        serving gate surfaces both next to ``wal_checksum_failures``.
         """
+        if self._damage is not None:
+            damage = self._damage
+            reason = "checksum" if self.checksum_tail is not None else "torn"
+            size = os.path.getsize(damage["segment_path"])
+            removed = size - damage["offset"]
+            if removed > 0:
+                os.truncate(damage["segment_path"], damage["offset"])
+            dropped_names = []
+            for seg_path in damage["dropped"]:
+                removed += os.path.getsize(seg_path)
+                os.remove(seg_path)
+                dropped_names.append(os.path.basename(seg_path))
+            self._segments = [
+                seg for seg in self._segments if seg.path not in damage["dropped"]
+            ]
+            for segment in self._segments:
+                if segment.seq == damage["segment_seq"]:
+                    segment.size = damage["offset"]
+            self.last_repair = {
+                "segment": os.path.basename(damage["segment_path"]),
+                "offset": damage["offset"],
+                "bytes_removed": removed,
+                "dropped_segments": dropped_names,
+                "reason": reason,
+            }
+            self.repairs += 1
+            self.torn_tail = None
+            self.checksum_tail = None
+            self._damage = None
+            return removed
         target = path or self.path
         if target is None:
             raise EngineError("repair() needs the log's file path")
         if self._complete_bytes is None:
             raise EngineError("repair() requires a log read via load()")
+        reason = "checksum" if self.checksum_tail is not None else "torn"
         size = os.path.getsize(target)
         removed = size - self._complete_bytes
         if removed > 0:
             os.truncate(target, self._complete_bytes)
+            self.last_repair = {
+                "segment": os.path.basename(target),
+                "offset": self._complete_bytes,
+                "bytes_removed": removed,
+                "dropped_segments": [],
+                "reason": reason,
+            }
+            self.repairs += 1
         self.torn_tail = None
         self.checksum_tail = None
         return removed

@@ -79,6 +79,34 @@ class WALFencedError(EngineError):
     promoted and this instance must not acknowledge further writes."""
 
 
+class DiskFullError(StorageError, OSError):
+    """The disk has no space for a durable mutation (ENOSPC).
+
+    Raised *before* the engine mutates anything (reserve-before-mutate
+    probes at the WAL-append, segment-rotate, page-write, and outbox
+    spill-write sites), so a refused statement simply never happened:
+    queries keep serving PMV-backed answers and the next successful
+    probe clears the read-only condition automatically.
+
+    Doubles as an :class:`OSError` with ``errno`` set to ``ENOSPC`` so
+    callers written against the OS-level contract see the same shape.
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        import errno as _errno
+
+        super().__init__(message)
+        self.errno = _errno.ENOSPC
+        self.strerror = message
+        self.site = site
+
+
+class OutboxSpillError(StorageError):
+    """A spilled CDC feed record failed its CRC32 check on re-read —
+    the spill file is damaged; the feed must be rebuilt from WAL
+    replay rather than trusted."""
+
+
 class SnapshotCorruptionError(EngineError):
     """A snapshot document's stored CRC32 disagrees with its contents;
     loading it would silently install garbage, so it fails loudly."""

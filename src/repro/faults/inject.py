@@ -249,4 +249,10 @@ def build_faulty_database(
         disk=disk,
     )
     database.fault_hook = injector.fire
+    # Disk-full probes: the pre-statement reserve checks fire the
+    # "wal.enospc" / "disk.full" sites through the same arrival
+    # counter, so ENOSPC refusal windows are schedulable and
+    # enumerable like every other fault point.
+    wal.fault_check = injector.check
+    disk.fault_check = injector.check
     return database

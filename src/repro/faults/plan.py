@@ -27,6 +27,10 @@ Fault sites (see :mod:`repro.faults.inject` for the wiring):
                         (fail / crash mid-drain)
 ``ship.send``           a replication transport send (drop / duplicate /
                         reorder / partition)
+``wal.enospc``          the pre-statement WAL space probe / segment
+                        rotation (ENOSPC: typed DiskFullError refusal)
+``disk.full``           the pre-statement page-write space probe and
+                        the outbox spill write (ENOSPC refusal)
 ======================  ====================================================
 """
 
@@ -111,6 +115,14 @@ SITES: dict[str, tuple[FaultMode, ...]] = {
         FaultMode.REORDER,
         FaultMode.PARTITION,
     ),
+    # Disk-full sites fire at the reserve-before-mutate probes, so the
+    # only meaningful mode is ERROR: the statement is refused cleanly
+    # (a typed DiskFullError) before anything mutates, and because
+    # ERROR never disarms the injector, a plan can schedule several
+    # consecutive occurrences to model a sustained ENOSPC *window*
+    # that later clears (the endurance drill does exactly this).
+    "wal.enospc": (FaultMode.ERROR,),
+    "disk.full": (FaultMode.ERROR,),
 }
 
 

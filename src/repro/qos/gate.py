@@ -153,7 +153,22 @@ class ServingGate:
             managed.view.template.name: managed.view.metrics.snapshot()
             for managed in self.manager.managed()
         }
-        report["database_swallowed_errors"] = self.manager.database.swallowed_errors
-        wal = self.manager.database.wal
+        database = self.manager.database
+        report["database_swallowed_errors"] = database.swallowed_errors
+        wal = database.wal
         report["wal_checksum_failures"] = 0 if wal is None else wal.checksum_failures
+        # Resource model (DESIGN.md §15): WAL repairs are reported with
+        # their truncation point (segment + offset), never silent; the
+        # disk-full gauge tells operators the instance is read-only.
+        report["wal_repairs"] = 0 if wal is None else wal.repairs
+        report["wal_last_repair"] = None if wal is None else wal.last_repair
+        report["wal_resources"] = None if wal is None else wal.resource_stats()
+        report["outbox"] = (
+            None if database.outbox is None else database.outbox.stats()
+        )
+        report["disk_full"] = {
+            "active": database.disk_full,
+            "refusals": database.disk_full_refusals,
+            "recoveries": database.disk_full_recoveries,
+        }
         return report

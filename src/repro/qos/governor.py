@@ -16,7 +16,12 @@ Pressure is computed from three signals, sampled at every
 - the **p99 latency** of a sliding window of recently completed queries;
 - the **lock-timeout rate** (delta of the lock manager's ``timeouts``
   counter since the previous tick) — the leading indicator that the
-  S/X pipeline is thrashing.
+  S/X pipeline is thrashing;
+- the **CDC backlog depth** (pending records in the change outbox,
+  when one is attached) — a drain that cannot keep up with the write
+  rate grows the feed without bound, and the right response is
+  backpressure (widened freshness + admission throttle), not OOM
+  (DESIGN.md §15).
 
 Entering DEGRADED engages the governor's pressure-relief actions, all
 reversed when the machine returns to NORMAL:
@@ -75,6 +80,11 @@ class GovernorConfig:
     """Admission queue depth at which anything escalates to SHED."""
     lock_timeout_rate: int = 5
     """Lock timeouts per tick at which NORMAL escalates to DEGRADED."""
+    degrade_backlog: int = 512
+    """Pending CDC outbox records at which NORMAL escalates to
+    DEGRADED (maintenance backpressure instead of unbounded memory)."""
+    shed_backlog: int = 4096
+    """Pending CDC outbox records at which anything escalates to SHED."""
     recover_ticks: int = 2
     """Consecutive healthy ticks required before stepping down one
     state (the hysteresis)."""
@@ -184,15 +194,32 @@ class DegradationGovernor:
             last = self._last_lock_timeouts
             self._last_lock_timeouts = timeouts
         timeout_delta = 0 if last is None else max(0, timeouts - last)
-        if p99 >= cfg.shed_p99 or queue_depth >= cfg.shed_queue:
+        backlog = self._backlog_depth()
+        if (
+            p99 >= cfg.shed_p99
+            or queue_depth >= cfg.shed_queue
+            or backlog >= cfg.shed_backlog
+        ):
             return "severe"
         if (
             p99 >= cfg.degrade_p99
             or queue_depth >= cfg.degrade_queue
             or timeout_delta >= cfg.lock_timeout_rate
+            or backlog >= cfg.degrade_backlog
         ):
             return "elevated"
         return "healthy"
+
+    def _backlog_depth(self) -> int:
+        """Pending CDC outbox records (0 when no outbox is attached).
+
+        Read defensively through ``manager.database.outbox`` — test
+        fixtures hand the governor bare fake managers, and the governor
+        must keep working unchanged without the CDC layer."""
+        outbox = getattr(getattr(self.manager, "database", None), "outbox", None)
+        if outbox is None:
+            return 0
+        return len(outbox)
 
     def _step(self, pressure: str) -> str:
         with self._mutex:
@@ -321,6 +348,7 @@ class DegradationGovernor:
     # -- inspection -----------------------------------------------------------
 
     def stats(self) -> dict:
+        backlog = self._backlog_depth()
         with self._mutex:
             return {
                 "state": self._state,
@@ -329,4 +357,5 @@ class DegradationGovernor:
                 "transitions": len(self.transitions),
                 "breaker_state": self.breaker.state,
                 "breaker_opens": self.breaker.opens,
+                "cdc_backlog": backlog,
             }

@@ -65,17 +65,34 @@ class PrimaryNode:
     def attach_replica(
         self, replica: "ReplicaNode", injector: FaultInjector | None = None
     ) -> ReplicationLink:
-        """Open a link to ``replica`` (optionally with a fault seam)."""
+        """Open a link to ``replica`` (optionally with a fault seam).
+
+        The link immediately registers its (zero) watermark with the
+        WAL's retention registry: from this moment segment reclamation
+        cannot retire records the replica has not acknowledged beyond
+        reach — a lagging replica re-reads them from the archive
+        instead of being forced into a snapshot bootstrap.
+        """
         replica.observe_epoch(self.epoch)
         link = ReplicationLink(replica, injector=injector)
         self.links.append(link)
+        self._pin_retention(link)
         return link
+
+    def _pin_retention(self, link: ReplicationLink) -> None:
+        wal = self.database.wal
+        if wal is not None and hasattr(wal, "retention"):
+            wal.retention.update(f"ship:{link.replica.name}", link.acked_lsn)
 
     def ship(self) -> int:
         """Pump every link once; returns the number of sends issued.
 
         Partitioned links are skipped (nothing flows on a down link);
         after healing, the next pump re-ships from their watermark.
+        Reading ``after_lsn=read_ack()`` transparently falls back to
+        the WAL's archived segments when the ack trails the reclaimed
+        prefix (the retransmit-from-archive path); each pump then
+        republishes the link's fresh ack to the retention registry.
         """
         sends = 0
         watermark = self.database.wal.last_lsn
@@ -91,6 +108,7 @@ class PrimaryNode:
                 if link.partitioned:
                     break  # the send itself took the link down
             link.read_ack()
+            self._pin_retention(link)
         return sends
 
     @property

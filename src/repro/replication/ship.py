@@ -83,6 +83,13 @@ class ReplicationLink:
     from this watermark on every pump, which makes retransmission
     automatic: a dropped or partitioned-away record is simply still
     past the watermark next time.
+
+    On a segmented primary WAL the same watermark is also pinned into
+    the log's :class:`~repro.engine.wal.LsnRetentionRegistry` (as
+    ``ship:<replica-name>``, see ``PrimaryNode._pin_retention``), so
+    checkpoint truncation never deletes a segment this link still has
+    to ship — a lagging replica retransmits from the live log or the
+    archive instead of being forced into a snapshot bootstrap.
     """
 
     def __init__(self, replica, injector: FaultInjector | None = None) -> None:

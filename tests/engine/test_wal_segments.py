@@ -1,0 +1,262 @@
+"""Segmented WAL tests: rotation, checkpoint truncation, archive
+replay, retention pinning, repair reporting, and ENOSPC probes."""
+
+import os
+
+import pytest
+
+from repro.engine import (
+    Column,
+    Database,
+    INTEGER,
+    LogKind,
+    TEXT,
+    WriteAheadLog,
+    recover,
+)
+from repro.engine.snapshot import checkpoint as snapshot_checkpoint
+from repro.engine.wal import LsnRetentionRegistry
+from repro.errors import DiskFullError, EngineError, WALCorruptionError
+
+
+def build_db(wal: WriteAheadLog) -> Database:
+    db = Database(wal=wal)
+    db.create_relation(
+        "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)]
+    )
+    db.create_index("t_id", "t", ["id"])
+    return db
+
+
+def segmented(tmp_path, segment_bytes: int = 512, **kwargs) -> WriteAheadLog:
+    return WriteAheadLog(
+        path=str(tmp_path / "wal"), segment_bytes=segment_bytes, **kwargs
+    )
+
+
+def fill(db: Database, count: int, start: int = 0) -> None:
+    for i in range(start, start + count):
+        db.insert("t", (i, f"value-{i}"))
+
+
+def live_segment_files(wal: WriteAheadLog) -> list[str]:
+    return sorted(
+        name for name in os.listdir(wal.path) if name.startswith("wal-")
+    )
+
+
+class TestRotation:
+    def test_appends_rotate_into_multiple_segments(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        stats = wal.resource_stats()
+        assert stats["segmented"] is True
+        assert stats["segments_rotated"] >= 2
+        assert stats["live_segments"] == stats["segments_rotated"] + 1
+        assert len(live_segment_files(wal)) == stats["live_segments"]
+        # The log is one continuous LSN sequence across segments.
+        lsns = [r.lsn for r in wal.records()]
+        assert lsns == list(range(1, len(lsns) + 1))
+
+    def test_recovery_across_segment_boundaries(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        db.delete("t", next(iter(db.catalog.relation("t").scan()))[0])
+        wal.close()
+        reloaded = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert len(reloaded) == len(wal)
+        recovered = recover(reloaded)
+        want = sorted(tuple(r.values) for r in db.catalog.relation("t").scan_rows())
+        got = sorted(
+            tuple(r.values) for r in recovered.catalog.relation("t").scan_rows()
+        )
+        assert got == want
+
+
+class TestReclaim:
+    def test_checkpoint_truncates_to_archive(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        before = len(live_segment_files(wal))
+        snapshot_checkpoint(db)
+        stats = wal.resource_stats()
+        assert stats["segments_reclaimed"] >= 1
+        assert len(live_segment_files(wal)) < before
+        # Reclaimed segments moved (not deleted): archive holds them.
+        archived = os.listdir(wal.archive_dir)
+        assert len(archived) == stats["segments_reclaimed"]
+        # Resident memory shrinks with truncation.
+        assert stats["resident_records"] < stats["truncated_lsn"] + len(wal)
+
+    def test_retention_pin_blocks_reclaim_until_released(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 20)
+        wal.retention.update("cdc", 2)  # a consumer still needs LSN 3+
+        snapshot_checkpoint(db)
+        assert wal.resource_stats()["segments_reclaimed"] == 0
+        wal.retention.update("cdc", wal.last_lsn)
+        assert wal.reclaim() >= 1
+
+    def test_records_replays_from_archive(self, tmp_path):
+        """A consumer attached behind the truncation point (a lagging
+        replica, a late CDC drain) reads reclaimed segments back from
+        the archive instead of bootstrapping from a snapshot."""
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        all_lsns = [r.lsn for r in wal.records()]
+        snapshot_checkpoint(db)
+        assert wal.truncated_lsn > 0
+        replayed = [r.lsn for r in wal.records(after_lsn=0)]
+        # Checkpoint record appended after the first listing.
+        assert replayed[: len(all_lsns)] == all_lsns
+        assert wal.archive_reads >= 1
+
+    def test_archive_prune_bounds_footprint_and_fails_loud(self, tmp_path):
+        wal = segmented(tmp_path, archive_max_bytes=600)
+        db = build_db(wal)
+        fill(db, 60)
+        snapshot_checkpoint(db)
+        stats = wal.resource_stats()
+        assert stats["segments_pruned"] >= 1
+        assert stats["archived_bytes"] <= 600
+        with pytest.raises(EngineError, match="bootstrap from a snapshot"):
+            list(wal.records(after_lsn=0))
+        # Past the pruned horizon the archive still serves.
+        assert [r.lsn for r in wal.records(after_lsn=wal.pruned_lsn)]
+
+    def test_load_directory_restores_archive_state(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        snapshot_checkpoint(db)
+        truncated = wal.truncated_lsn
+        last = wal.last_lsn
+        wal.close()
+        reloaded = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert reloaded.truncated_lsn == truncated
+        assert reloaded.last_lsn == last
+        assert [r.lsn for r in reloaded.records(after_lsn=0)] == list(
+            range(1, last + 1)
+        )
+
+
+class TestDamage:
+    def _grown(self, tmp_path, count: int = 40):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, count)
+        wal.close()
+        return wal
+
+    def test_torn_tail_in_final_segment_repaired_and_reported(self, tmp_path):
+        wal = self._grown(tmp_path)
+        final = sorted(s.path for s in wal._segments)[-1]
+        with open(final, "a", encoding="utf-8") as handle:
+            handle.write('{"lsn": 99, "kind": "insert", "crc"')  # no newline
+        log = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert log.has_torn_tail
+        removed = log.repair()
+        assert removed > 0
+        assert log.repairs == 1
+        assert log.last_repair["reason"] == "torn"
+        assert log.last_repair["segment"] == os.path.basename(final)
+        assert log.last_repair["bytes_removed"] == removed
+        reread = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert not reread.has_torn_tail
+        assert len(reread) == len(log)
+
+    def test_checksum_damage_mid_earlier_segment_drops_later_segments(
+        self, tmp_path
+    ):
+        wal = self._grown(tmp_path)
+        live = sorted(s.path for s in wal._segments)
+        assert len(live) >= 3
+        victim = live[-3]  # segment N-2: two live segments follow it
+        with open(victim, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert "value-" in lines[1]
+        lines[1] = lines[1].replace("value-", "hacked", 1)  # breaks the CRC
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        log = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert log.needs_repair
+        assert not log.has_torn_tail  # not a torn write: a bad checksum
+        removed = log.repair()
+        assert removed > 0
+        assert log.last_repair["reason"] == "checksum"
+        assert log.last_repair["segment"] == os.path.basename(victim)
+        assert len(log.last_repair["dropped_segments"]) == 2
+        reread = WriteAheadLog.load(str(tmp_path / "wal"))
+        assert not reread.needs_repair
+        # Everything before the damage point survived.
+        assert reread.last_lsn >= 1
+        recover(reread)  # parses and replays cleanly
+
+    def test_archive_damage_is_not_repairable(self, tmp_path):
+        wal = segmented(tmp_path)
+        db = build_db(wal)
+        fill(db, 40)
+        snapshot_checkpoint(db)
+        wal.close()
+        archived = sorted(os.listdir(wal.archive_dir))
+        path = os.path.join(wal.archive_dir, archived[0])
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.replace('"value-0"', '"tampered"', 1))
+        with pytest.raises(WALCorruptionError):
+            WriteAheadLog.load(str(tmp_path / "wal"))
+
+    def test_single_file_repair_reports_truncation(self, tmp_path):
+        path = str(tmp_path / "single.wal")
+        wal = WriteAheadLog(path=path)
+        db = build_db(wal)
+        fill(db, 3)
+        wal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        log = WriteAheadLog.load(path)
+        assert log.has_torn_tail
+        removed = log.repair()
+        assert removed > 0
+        assert log.repairs == 1
+        assert log.last_repair["reason"] == "torn"
+        assert log.last_repair["bytes_removed"] == removed
+
+
+class TestEnospcProbe:
+    def test_reserve_fault_refuses_before_rotation(self, tmp_path):
+        wal = segmented(tmp_path)
+        wal.fault_check = lambda site: site == "wal.enospc"
+        with pytest.raises(DiskFullError) as exc_info:
+            wal.reserve()
+        assert exc_info.value.site == "wal.enospc"
+        import errno
+
+        assert exc_info.value.errno == errno.ENOSPC
+        assert isinstance(exc_info.value, OSError)
+
+    def test_reserve_rotates_when_due(self, tmp_path):
+        wal = segmented(tmp_path, segment_bytes=64)
+        db = build_db(wal)
+        db.insert("t", (1, "x" * 80))  # overshoots the segment budget
+        rotated_before = wal.segments_rotated
+        wal.reserve()
+        assert wal.segments_rotated == rotated_before + 1
+
+
+class TestRetentionRegistry:
+    def test_floor_is_min_over_consumers(self):
+        registry = LsnRetentionRegistry()
+        assert registry.floor() is None
+        registry.update("cdc", 10)
+        registry.update("ship:replica-a", 4)
+        assert registry.floor() == 4
+        registry.release("ship:replica-a")
+        assert registry.floor() == 10
+        assert registry.positions() == {"cdc": 10}
