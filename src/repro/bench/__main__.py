@@ -27,6 +27,7 @@ from repro.bench import figures
 from repro.bench.cdc import run_cdc
 from repro.bench.endurance import run_endurance
 from repro.bench.failover import sweep as run_failover_sweep
+from repro.bench.nemesis import run_sweep as run_nemesis_sweep
 from repro.bench.netload import run_netload
 from repro.bench.overload import run_overload
 from repro.bench.reporting import Series
@@ -54,6 +55,14 @@ def _run_cdc(verbose: bool = True):
     return payload
 
 
+def _run_nemesis(verbose: bool = True):
+    reports = run_nemesis_sweep([0, 1], verbose=verbose)
+    return {
+        "ok": all(report.ok for report in reports),
+        "seeds": [dict(asdict(report), ok=report.ok) for report in reports],
+    }
+
+
 def _run_endurance(verbose: bool = True):
     report = run_endurance(verbose=verbose)
     payload = asdict(report)
@@ -74,6 +83,7 @@ EXPERIMENTS = {
     "failover": _run_failover,
     "cdc": _run_cdc,
     "netload": _run_netload,
+    "nemesis": _run_nemesis,
     "endurance": _run_endurance,
 }
 

@@ -315,7 +315,9 @@ class NetMetrics:
     dedup_rebuilds: int = 0
     replica_reads: int = 0
     replica_fallbacks: int = 0
+    monotonic_fallbacks: int = 0
     writes_applied: int = 0
+    connections_refused: int = 0
     _record_mutex: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -354,6 +356,18 @@ class NetMetrics:
             if fallback:
                 self.replica_fallbacks += 1
 
+    def record_monotonic_fallback(self) -> None:
+        """A replica read was re-routed to the primary because the
+        replica's watermark trailed the session's min_lsn token."""
+        with self._record_mutex:
+            self.monotonic_fallbacks += 1
+
+    def record_connection_refused(self) -> None:
+        """The server's refuse_connections hook (nemesis partition
+        seam) turned an accepted connection away."""
+        with self._record_mutex:
+            self.connections_refused += 1
+
     def record_write_applied(self) -> None:
         with self._record_mutex:
             self.writes_applied += 1
@@ -372,5 +386,7 @@ class NetMetrics:
                 "net_dedup_rebuilds": self.dedup_rebuilds,
                 "net_replica_reads": self.replica_reads,
                 "net_replica_fallbacks": self.replica_fallbacks,
+                "net_monotonic_fallbacks": self.monotonic_fallbacks,
                 "net_writes_applied": self.writes_applied,
+                "net_connections_refused": self.connections_refused,
             }

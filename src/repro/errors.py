@@ -219,6 +219,18 @@ class ReplicaLagError(ReplicationError):
         self.bound = bound
 
 
+class NodeIsolatedError(ReplicationError):
+    """A node refused to serve because its coordinator lease expired.
+
+    A primary that cannot renew its lease must assume it has been (or
+    is about to be) deposed: serving reads would risk staleness stamps
+    that silently lie about how far behind the authoritative timeline
+    the answer is, and accepting writes would risk a second node
+    writing in the same era.  Refusal is retryable — the client's retry
+    lands on the promoted primary (or succeeds here after the partition
+    heals and the lease renews)."""
+
+
 # ---------------------------------------------------------------------------
 # Network serving tier errors
 # ---------------------------------------------------------------------------
@@ -231,6 +243,16 @@ class NetError(ReproError):
 class NetProtocolError(NetError):
     """A wire frame was malformed, oversized, from an unsupported
     protocol version, or cut off mid-frame."""
+
+
+class NetTimeoutError(NetError):
+    """A socket operation timed out talking to the server.
+
+    A typed, *retryable* wrapper for ``socket.timeout``: the request
+    may or may not have been applied (the classic in-doubt window), so
+    only idempotent operations — queries, and DML carrying an
+    idempotency key — may be retried, which is exactly what the client
+    driver does."""
 
 
 class RetryExhaustedError(NetError):

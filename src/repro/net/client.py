@@ -12,10 +12,24 @@ gate directly.  Its retry discipline follows the classic split:
   applied-but-unacknowledged case — is applied at most once.  The
   driver therefore retries DML exactly as freely as reads.
 - **retryable server errors** (fenced deposed primary, replication
-  hiccups, unacknowledged semi-sync writes) retry the same way; sheds
-  (``shed: true``) surface as :class:`~repro.errors.OverloadError` by
-  default — backpressure is the caller's policy decision, not the
-  driver's.
+  hiccups, lease-isolated nodes, unacknowledged semi-sync writes)
+  retry the same way; sheds (``shed: true``) surface as
+  :class:`~repro.errors.OverloadError` by default — backpressure is the
+  caller's policy decision, not the driver's.
+
+Backoff uses *seeded full jitter*: after a partition heals, every
+client that queued up behind it wakes at a different moment instead of
+hammering the server in lockstep.  The jitter stream is seeded from
+the client id, so a replayed run produces the identical retry
+schedule; ``jitter=0`` restores the old deterministic delays.
+
+Each client is also a *session* for monotonic reads: it remembers the
+highest ``applied_lsn`` it has observed (per serving epoch) and stamps
+it into every query as a ``min_lsn`` token, so a later read routed to
+a lagging replica can never show an older database state than one this
+session already saw.  The token is epoch-scoped — a failover starts a
+fresh timeline and resets it (acked-write durability across failovers
+is the replication layer's separate guarantee).
 
 Connections are pooled per client; a connection that errors is closed
 and replaced rather than returned to the pool.
@@ -24,6 +38,7 @@ and replaced rather than returned to the pool.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
 import time
@@ -33,6 +48,7 @@ from typing import Any, Callable
 from repro.errors import (
     NetError,
     NetProtocolError,
+    NetTimeoutError,
     OverloadError,
     RetryExhaustedError,
 )
@@ -43,15 +59,29 @@ __all__ = ["PMVClient", "RetryPolicy", "RemoteAnswer"]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff with a bounded attempt budget."""
+    """Exponential backoff with full jitter and a bounded budget.
+
+    ``jitter`` is the jittered fraction of each delay: 1.0 (the
+    default) is classic full jitter — a uniform draw from
+    ``[0, ceiling]``; 0 disables jitter entirely (the pre-jitter
+    deterministic schedule, kept as an escape hatch for tests that
+    assert exact delays); values in between jitter only that fraction
+    of the ceiling.  The ceiling itself is the usual
+    ``min(max_delay, base_delay * factor**attempt)``.
+    """
 
     attempts: int = 5
     base_delay: float = 0.02
     factor: float = 2.0
     max_delay: float = 0.5
+    jitter: float = 1.0
 
-    def delay(self, attempt: int) -> float:
-        return min(self.max_delay, self.base_delay * (self.factor ** attempt))
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        ceiling = min(self.max_delay, self.base_delay * (self.factor ** attempt))
+        if self.jitter <= 0 or rng is None:
+            return ceiling
+        jittered = min(1.0, self.jitter)
+        return ceiling * (1.0 - jittered) + rng.random() * jittered * ceiling
 
 
 @dataclass
@@ -72,6 +102,7 @@ class RemoteAnswer:
     applied_lsn: int | None = None
     served_by: str | None = None
     replica_lag: int | None = None
+    epoch: int | None = None
 
 
 @dataclass
@@ -81,6 +112,8 @@ class _WriteAck:
     lsn: int
     duplicate: bool
     deleted: int | None = None
+    epoch: int | None = None
+    served_by: str | None = None
 
 
 class _Connection:
@@ -136,12 +169,22 @@ class PMVClient:
         self.connect_timeout = connect_timeout
         self.socket_timeout = socket_timeout
         self._sleep = sleep
+        # Seeded from the client id: jittered backoff is deterministic
+        # per client per run, so a failed nemesis seed replays with the
+        # identical retry schedule.
+        self._retry_rng = random.Random(f"retry:{client_id}")
         self._pool: list[_Connection] = []
         self._pool_mutex = threading.Lock()
         self._seq_mutex = threading.Lock()
         self._next_seq = 0
+        # The session monotonic-read token: highest applied_lsn this
+        # client has observed, scoped to the serving epoch it saw it in.
+        self._token_mutex = threading.Lock()
+        self._session_epoch: int | None = None
+        self._session_lsn = 0
         self.retries = 0
         self.reconnects = 0
+        self.timeouts = 0
 
     # -- pool ------------------------------------------------------------------
 
@@ -188,7 +231,7 @@ class PMVClient:
         for attempt in range(self.retry.attempts):
             if attempt:
                 self.retries += 1
-                self._sleep(self.retry.delay(attempt - 1))
+                self._sleep(self.retry.delay(attempt - 1, rng=self._retry_rng))
             try:
                 conn = self._checkout()
                 try:
@@ -204,6 +247,16 @@ class PMVClient:
                     conn.close()
                     raise
                 self._checkin(conn)
+            except socket.timeout as exc:
+                # Typed and retryable: the request is in doubt, but
+                # queries are idempotent and DML carries its key.
+                self.timeouts += 1
+                wrapped = NetTimeoutError(
+                    f"socket timed out after {self.socket_timeout}s: {exc}"
+                )
+                wrapped.__cause__ = exc
+                last = wrapped
+                continue
             except (OSError, NetProtocolError) as exc:
                 last = exc
                 continue
@@ -223,7 +276,31 @@ class PMVClient:
             f"gave up after {self.retry.attempts} attempts: {last}",
             attempts=self.retry.attempts,
             cause=last,
-        )
+        ) from last
+
+    # -- the session monotonic-read token --------------------------------------
+
+    def session_token(self) -> tuple[int | None, int]:
+        """The session's ``(epoch, min_lsn)`` monotonic-read token."""
+        with self._token_mutex:
+            return self._session_epoch, self._session_lsn
+
+    def _observe_stamp(self, epoch: int | None, lsn: int | None) -> None:
+        """Advance the session token from a response's stamps.
+
+        A new epoch resets the token: a failover truncated the unacked
+        suffix and started a fresh timeline, so an old-epoch LSN floor
+        would be unsatisfiable (and meaningless) against the new one.
+        Within an epoch the token only ratchets upward.
+        """
+        if epoch is None:
+            return
+        with self._token_mutex:
+            if epoch != self._session_epoch:
+                self._session_epoch = epoch
+                self._session_lsn = 0
+            if lsn is not None:
+                self._session_lsn = max(self._session_lsn, int(lsn))
 
     # -- public API ------------------------------------------------------------
 
@@ -251,7 +328,12 @@ class PMVClient:
             message["staleness_bound"] = staleness_bound
         if prefer_replica:
             message["prefer_replica"] = True
+        token_epoch, min_lsn = self.session_token()
+        if token_epoch is not None:
+            message["token_epoch"] = token_epoch
+            message["min_lsn"] = min_lsn
         response = self._request(message)
+        self._observe_stamp(response.get("epoch"), response.get("applied_lsn"))
         return RemoteAnswer(
             columns=list(response.get("columns", ())),
             rows=[tuple(row) for row in response.get("rows", ())],
@@ -262,6 +344,7 @@ class PMVClient:
             applied_lsn=response.get("applied_lsn"),
             served_by=response.get("served_by"),
             replica_lag=response.get("replica_lag"),
+            epoch=response.get("epoch"),
         )
 
     def insert(
@@ -276,8 +359,12 @@ class PMVClient:
         if budget is not None:
             message["budget"] = budget
         response = self._request(message)
+        self._observe_stamp(response.get("epoch"), response.get("lsn"))
         return _WriteAck(
-            lsn=int(response["lsn"]), duplicate=bool(response.get("duplicate"))
+            lsn=int(response["lsn"]),
+            duplicate=bool(response.get("duplicate")),
+            epoch=response.get("epoch"),
+            served_by=response.get("served_by"),
         )
 
     def delete_eq(
@@ -293,8 +380,11 @@ class PMVClient:
         if budget is not None:
             message["budget"] = budget
         response = self._request(message)
+        self._observe_stamp(response.get("epoch"), response.get("lsn"))
         return _WriteAck(
             lsn=int(response["lsn"]),
             duplicate=bool(response.get("duplicate")),
             deleted=response.get("deleted"),
+            epoch=response.get("epoch"),
+            served_by=response.get("served_by"),
         )

@@ -158,34 +158,72 @@ class ClusterFrontEnd:
         deadline=None,
         staleness_bound: int | None = None,
         prefer_replica: bool = False,
+        min_lsn: int | None = None,
+        token_epoch: int | None = None,
     ) -> dict[str, Any]:
-        """Run one read; returns ``(result, served_by, replica_lag)``-shaped
-        metadata alongside the result (as a dict for the server to
-        envelope).
+        """Run one read; returns ``(result, served_by, replica_lag,
+        epoch)``-shaped metadata alongside the result (as a dict for
+        the server to envelope).
 
         ``prefer_replica`` with a staleness bound routes to a standby;
         a standby beyond the bound falls back to the primary path, so
         the client always gets an answer within its freshness contract.
+
+        ``min_lsn`` is the session's monotonic-read token: a replica
+        whose applied watermark trails it would show the session an
+        older state than one it already observed, so the read falls
+        back to the primary instead.  The token is only honoured when
+        ``token_epoch`` matches the current serving epoch — a
+        pre-failover LSN floor is meaningless against the promoted
+        timeline (and could even be unsatisfiable).
         """
+        if token_epoch is not None and token_epoch != self._epoch:
+            min_lsn = None
         if prefer_replica and self.coordinator is not None and self.coordinator.replicas:
             bound = self.staleness_bound if staleness_bound is None else staleness_bound
             replica = self._pick_replica()
             replica.note_watermark(self.database.wal.last_lsn)
-            try:
-                result = replica.serve(query, staleness_bound=bound, deadline=deadline)
-                self.metrics.record_replica_read()
-                return {
-                    "result": result,
-                    "served_by": replica.name,
-                    "replica_lag": replica.lag,
-                }
-            except ReplicaLagError:
-                self.metrics.record_replica_read(fallback=True)
+            if min_lsn is not None and replica.applied_lsn < min_lsn:
+                self.metrics.record_monotonic_fallback()
+            else:
+                try:
+                    result = replica.serve(
+                        query, staleness_bound=bound, deadline=deadline
+                    )
+                    self.metrics.record_replica_read()
+                    return {
+                        "result": result,
+                        "served_by": replica.name,
+                        "replica_lag": replica.lag,
+                        "epoch": self._epoch,
+                        # Eagerly-maintained views carry no watermark of
+                        # their own (fresh by construction), so the
+                        # serving node's applied LSN is the answer's
+                        # honest logical timestamp; async answers keep
+                        # their (older) view watermark.
+                        "applied_lsn": (
+                            replica.applied_lsn
+                            if result.applied_lsn is None
+                            else result.applied_lsn
+                        ),
+                    }
+                except ReplicaLagError:
+                    self.metrics.record_replica_read(fallback=True)
         result = self.gate.execute(query, deadline=deadline)
         served_by = (
             self.coordinator.primary.name if self.coordinator is not None else "primary"
         )
-        return {"result": result, "served_by": served_by, "replica_lag": None}
+        return {
+            "result": result,
+            "served_by": served_by,
+            "replica_lag": None,
+            "epoch": self._epoch,
+            "applied_lsn": (
+                self.database.current_lsn()
+                if result.applied_lsn is None
+                else result.applied_lsn
+            ),
+        }
 
     def _pick_replica(self):
         replicas = self.coordinator.replicas
@@ -221,7 +259,7 @@ class ClusterFrontEnd:
                     # semi-sync ack covers it, never apply again.
                     self.metrics.record_dedup_hit()
                     self._await_ack(lsn)
-                    return {"ok": True, "duplicate": True, "lsn": lsn}
+                    return self._write_envelope(lsn, duplicate=True)
             slot = self.gate.admit_write(deadline=deadline)
             try:
                 lsn = apply(self.database, idem)
@@ -231,7 +269,19 @@ class ClusterFrontEnd:
             if idem is not None:
                 self.dedup.record(idem, lsn)
             self._await_ack(lsn)
-            return {"ok": True, "duplicate": False, "lsn": lsn}
+            return self._write_envelope(lsn, duplicate=False)
+
+    def _write_envelope(self, lsn: int, duplicate: bool) -> dict[str, Any]:
+        served_by = (
+            self.coordinator.primary.name if self.coordinator is not None else "primary"
+        )
+        return {
+            "ok": True,
+            "duplicate": duplicate,
+            "lsn": lsn,
+            "epoch": self._epoch,
+            "served_by": served_by,
+        }
 
     def _await_ack(self, lsn: int) -> None:
         """Pump replication until the semi-sync watermark covers ``lsn``."""
@@ -266,11 +316,14 @@ def classify_error(exc: BaseException) -> dict[str, Any]:
 
     ``retryable`` means the client may safely try again (idempotent
     ops always; DML because of idempotency keys): fenced/deposed
-    primaries, replication hiccups, unacknowledged writes, and sheds
-    (which also set ``shed`` so clients can apply backpressure policy
-    instead of hammering).
+    primaries, replication hiccups (including a lease-isolated node —
+    :class:`~repro.errors.NodeIsolatedError` is a ``ReplicationError``),
+    socket timeouts, unacknowledged writes, and sheds (which also set
+    ``shed`` so clients can apply backpressure policy instead of
+    hammering).
     """
     from repro.errors import (
+        NetTimeoutError,
         ReplicationError,
         StaleEpochError,
         WALFencedError,
@@ -287,7 +340,13 @@ def classify_error(exc: BaseException) -> dict[str, Any]:
         }
     retryable = isinstance(
         exc,
-        (WALFencedError, StaleEpochError, ReplicationError, WriteUnacknowledgedError),
+        (
+            WALFencedError,
+            StaleEpochError,
+            ReplicationError,
+            WriteUnacknowledgedError,
+            NetTimeoutError,
+        ),
     )
     return {
         "ok": False,

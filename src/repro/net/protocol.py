@@ -40,6 +40,7 @@ from repro.errors import NetProtocolError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "send_frame",
@@ -49,7 +50,14 @@ __all__ = [
     "encode_result",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2 added the session monotonic-read token: queries may carry
+#: ``min_lsn``/``token_epoch`` and responses stamp the serving
+#: ``epoch``, so a client session never observes a database state older
+#: than one it already saw (within an epoch).  The fields are optional,
+#: so v1 peers interoperate unchanged — both versions are accepted.
+PROTOCOL_VERSION = 2
+
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Upper bound on one frame's payload — a corrupted or hostile length
 #: prefix must not make the server allocate gigabytes.
@@ -103,10 +111,10 @@ def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     payload = _recv_exactly(sock, length)
     if payload is None:
         raise NetProtocolError("connection closed between header and payload")
-    if payload[0] != PROTOCOL_VERSION:
+    if payload[0] not in SUPPORTED_VERSIONS:
         raise NetProtocolError(
             f"unsupported protocol version {payload[0]} "
-            f"(this end speaks {PROTOCOL_VERSION})"
+            f"(this end speaks {sorted(SUPPORTED_VERSIONS)})"
         )
     try:
         message = json.loads(payload[1:].decode("utf-8"))
@@ -206,11 +214,18 @@ def decode_query(catalog, payload: dict[str, Any]):
 # -- result serialization ----------------------------------------------------
 
 
-def encode_result(result, served_by: str | None = None, replica_lag: int | None = None) -> dict[str, Any]:
+def encode_result(
+    result,
+    served_by: str | None = None,
+    replica_lag: int | None = None,
+    epoch: int | None = None,
+    applied_lsn: int | None = None,
+) -> dict[str, Any]:
     """A :class:`~repro.core.executor.PMVQueryResult` as a response
     envelope: user-visible rows as value tuples plus the full honesty
-    surface (complete / degraded_reason / staleness / applied_lsn) and
-    the serving node's identity for routed reads."""
+    surface (complete / degraded_reason / staleness / applied_lsn), the
+    serving node's identity for routed reads, and (v2) the serving
+    epoch that scopes the client's monotonic-read token."""
     envelope: dict[str, Any] = {
         "ok": True,
         "columns": list(result.query.template.select_list),
@@ -225,4 +240,11 @@ def encode_result(result, served_by: str | None = None, replica_lag: int | None 
         envelope["served_by"] = served_by
     if replica_lag is not None:
         envelope["replica_lag"] = replica_lag
+    if epoch is not None:
+        envelope["epoch"] = epoch
+    if applied_lsn is not None:
+        # The routing tier's serving-watermark stamp (the node's applied
+        # LSN when the view itself carries none) wins over the raw
+        # result field — it is what the session token ratchets on.
+        envelope["applied_lsn"] = applied_lsn
     return envelope

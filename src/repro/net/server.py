@@ -61,6 +61,7 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         drop_before_respond: Callable[[str, dict], bool] | None = None,
+        refuse_connections: Callable[[], bool] | None = None,
     ) -> None:
         self.front_end = front_end
         self.metrics = front_end.metrics
@@ -72,6 +73,12 @@ class NetServer:
         self._conns: set[socket.socket] = set()
         self._conns_mutex = threading.Lock()
         self.drop_before_respond = drop_before_respond
+        # The client↔server partition seam: while this returns True,
+        # new connections are closed immediately after accept (the
+        # client sees a connection reset, i.e. an OSError it retries
+        # with jittered backoff).  Pair with drop_connections() to also
+        # sever the conversations already in flight.
+        self.refuse_connections = refuse_connections
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -113,12 +120,33 @@ class NetServer:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
 
+    def drop_connections(self) -> int:
+        """Sever every established connection (the partition nemesis
+        cutting the client↔server link mid-conversation); the listener
+        keeps running, so healing is just the refusal hook flipping
+        back.  Returns how many connections were closed."""
+        with self._conns_mutex:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        return len(conns)
+
     def _accept_loop(self) -> None:
         while not self._stopping.is_set():
             try:
                 conn, _addr = self._sock.accept()
             except OSError:
                 return  # closed by stop()
+            if self.refuse_connections is not None and self.refuse_connections():
+                self.metrics.record_connection_refused()
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
             with self._conns_mutex:
                 self._conns.add(conn)
             self.metrics.record_connection(opened=True)
@@ -226,16 +254,22 @@ class NetServer:
         query = protocol.decode_query(
             self.front_end.database.catalog, request["query"]
         )
+        min_lsn = request.get("min_lsn")
+        token_epoch = request.get("token_epoch")
         routed = self.front_end.execute_query(
             query,
             deadline=self._deadline(request),
             staleness_bound=request.get("staleness_bound"),
             prefer_replica=bool(request.get("prefer_replica", False)),
+            min_lsn=None if min_lsn is None else int(min_lsn),
+            token_epoch=None if token_epoch is None else int(token_epoch),
         )
         return protocol.encode_result(
             routed["result"],
             served_by=routed["served_by"],
             replica_lag=routed["replica_lag"],
+            epoch=routed.get("epoch"),
+            applied_lsn=routed.get("applied_lsn"),
         )
 
     def _op_insert(self, session: _Session, request: dict[str, Any]) -> dict[str, Any]:

@@ -61,6 +61,11 @@ class ServingGate:
             self.governor.breaker.metrics = self.metrics
         self.default_deadline = default_deadline
         self._clock = clock
+        # Lease-gated serving (DESIGN.md §16): when a PrimaryNode binds
+        # itself here, this raises NodeIsolatedError before admission
+        # while the node's coordinator lease is expired — an isolated
+        # node must not serve reads or accept writes.
+        self.serving_check: Callable[[], None] | None = None
 
     # -- the protected query path --------------------------------------------
 
@@ -81,6 +86,8 @@ class ServingGate:
         allowed O3 to finish, else the PMV partial answer with
         ``result.complete`` False.
         """
+        if self.serving_check is not None:
+            self.serving_check()
         deadline = self._resolve_deadline(deadline)
         slot = self.admission.admit(
             timeout=None if deadline is None else deadline.remaining()
@@ -110,6 +117,8 @@ class ServingGate:
         exactly as for queries; sheds raise
         :class:`~repro.errors.OverloadError`.
         """
+        if self.serving_check is not None:
+            self.serving_check()
         deadline = self._resolve_deadline(deadline)
         return self.admission.admit(
             timeout=None if deadline is None else deadline.remaining()

@@ -131,6 +131,11 @@ class DegradationGovernor:
         self._saved_upper_bounds: dict[str, int | None] = {}
         self._saved_freshness_bounds: dict[str, int] = {}
         self.transitions: list[tuple[str, str]] = []
+        # Lease isolation probe (DESIGN.md §16): installed by
+        # PrimaryNode.bind_gate.  An ISOLATED node is severe pressure by
+        # definition — it cannot serve, so the admission queue must shed
+        # instead of parking callers behind a lease that may never renew.
+        self.isolation_probe: Callable[[], bool] | None = None
 
     # -- observations ---------------------------------------------------------
 
@@ -195,6 +200,8 @@ class DegradationGovernor:
             self._last_lock_timeouts = timeouts
         timeout_delta = 0 if last is None else max(0, timeouts - last)
         backlog = self._backlog_depth()
+        if self.isolation_probe is not None and self.isolation_probe():
+            return "severe"
         if (
             p99 >= cfg.shed_p99
             or queue_depth >= cfg.shed_queue
@@ -349,9 +356,11 @@ class DegradationGovernor:
 
     def stats(self) -> dict:
         backlog = self._backlog_depth()
+        isolated = self.isolation_probe is not None and self.isolation_probe()
         with self._mutex:
             return {
                 "state": self._state,
+                "isolated": isolated,
                 "p99_latency": self._p99(),
                 "healthy_streak": self._healthy_streak,
                 "transitions": len(self.transitions),

@@ -3,17 +3,23 @@
 The primary streams its checksummed write-ahead log over in-process,
 fault-injectable links to replicas that apply it through the shared
 crash-recovery replay path and keep mirrored PMV fleets warm; a
-coordinator detects primary death by missed heartbeats, fences the old
-epoch, promotes the most-caught-up replica, and rewires the serving
-gate onto the survivor's warm cache.
+coordinator detects primary death by accumulated missed heartbeats,
+fences the old epoch when reachable, promotes the most-caught-up
+replica, and rewires the serving gate onto the survivor's warm cache.
+Under lease-gated promotion (DESIGN.md §16) the primary holds a
+coordinator-granted :class:`Lease` and self-isolates when it cannot
+renew, so promotion never overlaps a still-serving deposed primary.
 """
 
 from repro.replication.coordinator import FailoverCoordinator
+from repro.replication.lease import ControlLink, Lease
 from repro.replication.node import PrimaryNode, ReplicaNode
 from repro.replication.ship import SHIP_SITE, ReplicationLink, ShippedRecord
 
 __all__ = [
+    "ControlLink",
     "FailoverCoordinator",
+    "Lease",
     "PrimaryNode",
     "ReplicaNode",
     "ReplicationLink",

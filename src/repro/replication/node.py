@@ -26,12 +26,21 @@ ancient data.
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 from repro.core.manager import PMVManager
 from repro.engine.database import Database
 from repro.engine.snapshot import restore_snapshot, snapshot_from_json
 from repro.engine.wal import LogKind, WriteAheadLog, replay_record
-from repro.errors import ReplicaLagError, ReplicationError, StaleEpochError
+from repro.errors import (
+    NodeIsolatedError,
+    ReplicaLagError,
+    ReplicationError,
+    StaleEpochError,
+)
 from repro.faults.inject import FaultInjector
+from repro.replication.lease import Lease
 from repro.replication.ship import ReplicationLink, ShippedRecord
 
 __all__ = ["PrimaryNode", "ReplicaNode"]
@@ -53,6 +62,7 @@ class PrimaryNode:
         manager: PMVManager | None = None,
         epoch: int = 1,
         name: str = "primary",
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if database.wal is None:
             raise ReplicationError("a replicating primary needs a WAL")
@@ -61,6 +71,12 @@ class PrimaryNode:
         self.epoch = epoch
         self.name = name
         self.links: list[ReplicationLink] = []
+        # Lease gating (DESIGN.md §16): until a coordinator grants one,
+        # ``lease`` is None and the node serves ungated (legacy mode —
+        # standalone primaries and fence-only clusters keep working).
+        self._clock = clock
+        self.lease: Lease | None = None
+        self.isolated_refusals = 0
 
     def attach_replica(
         self, replica: "ReplicaNode", injector: FaultInjector | None = None
@@ -120,8 +136,59 @@ class PrimaryNode:
         return max((link.acked_lsn for link in self.links), default=0)
 
     def heartbeat(self, coordinator) -> None:
-        """Tell the failover coordinator this primary is alive."""
-        coordinator.notify_heartbeat()
+        """Tell the failover coordinator this primary is alive.
+
+        When the coordinator runs lease-gated promotion the accepted
+        heartbeat returns a renewed :class:`Lease`, which this node
+        adopts; without leases nothing comes back and the call degrades
+        to the legacy liveness notification."""
+        self.adopt_lease(coordinator.heartbeat_from(self))
+
+    # -- lease gating ---------------------------------------------------------
+
+    def adopt_lease(self, lease: Lease | None) -> None:
+        """Install a coordinator-granted lease (None is ignored, so an
+        ungated heartbeat round trip changes nothing)."""
+        if lease is not None:
+            self.lease = lease
+
+    def is_isolated(self) -> bool:
+        """Whether this node is lease-gated *and* its lease expired.
+
+        An isolated node must refuse reads and writes: its heartbeats
+        stopped reaching the coordinator, so for all it knows a standby
+        has been (or is being) promoted and this WAL is no longer the
+        authoritative timeline."""
+        return self.lease is not None and not self.lease.valid_at(self._clock())
+
+    @property
+    def mode(self) -> str:
+        """``ACTIVE`` (serving) or ``ISOLATED`` (read-refusing)."""
+        return "ISOLATED" if self.is_isolated() else "ACTIVE"
+
+    def check_serving(self) -> None:
+        """Refuse service while isolated (the gate's serving check).
+
+        Installed as :attr:`~repro.qos.gate.ServingGate.serving_check`
+        by the coordinator, so every read and write admitted through
+        the gate first proves the node still holds a valid lease."""
+        if self.is_isolated():
+            self.isolated_refusals += 1
+            raise NodeIsolatedError(
+                f"{self.name} is ISOLATED: lease for epoch "
+                f"{self.lease.epoch} expired at {self.lease.expires_at:.3f} "
+                f"(now {self._clock():.3f}); refusing to serve"
+            )
+
+    def bind_gate(self, gate) -> None:
+        """Install this node's lease check on a serving gate, and the
+        isolation pressure probe on its governor (ISOLATED reads as
+        *severe* pressure: shed instead of serving possibly-deposed
+        answers)."""
+        gate.serving_check = self.check_serving
+        governor = getattr(gate, "governor", None)
+        if governor is not None:
+            governor.isolation_probe = self.is_isolated
 
     def idempotency_keys(self) -> dict[str, int]:
         """Every idempotency key in this node's WAL, mapped to the LSN
@@ -156,6 +223,9 @@ class PrimaryNode:
             "last_lsn": self.database.wal.last_lsn,
             "acked_lsn": self.acked_lsn,
             "links": [link.stats() for link in self.links],
+            "mode": self.mode,
+            "lease_expires_at": None if self.lease is None else self.lease.expires_at,
+            "isolated_refusals": self.isolated_refusals,
         }
 
 
@@ -354,7 +424,9 @@ class ReplicaNode:
                 maintainer_options=spec["maintainer_options"],
             )
 
-    def promote(self, epoch: int) -> PrimaryNode:
+    def promote(
+        self, epoch: int, clock: Callable[[], float] = time.monotonic
+    ) -> PrimaryNode:
         """Become the primary for ``epoch``.
 
         Unapplied reorder-buffer records are discarded — they are
@@ -369,7 +441,11 @@ class ReplicaNode:
         self.pending.clear()
         self.promoted = True
         return PrimaryNode(
-            self.database, manager=self.manager, epoch=self.epoch, name=self.name
+            self.database,
+            manager=self.manager,
+            epoch=self.epoch,
+            name=self.name,
+            clock=clock,
         )
 
     def stats(self) -> dict:

@@ -1,0 +1,98 @@
+"""The partition nemesis drill, integration-sized.
+
+Two runs of the same surgical schedule — an asymmetric
+coordinator→primary cut that hides the primary from the coordinator
+while clients can still reach everything:
+
+- **lease-gated** (the fix): the deposed primary self-isolates before
+  promotion is allowed, so the stale-router zombie probe is *refused*
+  and the history checker passes;
+- **fence-only legacy** (``lease_ttl=None``, the pre-lease
+  configuration): the deposed primary keeps serving through the stale
+  router, and the checker *catches* the zombie-read window — the
+  regression this drill exists to keep caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.nemesis import NemesisConfig, run_nemesis
+from repro.faults.partition import PartitionPlan
+
+# Cut only the primary->coordinator direction: the coordinator suspects
+# (silence) and eventually promotes; clients meanwhile reach the old
+# primary just fine — the exact shape of the zombie-read window.
+ZOMBIE_SCHEDULE = "4:cut:coord-primary:up,26:heal:coord-primary:both"
+
+
+def _config(**overrides) -> NemesisConfig:
+    defaults = dict(
+        seed=0,
+        steps=36,
+        clients=2,
+        schedule=ZOMBIE_SCHEDULE,
+        quiesce=6,
+    )
+    defaults.update(overrides)
+    return NemesisConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def lease_run():
+    return run_nemesis(_config())
+
+
+@pytest.fixture(scope="module")
+def legacy_run():
+    return run_nemesis(_config(lease_ttl=None))
+
+
+class TestLeaseGatedRun:
+    def test_all_invariants_hold(self, lease_run):
+        assert lease_run.violations == []
+        assert lease_run.ok
+
+    def test_failover_happened_after_lease_refusals(self, lease_run):
+        assert lease_run.failovers >= 1
+        # Suspicion fires before the lease expires: the coordinator
+        # provably waited the old primary out instead of racing it.
+        assert lease_run.promotions_refused_lease >= 1
+
+    def test_zombie_probes_refused(self, lease_run):
+        assert lease_run.zombie_probe_refusals >= 1
+        assert lease_run.zombie_probe_serves == 0
+
+    def test_isolated_node_refused_real_traffic(self, lease_run):
+        assert lease_run.isolated_refusals >= 1
+
+    def test_replay_handle_reproduces_schedule(self, lease_run):
+        assert lease_run.schedule == PartitionPlan.parse(
+            ZOMBIE_SCHEDULE
+        ).describe()
+
+
+class TestLegacyZombieRegression:
+    def test_checker_catches_the_zombie_window(self, legacy_run):
+        """Without leases the deposed-but-reachable primary keeps
+        serving — and the history checker must say so."""
+        assert legacy_run.failovers >= 1
+        assert legacy_run.zombie_probe_serves >= 1
+        assert any("zombie-read" in v for v in legacy_run.violations)
+        assert not legacy_run.ok
+
+    def test_acked_writes_still_survive_without_leases(self, legacy_run):
+        """Fence-only mode lies about serving, but semi-sync still
+        protects durability: no acked-write-loss flavour violations."""
+        assert not any(
+            "acked-write-loss" in v or "duplicate-application" in v
+            for v in legacy_run.violations
+        )
+
+
+class TestSeededSweepDeterminism:
+    def test_generated_schedule_is_stable(self):
+        first = run_nemesis(NemesisConfig(seed=5, steps=30, clients=1))
+        second = run_nemesis(NemesisConfig(seed=5, steps=30, clients=1))
+        assert first.schedule == second.schedule
+        assert first.epochs == second.epochs

@@ -1,0 +1,59 @@
+"""Property-based retry backoff: jitter always lands inside the
+deterministic ceiling, never goes negative, and replays exactly.
+
+The invariants the thundering-herd fix rests on:
+
+- for every (policy, attempt, rng draw): ``0 <= delay <= ceiling``
+  where ``ceiling = min(max_delay, base * factor**attempt)`` — jitter
+  may only *shrink* a wait, never extend the worst case;
+- ``jitter=0`` (or no rng) reproduces the exact pre-jitter schedule —
+  the escape hatch really is the old behaviour;
+- the same seed draws the same schedule — a replayed nemesis seed
+  retries at the same instants.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.client import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=10),
+    base_delay=st.floats(min_value=1e-4, max_value=1.0),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=1e-4, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies, attempt=st.integers(min_value=0, max_value=30), seed=st.integers())
+def test_jitter_bounded_by_deterministic_ceiling(policy, attempt, seed):
+    ceiling = min(policy.max_delay, policy.base_delay * policy.factor ** attempt)
+    delay = policy.delay(attempt, rng=random.Random(seed))
+    assert 0.0 <= delay <= ceiling + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    base=st.floats(min_value=1e-4, max_value=1.0),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=1e-4, max_value=10.0),
+    attempt=st.integers(min_value=0, max_value=30),
+    seed=st.integers(),
+)
+def test_zero_jitter_is_exactly_the_ceiling(base, factor, max_delay, attempt, seed):
+    policy = RetryPolicy(base_delay=base, factor=factor, max_delay=max_delay, jitter=0)
+    expected = min(max_delay, base * factor ** attempt)
+    assert policy.delay(attempt, rng=random.Random(seed)) == expected
+    assert policy.delay(attempt) == expected  # no rng: same escape hatch
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies, seed=st.integers())
+def test_same_seed_replays_identical_schedule(policy, seed):
+    first = [policy.delay(i, rng=random.Random(seed)) for i in range(8)]
+    second = [policy.delay(i, rng=random.Random(seed)) for i in range(8)]
+    assert first == second
